@@ -1,0 +1,102 @@
+//! Benches regenerating the analytical-model figures: Eq. 1 fitting +
+//! memory projection (Fig. 13) and Eq. 2 fitting + validation
+//! (Figs. 14–15).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftsim_cost::{validate_combo, BatchSample, MaxBatchModel, MemoryProjection, ThroughputModel, ThroughputSample};
+use ftsim_gpu::{CostModel, GpuSpec};
+use ftsim_model::{presets, FineTuneConfig, MemoryModel};
+use std::hint::black_box;
+
+fn batch_samples() -> Vec<BatchSample> {
+    let model = presets::mixtral_8x7b();
+    let mut out = Vec::new();
+    for gpu in GpuSpec::catalog() {
+        for (ft, s) in [
+            (FineTuneConfig::qlora_sparse(), 0.25),
+            (FineTuneConfig::qlora_dense(), 1.0),
+        ] {
+            let mem = MemoryModel::new(&model, &ft);
+            for seq in [79usize, 148, 174] {
+                let mb = mem.max_batch_size(&gpu, seq);
+                if mb > 0 {
+                    out.push(BatchSample {
+                        gpu_mem_gb: gpu.mem_gb,
+                        model_mem_gb: mem.weights_gb(),
+                        seq_len: seq,
+                        sparsity: s,
+                        max_batch: mb,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn fig13_batch_fit(c: &mut Criterion) {
+    let samples = batch_samples();
+    let (fit, rmse) = MaxBatchModel::fit(&samples);
+    eprintln!("[fig13] C0={:.2} C1={:.3} rmse={:.2}", fit.c0, fit.c1, rmse);
+    c.bench_function("fig13/eq1_fit", |b| {
+        b.iter(|| black_box(MaxBatchModel::fit(&samples)))
+    });
+
+    let measured: Vec<(String, BatchSample)> = samples
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (format!("dev{i}"), *s))
+        .collect();
+    c.bench_function("fig13/projection", |b| {
+        b.iter(|| {
+            black_box(MemoryProjection::build(
+                &measured,
+                &[100.0, 120.0],
+                23.35,
+                148,
+                0.25,
+            ))
+        })
+    });
+}
+
+fn fig14_validation(c: &mut Criterion) {
+    let model = presets::mixtral_8x7b();
+    let a40 = CostModel::new(GpuSpec::a40());
+    let v = validate_combo("Mixtral/CS @ A40", &model, &a40, 79, 2);
+    eprintln!("[fig14] RMSE {:.3}", v.rmse);
+    c.bench_function("fig14/validate_mixtral_cs_a40", |b| {
+        b.iter(|| black_box(validate_combo("bench", &model, &a40, 79, 2)))
+    });
+}
+
+fn fig15_other_gpus(c: &mut Criterion) {
+    let model = presets::mixtral_8x7b();
+    let h100 = CostModel::new(GpuSpec::h100_80());
+    c.bench_function("fig15/validate_mixtral_gs_h100", |b| {
+        b.iter(|| black_box(validate_combo("bench", &model, &h100, 148, 2)))
+    });
+}
+
+fn eq2_fit_micro(c: &mut Criterion) {
+    let truth = ThroughputModel { c2: 0.55, c3: 0.8, c4: 0.4 };
+    let samples: Vec<ThroughputSample> = (1..=20)
+        .flat_map(|b| {
+            [0.25, 1.0].into_iter().map(move |s| ThroughputSample {
+                batch: b as f64,
+                sparsity: s,
+                qps: truth.predict(b as f64, s),
+            })
+        })
+        .collect();
+    c.bench_function("micro/eq2_nelder_mead_fit", |b| {
+        b.iter(|| black_box(ThroughputModel::fit(&samples)))
+    });
+}
+
+criterion_group! {
+    name = analytics;
+    config = Criterion::default().sample_size(10);
+    targets = fig13_batch_fit, fig14_validation, fig15_other_gpus, eq2_fit_micro
+}
+criterion_main!(analytics);

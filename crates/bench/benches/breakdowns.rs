@@ -1,0 +1,71 @@
+//! Benches regenerating the runtime breakdown figures: stage split (Fig. 4),
+//! per-layer split (Fig. 5), MoE kernel split (Fig. 6), and the SM / DRAM
+//! utilization studies (Figs. 9–10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftsim_bench::{mixtral_sparse_a40, sim_on_a40};
+use ftsim_model::presets;
+use ftsim_sim::report::moe_utilization_table;
+use std::hint::black_box;
+
+fn fig4_stage_breakdown(c: &mut Criterion) {
+    let sim = mixtral_sparse_a40();
+    let trace = sim.simulate_step(1, 128);
+    let b = trace.stage_breakdown();
+    eprintln!(
+        "[fig4] Mixtral-S bs1: fwd {:.1}% bwd {:.1}% opt {:.1}%",
+        b.percent("forward"),
+        b.percent("backward"),
+        b.percent("optimizer")
+    );
+    c.bench_function("fig4/stage_breakdown_step", |b| {
+        b.iter(|| black_box(sim.simulate_step(1, 128).stage_breakdown()))
+    });
+}
+
+fn fig5_layer_breakdown(c: &mut Criterion) {
+    let sim = sim_on_a40(presets::blackmamba_2p8b(), true);
+    let trace = sim.simulate_step(12, 128);
+    eprintln!(
+        "[fig5] BlackMamba-S bs12: moe {:.1}%",
+        trace.section_breakdown().percent("moe")
+    );
+    c.bench_function("fig5/section_breakdown_step", |b| {
+        b.iter(|| black_box(sim.simulate_step(12, 128).section_breakdown()))
+    });
+}
+
+fn fig6_moe_kernels(c: &mut Criterion) {
+    let sim = mixtral_sparse_a40();
+    let trace = sim.simulate_step(5, 128);
+    eprintln!("[fig6] Mixtral-S bs5 MoE kernels:\n{}", trace.moe_kernel_breakdown());
+    c.bench_function("fig6/moe_kernel_breakdown", |b| {
+        b.iter(|| black_box(sim.simulate_step(5, 128).moe_kernel_breakdown()))
+    });
+}
+
+fn fig9_10_utilization(c: &mut Criterion) {
+    let sim = mixtral_sparse_a40();
+    let trace = sim.simulate_step(5, 128);
+    for row in moe_utilization_table(&trace, true) {
+        eprintln!(
+            "[fig9/10] {}: SM {:.0}% DRAM {:.0}%",
+            row.kind.label(),
+            row.util.sm_util * 100.0,
+            row.util.dram_util * 100.0
+        );
+    }
+    c.bench_function("fig9_10/utilization_table", |b| {
+        b.iter(|| {
+            let t = sim.simulate_step(5, 128);
+            black_box(moe_utilization_table(&t, true))
+        })
+    });
+}
+
+criterion_group! {
+    name = breakdowns;
+    config = Criterion::default().sample_size(15);
+    targets = fig4_stage_breakdown, fig5_layer_breakdown, fig6_moe_kernels, fig9_10_utilization
+}
+criterion_main!(breakdowns);

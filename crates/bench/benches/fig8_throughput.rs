@@ -1,0 +1,43 @@
+//! Bench regenerating the throughput figure (Fig. 8) and the sequence-length
+//! sensitivity study (§IV-B6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftsim_bench::{mixtral_sparse_a40, sim_on_a40};
+use ftsim_model::presets;
+use ftsim_sim::{SensitivityStudy, ThroughputSweep};
+use std::hint::black_box;
+
+fn fig8_sweeps(c: &mut Criterion) {
+    let sim = mixtral_sparse_a40();
+    let batches: Vec<usize> = (1..=8).collect();
+    let sweep = ThroughputSweep::run(&sim, "Mixtral-S/CS", 79, &batches);
+    for p in &sweep.points {
+        eprintln!("[fig8] bs{} = {:.2} qps", p.batch, p.queries_per_second);
+    }
+    c.bench_function("fig8/mixtral_sparse_cs_sweep", |b| {
+        b.iter(|| black_box(ThroughputSweep::run(&sim, "bench", 79, &batches)))
+    });
+
+    let bm = sim_on_a40(presets::blackmamba_2p8b(), true);
+    let bm_batches: Vec<usize> = (1..=20).collect();
+    c.bench_function("fig8/blackmamba_sparse_cs_sweep", |b| {
+        b.iter(|| black_box(ThroughputSweep::run(&bm, "bench", 79, &bm_batches)))
+    });
+}
+
+fn sensitivity_study(c: &mut Criterion) {
+    let sim = mixtral_sparse_a40();
+    let seqs = [64usize, 128, 256, 512, 1024];
+    let study = SensitivityStudy::run(&sim, "Mixtral-S", &seqs);
+    eprintln!("[sensitivity] latency ratio {:.2}", study.latency_ratio());
+    c.bench_function("sensitivity/mixtral_sparse", |b| {
+        b.iter(|| black_box(SensitivityStudy::run(&sim, "bench", &seqs)))
+    });
+}
+
+criterion_group! {
+    name = throughput;
+    config = Criterion::default().sample_size(10);
+    targets = fig8_sweeps, sensitivity_study
+}
+criterion_main!(throughput);

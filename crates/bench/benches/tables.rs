@@ -1,0 +1,92 @@
+//! Benches regenerating the paper's tables: parameter/memory accounting
+//! (Table I), max-batch search (Table III), and cost estimation (Table IV).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftsim_cost::{CostTable, FineTuneJob, ThroughputModel};
+use ftsim_gpu::{CloudProvider, GpuSpec, PriceTable};
+use ftsim_model::{presets, FineTuneConfig, MemoryModel};
+use ftsim_workload::presets as data;
+use std::hint::black_box;
+
+fn table1_model_accounting(c: &mut Criterion) {
+    // Print the table once.
+    for m in presets::all() {
+        let ft = FineTuneConfig::for_model(&m, ftsim_model::Sparsity::TopK(2));
+        let mem = MemoryModel::new(&m, &ft);
+        eprintln!(
+            "[table1] {}: {:.1}B params, {:.2} GB, {} layers",
+            m.name,
+            m.param_counts().total() as f64 / 1e9,
+            mem.weights_gb(),
+            m.num_layers
+        );
+    }
+    c.bench_function("table1/param_counts_and_memory", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for m in presets::all() {
+                let ft = FineTuneConfig::for_model(&m, ftsim_model::Sparsity::TopK(2));
+                let mem = MemoryModel::new(&m, &ft);
+                total += m.param_counts().total();
+                black_box(mem.weights_gb());
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn table3_max_batch(c: &mut Criterion) {
+    let gpu = GpuSpec::a40();
+    let combos = [
+        (presets::mixtral_8x7b(), FineTuneConfig::qlora_dense()),
+        (presets::mixtral_8x7b(), FineTuneConfig::qlora_sparse()),
+        (presets::blackmamba_2p8b(), FineTuneConfig::full_dense()),
+        (presets::blackmamba_2p8b(), FineTuneConfig::full_sparse()),
+    ];
+    for (m, ft) in &combos {
+        let mem = MemoryModel::new(m, ft);
+        eprintln!(
+            "[table3] {} {}: CS {}  MATH {}",
+            m.name,
+            ft,
+            mem.max_batch_size(&gpu, 79),
+            mem.max_batch_size(&gpu, 174)
+        );
+    }
+    c.bench_function("table3/max_batch_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (m, ft) in &combos {
+                let mem = MemoryModel::new(m, ft);
+                for seq in [79usize, 174] {
+                    acc += mem.max_batch_size(&gpu, seq);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn table4_cost(c: &mut Criterion) {
+    let model = presets::mixtral_8x7b();
+    let mem = MemoryModel::new(&model, &FineTuneConfig::qlora_sparse());
+    let combos = vec![
+        (GpuSpec::a40(), ThroughputModel { c2: 0.35, c3: 1.0, c4: 0.05 }),
+        (GpuSpec::a100_80(), ThroughputModel { c2: 0.70, c3: 1.0, c4: 0.30 }),
+        (GpuSpec::h100_80(), ThroughputModel { c2: 1.30, c3: 1.0, c4: 0.50 }),
+    ];
+    let prices = PriceTable::for_provider(CloudProvider::Cudo);
+    let job = FineTuneJob::ten_epochs(&data::math_14k());
+    let table = CostTable::build(&combos, &mem, 0.25, 148, job, &prices);
+    eprintln!("[table4]\n{table}");
+    c.bench_function("table4/cost_table", |b| {
+        b.iter(|| black_box(CostTable::build(&combos, &mem, 0.25, 148, job, &prices)))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(20);
+    targets = table1_model_accounting, table3_max_batch, table4_cost
+}
+criterion_main!(tables);

@@ -1,0 +1,85 @@
+//! Benches regenerating the trainability and load-imbalance figures:
+//! real MoE training epochs (Fig. 3) and router-distribution calibration
+//! (Fig. 11), plus tensor-stack microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftsim_sim::moetrain::{train, MoeTrainConfig};
+use ftsim_sim::routing::RouterDrift;
+use ftsim_sim::TrainabilityMatrix;
+use ftsim_tensor::{Quantized4Bit, Tensor, Var};
+use ftsim_workload::SyntheticTask;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fig3_training(c: &mut Criterion) {
+    let task = SyntheticTask::commonsense(16, 4, 42);
+    let mut cfg = MoeTrainConfig::mixtral_like(2);
+    cfg.epochs = 2;
+    cfg.train_examples = 256;
+    cfg.eval_examples = 128;
+    let out = train(&task, &cfg, "bench");
+    eprintln!(
+        "[fig3] sparse 2-epoch accuracy {:.2} (initial {:.2})",
+        out.final_accuracy(),
+        out.initial_accuracy
+    );
+    c.bench_function("fig3/train_sparse_moe_2_epochs", |b| {
+        b.iter(|| black_box(train(&task, &cfg, "bench")))
+    });
+    c.bench_function("fig3/calibrated_matrix", |b| {
+        b.iter(|| black_box(TrainabilityMatrix::fig3()))
+    });
+}
+
+fn fig11_routing(c: &mut Criterion) {
+    let drift = RouterDrift::new(8, 31);
+    let (conc, dist) = drift.calibrate(112.0);
+    eprintln!("[fig11] concentration {:.3} → variance {:.1}", conc, dist.variance());
+    c.bench_function("fig11/calibrate_variance", |b| {
+        b.iter(|| black_box(drift.calibrate(112.0)))
+    });
+    c.bench_function("fig11/paper_cases", |b| {
+        b.iter(|| black_box(ftsim_sim::routing::paper_cases()))
+    });
+}
+
+fn tensor_micro(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Tensor::rand_uniform([64, 64], 1.0, &mut rng);
+    let bm = Tensor::rand_uniform([64, 64], 1.0, &mut rng);
+    c.bench_function("micro/matmul_64", |b| {
+        b.iter(|| black_box(a.matmul(&bm).expect("conforming")))
+    });
+
+    let weights: Vec<f32> = (0..16_384).map(|i| ((i as f32) * 0.01).sin() * 0.02).collect();
+    c.bench_function("micro/nf4_quantize_16k", |b| {
+        b.iter(|| black_box(Quantized4Bit::quantize(&weights, 64).expect("valid")))
+    });
+    let q = Quantized4Bit::quantize(&weights, 64).expect("valid");
+    c.bench_function("micro/nf4_dequantize_16k", |b| {
+        b.iter(|| black_box(q.dequantize()))
+    });
+
+    let x = Tensor::rand_uniform([32, 32], 1.0, &mut rng);
+    let w = Tensor::rand_uniform([32, 32], 0.2, &mut rng);
+    c.bench_function("micro/autograd_forward_backward", |b| {
+        b.iter(|| {
+            let wv = Var::parameter(w.clone());
+            let loss = Var::constant(x.clone())
+                .matmul(&wv)
+                .expect("conforming")
+                .gelu()
+                .mean();
+            loss.backward();
+            black_box(wv.grad())
+        })
+    });
+}
+
+criterion_group! {
+    name = training;
+    config = Criterion::default().sample_size(10);
+    targets = fig3_training, fig11_routing, tensor_micro
+}
+criterion_main!(training);

@@ -1,0 +1,43 @@
+//! # ftsim-bench
+//!
+//! Criterion benchmark harness for the ftsim workspace. Each bench target
+//! regenerates one of the paper's tables or figures (printing its data once
+//! before timing the computation that produces it), plus microbenchmarks of
+//! the numerical substrate.
+//!
+//! Run everything with `cargo bench --workspace`; individual targets with
+//! e.g. `cargo bench -p ftsim-bench --bench fig8_throughput`.
+
+use ftsim_gpu::{CostModel, GpuSpec};
+use ftsim_model::{FineTuneConfig, ModelConfig, Sparsity};
+use ftsim_sim::StepSimulator;
+
+/// A ready-made simulator for the paper's headline configuration
+/// (Mixtral-8x7B, QLoRA sparse top-2, A40).
+pub fn mixtral_sparse_a40() -> StepSimulator {
+    StepSimulator::new(
+        ftsim_model::presets::mixtral_8x7b(),
+        FineTuneConfig::qlora_sparse(),
+        CostModel::new(GpuSpec::a40()),
+    )
+}
+
+/// A simulator for an arbitrary combo on the A40.
+pub fn sim_on_a40(model: ModelConfig, sparse: bool) -> StepSimulator {
+    let s = if sparse { Sparsity::TopK(2) } else { Sparsity::Dense };
+    let ft = FineTuneConfig::for_model(&model, s);
+    StepSimulator::new(model, ft, CostModel::new(GpuSpec::a40()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_working_simulators() {
+        let trace = mixtral_sparse_a40().simulate_step(1, 64);
+        assert!(trace.total_seconds() > 0.0);
+        let bm = sim_on_a40(ftsim_model::presets::blackmamba_2p8b(), false);
+        assert!(bm.simulate_step(1, 64).total_seconds() > 0.0);
+    }
+}

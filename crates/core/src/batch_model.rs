@@ -1,0 +1,234 @@
+//! The maximum-batch-size model (paper Eq. 1).
+//!
+//! ```text
+//! Max_BSZ = ⌊ C₀ · (GPU_mem − model_mem) / (seq_len · ((1−C₁) + C₁·sparsity)) ⌋
+//! ```
+//!
+//! `C₀` (the *scaling coefficient*) captures how much intermediate data the
+//! model generates per token; `C₁` (the *MoE coefficient*) captures what
+//! fraction of that data scales with expert sparsity. With memory in GB and
+//! sequence length in tokens our fitted Mixtral coefficients land near
+//! `C₀ ≈ 8`, `C₁ ≈ 0.95`; the paper reports `C₀ = 82` for Mixtral with
+//! unstated units (its own Table III numbers imply ≈8 under GB/token units —
+//! see EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+
+/// One ground-truth observation for fitting Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchSample {
+    /// Device memory in GB.
+    pub gpu_mem_gb: f64,
+    /// Model (weights) memory in GB, as in the paper's Eq. 1.
+    pub model_mem_gb: f64,
+    /// Query sequence length in tokens.
+    pub seq_len: usize,
+    /// Sparsity ratio `active experts / total experts` (1.0 = dense).
+    pub sparsity: f64,
+    /// Measured maximum batch size.
+    pub max_batch: usize,
+}
+
+/// The fitted Eq. 1 model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaxBatchModel {
+    /// Scaling coefficient C₀.
+    pub c0: f64,
+    /// MoE coefficient C₁ ∈ [0, 1].
+    pub c1: f64,
+}
+
+impl MaxBatchModel {
+    /// The pre-floor (continuous) prediction.
+    pub fn predict_f(
+        &self,
+        gpu_mem_gb: f64,
+        model_mem_gb: f64,
+        seq_len: usize,
+        sparsity: f64,
+    ) -> f64 {
+        let avail = (gpu_mem_gb - model_mem_gb).max(0.0);
+        let denom = seq_len as f64 * ((1.0 - self.c1) + self.c1 * sparsity);
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        self.c0 * avail / denom
+    }
+
+    /// The Eq. 1 prediction (floored to an integer batch size).
+    pub fn predict(
+        &self,
+        gpu_mem_gb: f64,
+        model_mem_gb: f64,
+        seq_len: usize,
+        sparsity: f64,
+    ) -> usize {
+        self.predict_f(gpu_mem_gb, model_mem_gb, seq_len, sparsity).floor() as usize
+    }
+
+    /// Fits `(C₀, C₁)` to `samples`: a grid over `C₁ ∈ [0, 1)` with the
+    /// least-squares-optimal `C₀` in closed form at each grid point
+    /// (the model is linear in `C₀` once `C₁` is fixed).
+    ///
+    /// Returns the fitted model and its RMSE on the (continuous)
+    /// predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn fit(samples: &[BatchSample]) -> (Self, f64) {
+        assert!(!samples.is_empty(), "need at least one sample to fit");
+        let mut best: Option<(MaxBatchModel, f64)> = None;
+        for i in 0..=999 {
+            let c1 = i as f64 / 1000.0;
+            // g_i = (mem_avail)/(seq·((1−c1)+c1·s));  y ≈ c0·g  ⇒
+            // c0* = Σ g·y / Σ g².
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for s in samples {
+                let g = MaxBatchModel { c0: 1.0, c1 }.predict_f(
+                    s.gpu_mem_gb,
+                    s.model_mem_gb,
+                    s.seq_len,
+                    s.sparsity,
+                );
+                num += g * s.max_batch as f64;
+                den += g * g;
+            }
+            if den == 0.0 {
+                continue;
+            }
+            let model = MaxBatchModel { c0: num / den, c1 };
+            let err = model.rmse(samples);
+            if best.map_or(true, |(_, e)| err < e) {
+                best = Some((model, err));
+            }
+        }
+        let (ls, _) = best.expect("grid always produces a candidate");
+        // The least-squares fit optimizes the continuous prediction, but the
+        // model is used *floored*. Refine C₀ locally for the best exact-match
+        // rate (tie-broken by RMSE), which counteracts the floor bias.
+        let mut refined = (ls, ls.exact_match_rate(samples), ls.rmse(samples));
+        for i in 0..=80 {
+            let c0 = ls.c0 * (0.90 + 0.005 * i as f64);
+            let cand = MaxBatchModel { c0, c1: ls.c1 };
+            let key = (cand.exact_match_rate(samples), -cand.rmse(samples));
+            if key > (refined.1, -refined.2) {
+                refined = (cand, key.0, -key.1);
+            }
+        }
+        (refined.0, refined.2)
+    }
+
+    /// RMSE of the continuous predictions against the measured batch sizes.
+    pub fn rmse(&self, samples: &[BatchSample]) -> f64 {
+        let pred: Vec<f64> = samples
+            .iter()
+            .map(|s| self.predict_f(s.gpu_mem_gb, s.model_mem_gb, s.seq_len, s.sparsity))
+            .collect();
+        let truth: Vec<f64> = samples.iter().map(|s| s.max_batch as f64).collect();
+        crate::fit::rmse(&pred, &truth)
+    }
+
+    /// Fraction of samples whose floored prediction matches exactly.
+    pub fn exact_match_rate(&self, samples: &[BatchSample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let hits = samples
+            .iter()
+            .filter(|s| {
+                self.predict(s.gpu_mem_gb, s.model_mem_gb, s.seq_len, s.sparsity) == s.max_batch
+            })
+            .count();
+        hits as f64 / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Samples generated from a known (C₀, C₁) should be recovered.
+    fn synthetic_samples(c0: f64, c1: f64) -> Vec<BatchSample> {
+        let truth = MaxBatchModel { c0, c1 };
+        let mut out = Vec::new();
+        for &(gpu, model) in &[(48.0, 23.35), (80.0, 23.35), (40.0, 5.6)] {
+            for &seq in &[79usize, 148, 174] {
+                for &s in &[0.25, 1.0] {
+                    out.push(BatchSample {
+                        gpu_mem_gb: gpu,
+                        model_mem_gb: model,
+                        seq_len: seq,
+                        sparsity: s,
+                        max_batch: truth.predict(gpu, model, seq, s),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fit_recovers_known_coefficients() {
+        let samples = synthetic_samples(8.0, 0.95);
+        let (fitted, err) = MaxBatchModel::fit(&samples);
+        // Flooring in the ground truth biases the continuous fit slightly
+        // low, so judge by predictive quality rather than raw coefficients.
+        assert!(err < 0.6, "rmse {err}");
+        assert!((fitted.c0 - 8.0).abs() < 1.6, "c0 = {}", fitted.c0);
+        assert!((fitted.c1 - 0.95).abs() < 0.10, "c1 = {}", fitted.c1);
+        assert!(fitted.exact_match_rate(&samples) >= 0.75);
+    }
+
+    #[test]
+    fn prediction_matches_paper_eq1_structure() {
+        // With C0=8, C1=0.95 and the paper's A40/Mixtral numbers, Eq. 1
+        // reproduces the Table III Mixtral row.
+        let m = MaxBatchModel { c0: 8.0, c1: 0.95 };
+        assert_eq!(m.predict(48.0, 23.35, 79, 1.0), 2); // CS dense
+        assert_eq!(m.predict(48.0, 23.35, 79, 0.25), 8); // CS sparse
+        assert_eq!(m.predict(48.0, 23.35, 174, 1.0), 1); // MATH dense
+        assert_eq!(m.predict(48.0, 23.35, 174, 0.25), 3); // MATH sparse
+    }
+
+    #[test]
+    fn no_memory_left_means_zero_batch() {
+        let m = MaxBatchModel { c0: 8.0, c1: 0.95 };
+        assert_eq!(m.predict(20.0, 23.35, 79, 1.0), 0);
+    }
+
+    #[test]
+    fn more_memory_more_batch() {
+        let m = MaxBatchModel { c0: 8.0, c1: 0.95 };
+        let b80 = m.predict(80.0, 23.35, 148, 0.25);
+        let b48 = m.predict(48.0, 23.35, 148, 0.25);
+        assert!(b80 > b48);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sparser_fits_more(seq in 32usize..512, s in 0.1f64..0.9) {
+            let m = MaxBatchModel { c0: 8.0, c1: 0.95 };
+            let sparse = m.predict_f(48.0, 23.35, seq, s);
+            let dense = m.predict_f(48.0, 23.35, seq, 1.0);
+            prop_assert!(sparse >= dense);
+        }
+
+        #[test]
+        fn prop_fit_never_worse_than_naive(c0 in 2.0f64..20.0, c1 in 0.5f64..0.99) {
+            let samples = synthetic_samples(c0, c1);
+            let (fitted, err) = MaxBatchModel::fit(&samples);
+            // A sparsity-blind model (C₁ = 0) must not reproduce the table
+            // better than the fitted one.
+            let naive = {
+                let (m, _) = MaxBatchModel::fit(&samples[..1]);
+                MaxBatchModel { c0: m.c0, c1: 0.0 }
+            };
+            prop_assert!(fitted.exact_match_rate(&samples) >= naive.exact_match_rate(&samples));
+            prop_assert!(err.is_finite());
+            prop_assert!(fitted.c0 > 0.0);
+        }
+    }
+}

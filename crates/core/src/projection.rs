@@ -1,0 +1,137 @@
+//! Maximum-batch-size projection across GPU memory capacities
+//! (paper Fig. 13), including hypothetical future 100 GB / 120 GB devices.
+
+use crate::batch_model::{BatchSample, MaxBatchModel};
+use serde::{Deserialize, Serialize};
+
+/// One point of the Fig. 13 projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectionPoint {
+    /// Device label (existing GPU name or `"future-100GB"` style).
+    pub label: String,
+    /// Device memory in GB.
+    pub mem_gb: f64,
+    /// Model-predicted maximum batch size.
+    pub predicted: usize,
+    /// Measured ground truth, when the device exists.
+    pub ground_truth: Option<usize>,
+}
+
+/// A fitted Eq. 1 model applied across a memory sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryProjection {
+    /// The fitted model.
+    pub model: MaxBatchModel,
+    /// Fit RMSE on the ground-truth devices.
+    pub fit_rmse: f64,
+    /// Projection points (measured devices first, then futures).
+    pub points: Vec<ProjectionPoint>,
+}
+
+impl MemoryProjection {
+    /// Fits Eq. 1 to `measured` and projects to `future_mem_gb` capacities.
+    ///
+    /// All samples must share `model_mem_gb`, `seq_len`, and `sparsity` with
+    /// the provided values (the projection varies memory only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measured` is empty.
+    pub fn build(
+        measured: &[(String, BatchSample)],
+        future_mem_gb: &[f64],
+        model_mem_gb: f64,
+        seq_len: usize,
+        sparsity: f64,
+    ) -> Self {
+        assert!(!measured.is_empty(), "need measured devices to fit");
+        let samples: Vec<BatchSample> = measured.iter().map(|(_, s)| *s).collect();
+        let (model, fit_rmse) = MaxBatchModel::fit(&samples);
+        let mut points: Vec<ProjectionPoint> = measured
+            .iter()
+            .map(|(label, s)| ProjectionPoint {
+                label: label.clone(),
+                mem_gb: s.gpu_mem_gb,
+                predicted: model.predict(s.gpu_mem_gb, s.model_mem_gb, s.seq_len, s.sparsity),
+                ground_truth: Some(s.max_batch),
+            })
+            .collect();
+        for &mem in future_mem_gb {
+            points.push(ProjectionPoint {
+                label: format!("future-{mem:.0}GB"),
+                mem_gb: mem,
+                predicted: model.predict(mem, model_mem_gb, seq_len, sparsity),
+                ground_truth: None,
+            });
+        }
+        MemoryProjection {
+            model,
+            fit_rmse,
+            points,
+        }
+    }
+
+    /// Largest absolute error on the measured devices.
+    pub fn max_abs_error(&self) -> usize {
+        self.points
+            .iter()
+            .filter_map(|p| {
+                p.ground_truth
+                    .map(|t| p.predicted.abs_diff(t))
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured() -> Vec<(String, BatchSample)> {
+        // Ground truth shaped like our simulator's Mixtral sparse GS runs.
+        let mk = |gpu_mem_gb: f64, max_batch: usize| BatchSample {
+            gpu_mem_gb,
+            model_mem_gb: 23.35,
+            seq_len: 148,
+            sparsity: 0.25,
+            max_batch,
+        };
+        vec![
+            ("A40".into(), mk(48.0, 4)),
+            ("A100-40GB".into(), mk(40.0, 3)),
+            ("A100-80GB".into(), mk(80.0, 11)),
+            ("H100-80GB".into(), mk(80.0, 11)),
+        ]
+    }
+
+    #[test]
+    fn projection_grows_with_memory() {
+        let p = MemoryProjection::build(&measured(), &[100.0, 120.0], 23.35, 148, 0.25);
+        let by_mem: Vec<(f64, usize)> =
+            p.points.iter().map(|pt| (pt.mem_gb, pt.predicted)).collect();
+        for w in by_mem.windows(2) {
+            if w[0].0 <= w[1].0 {
+                assert!(w[0].1 <= w[1].1, "{by_mem:?}");
+            }
+        }
+        let f120 = p.points.iter().find(|pt| pt.label == "future-120GB").unwrap();
+        let f100 = p.points.iter().find(|pt| pt.label == "future-100GB").unwrap();
+        assert!(f120.predicted > f100.predicted);
+        assert!(f100.ground_truth.is_none());
+    }
+
+    #[test]
+    fn fit_tracks_measured_devices() {
+        let p = MemoryProjection::build(&measured(), &[], 23.35, 148, 0.25);
+        assert!(p.fit_rmse < 1.0, "rmse {}", p.fit_rmse);
+        assert!(p.max_abs_error() <= 1, "max error {}", p.max_abs_error());
+    }
+
+    #[test]
+    fn future_labels_present() {
+        let p = MemoryProjection::build(&measured(), &[100.0], 23.35, 148, 0.25);
+        assert_eq!(p.points.len(), 5);
+        assert!(p.points.iter().any(|pt| pt.label.starts_with("future-100")));
+    }
+}

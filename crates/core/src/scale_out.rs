@@ -1,0 +1,167 @@
+//! Multi-GPU scale-out estimation — the extension the paper explicitly
+//! leaves open ("extending this model to multi-GPU systems is left for
+//! future exploration", §VII).
+//!
+//! The model covers synchronous data parallelism: each of `n` replicas runs
+//! the single-GPU step the rest of this crate already prices, then
+//! gradients of the trainable parameters are all-reduced over an
+//! interconnect. Per-step time becomes
+//!
+//! ```text
+//! t_n = t_1 + t_allreduce(n),   t_allreduce = 2·(n−1)/n · G / B
+//! ```
+//!
+//! (ring all-reduce moving `2(n−1)/n` of the gradient bytes `G` at bus
+//! bandwidth `B`), giving throughput `n·batch / t_n` and scaling efficiency
+//! `t_1 / t_n`. QLoRA's tiny trainable set makes it scale almost linearly,
+//! while full fine-tuning pays a real synchronization tax — a direct
+//! consequence of the paper's Fig. 4 optimizer analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Interconnect between replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Per-GPU bus bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Per-step collective launch latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl Interconnect {
+    /// NVLink 3 (A100-class): 600 GB/s aggregate.
+    pub fn nvlink3() -> Self {
+        Interconnect {
+            name: "NVLink3",
+            bandwidth_gbps: 600.0,
+            latency_us: 20.0,
+        }
+    }
+
+    /// PCIe 4.0 x16: ~32 GB/s — the realistic budget option for A40 boxes.
+    pub fn pcie4() -> Self {
+        Interconnect {
+            name: "PCIe4x16",
+            bandwidth_gbps: 32.0,
+            latency_us: 50.0,
+        }
+    }
+}
+
+/// A multi-GPU throughput/cost estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleOutPoint {
+    /// Number of data-parallel replicas.
+    pub gpus: usize,
+    /// Per-step wall time in seconds (compute + all-reduce).
+    pub step_seconds: f64,
+    /// Aggregate queries/second.
+    pub queries_per_second: f64,
+    /// Scaling efficiency vs. `gpus × single-GPU throughput` in `(0, 1]`.
+    pub efficiency: f64,
+}
+
+/// Estimates data-parallel scaling from a single-GPU operating point.
+///
+/// * `step_seconds`: single-GPU step latency at `batch`.
+/// * `trainable_params`: parameters whose gradients are synchronized.
+/// * `grad_bytes_per_param`: 2 for bf16 grads (full FT), 4 for fp32 (LoRA).
+///
+/// # Panics
+///
+/// Panics if `step_seconds` or `batch` is not positive, or `gpus` is empty.
+pub fn scale_out(
+    step_seconds: f64,
+    batch: usize,
+    trainable_params: f64,
+    grad_bytes_per_param: f64,
+    link: Interconnect,
+    gpus: &[usize],
+) -> Vec<ScaleOutPoint> {
+    assert!(step_seconds > 0.0, "step time must be positive");
+    assert!(batch >= 1, "batch must be at least 1");
+    assert!(!gpus.is_empty(), "need at least one replica count");
+    let grad_gb = trainable_params * grad_bytes_per_param / 1e9;
+    gpus.iter()
+        .map(|&n| {
+            assert!(n >= 1, "replica count must be at least 1");
+            let allreduce = if n == 1 {
+                0.0
+            } else {
+                link.latency_us * 1e-6
+                    + 2.0 * (n as f64 - 1.0) / n as f64 * grad_gb / link.bandwidth_gbps
+            };
+            let t_n = step_seconds + allreduce;
+            ScaleOutPoint {
+                gpus: n,
+                step_seconds: t_n,
+                queries_per_second: (n * batch) as f64 / t_n,
+                efficiency: step_seconds / t_n,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const QLORA_TRAINABLE: f64 = 228.6e6; // Mixtral rank-16 adapters
+    const FULL_TRAINABLE: f64 = 2.82e9; // BlackMamba
+
+    #[test]
+    fn single_gpu_is_identity() {
+        let pts = scale_out(2.0, 4, QLORA_TRAINABLE, 4.0, Interconnect::nvlink3(), &[1]);
+        assert_eq!(pts[0].gpus, 1);
+        assert_eq!(pts[0].step_seconds, 2.0);
+        assert_eq!(pts[0].efficiency, 1.0);
+        assert!((pts[0].queries_per_second - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qlora_scales_nearly_linearly() {
+        // 0.9 GB of gradients over NVLink is negligible next to a 2 s step.
+        let pts = scale_out(2.0, 4, QLORA_TRAINABLE, 4.0, Interconnect::nvlink3(), &[2, 4, 8]);
+        for p in pts {
+            assert!(p.efficiency > 0.99, "{} GPUs: eff {:.3}", p.gpus, p.efficiency);
+        }
+    }
+
+    #[test]
+    fn full_finetune_pays_on_pcie() {
+        // 5.6 GB of bf16 gradients over PCIe against a ~0.3 s BlackMamba
+        // step is a real tax.
+        let pts = scale_out(0.3, 12, FULL_TRAINABLE, 2.0, Interconnect::pcie4(), &[8]);
+        assert!(
+            pts[0].efficiency < 0.60,
+            "expected heavy sync tax, got {:.3}",
+            pts[0].efficiency
+        );
+        // But NVLink recovers most of it.
+        let nv = scale_out(0.3, 12, FULL_TRAINABLE, 2.0, Interconnect::nvlink3(), &[8]);
+        assert!(nv[0].efficiency > pts[0].efficiency + 0.2);
+    }
+
+    #[test]
+    fn throughput_still_grows_with_gpus() {
+        let pts = scale_out(0.3, 12, FULL_TRAINABLE, 2.0, Interconnect::pcie4(), &[1, 2, 4, 8]);
+        for w in pts.windows(2) {
+            assert!(w[1].queries_per_second > w[0].queries_per_second);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_efficiency_monotone_decreasing(
+            step in 0.05f64..5.0, grads in 1e6f64..1e10, n1 in 1usize..16, n2 in 1usize..16
+        ) {
+            let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+            let pts = scale_out(step, 4, grads, 2.0, Interconnect::pcie4(), &[lo, hi]);
+            prop_assert!(pts[0].efficiency >= pts[1].efficiency - 1e-12);
+            prop_assert!(pts.iter().all(|p| p.efficiency > 0.0 && p.efficiency <= 1.0));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The throughput model (paper Eq. 2).
+//!
+//! ```text
+//! Throughput = C₂ · log( batch / (sparsity · C₃) ) + C₄
+//! ```
+//!
+//! `C₂` is the *scaling coefficient* (GPU/model/dataset-dependent), `C₃` the
+//! *MoE attenuation coefficient* (model-dependent — tunes how much sparsity
+//! shifts the curve), and `C₄` the *intercept* (conceptually the throughput
+//! at batch size 1 for a dense model with C₃ = 1). One (C₂, C₃, C₄) set is
+//! fitted per (model, dataset, GPU) combination over both the dense and
+//! sparse sweeps, exactly as the paper fits with scipy.
+
+use crate::fit::{multi_start, rmse, NelderMeadOptions};
+use serde::{Deserialize, Serialize};
+
+/// One ground-truth throughput observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputSample {
+    /// Batch size.
+    pub batch: f64,
+    /// Sparsity ratio (1.0 dense, 0.25 top-2-of-8).
+    pub sparsity: f64,
+    /// Measured queries/second.
+    pub qps: f64,
+}
+
+/// The fitted Eq. 2 model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputModel {
+    /// Scaling coefficient C₂.
+    pub c2: f64,
+    /// MoE attenuation coefficient C₃ (> 0).
+    pub c3: f64,
+    /// Intercept C₄.
+    pub c4: f64,
+}
+
+impl ThroughputModel {
+    /// Predicted queries/second at `batch` and `sparsity`.
+    ///
+    /// Predictions are clamped at a small positive floor: a negative
+    /// throughput is never meaningful.
+    pub fn predict(&self, batch: f64, sparsity: f64) -> f64 {
+        let arg = (batch / (sparsity * self.c3)).max(1e-9);
+        (self.c2 * arg.ln() + self.c4).max(1e-6)
+    }
+
+    /// Fits (C₂, C₃, C₄) to `samples` by least squares with multi-start
+    /// Nelder–Mead. Returns the model and its RMSE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 3 samples are given (the model has 3 degrees of
+    /// freedom).
+    pub fn fit(samples: &[ThroughputSample]) -> (Self, f64) {
+        assert!(samples.len() >= 3, "need at least 3 samples, got {}", samples.len());
+        let objective = |p: &[f64]| -> f64 {
+            let model = ThroughputModel {
+                c2: p[0],
+                c3: p[1].abs().max(1e-6),
+                c4: p[2],
+            };
+            samples
+                .iter()
+                .map(|s| (model.predict(s.batch, s.sparsity) - s.qps).powi(2))
+                .sum()
+        };
+        let qps_max = samples.iter().map(|s| s.qps).fold(0.0, f64::max);
+        let starts = vec![
+            vec![qps_max / 3.0, 1.0, samples[0].qps],
+            vec![qps_max / 3.0, 0.3, 0.0],
+            vec![qps_max, 2.0, 0.1],
+            vec![0.5, 0.8, 0.5],
+        ];
+        let best = multi_start(
+            objective,
+            &starts,
+            NelderMeadOptions {
+                max_iters: 5000,
+                ..Default::default()
+            },
+        );
+        let model = ThroughputModel {
+            c2: best[0],
+            c3: best[1].abs().max(1e-6),
+            c4: best[2],
+        };
+        (model, model.rmse(samples))
+    }
+
+    /// RMSE of predictions against `samples`.
+    pub fn rmse(&self, samples: &[ThroughputSample]) -> f64 {
+        let pred: Vec<f64> = samples
+            .iter()
+            .map(|s| self.predict(s.batch, s.sparsity))
+            .collect();
+        let truth: Vec<f64> = samples.iter().map(|s| s.qps).collect();
+        rmse(&pred, &truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn synthetic(c2: f64, c3: f64, c4: f64) -> Vec<ThroughputSample> {
+        let truth = ThroughputModel { c2, c3, c4 };
+        let mut out = Vec::new();
+        for &s in &[0.25, 1.0] {
+            for b in 1..=10 {
+                out.push(ThroughputSample {
+                    batch: b as f64,
+                    sparsity: s,
+                    qps: truth.predict(b as f64, s),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fit_recovers_known_curve() {
+        let samples = synthetic(0.55, 0.8, 0.4);
+        let (fitted, err) = ThroughputModel::fit(&samples);
+        assert!(err < 1e-3, "rmse {err}");
+        // The curve is what matters; check predictions, not raw
+        // coefficients (C₃ and C₄ trade off through the log).
+        for s in &samples {
+            let p = fitted.predict(s.batch, s.sparsity);
+            assert!((p - s.qps).abs() < 0.02, "batch {}: {p} vs {}", s.batch, s.qps);
+        }
+    }
+
+    #[test]
+    fn throughput_increases_with_batch() {
+        let m = ThroughputModel { c2: 0.6, c3: 0.8, c4: 0.4 };
+        let mut prev = 0.0;
+        for b in 1..=20 {
+            let q = m.predict(b as f64, 0.25);
+            assert!(q > prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn log_saturation_shape() {
+        // Marginal gain shrinks with batch: q(2)-q(1) > q(10)-q(9).
+        let m = ThroughputModel { c2: 0.6, c3: 0.8, c4: 0.4 };
+        let g_low = m.predict(2.0, 1.0) - m.predict(1.0, 1.0);
+        let g_high = m.predict(10.0, 1.0) - m.predict(9.0, 1.0);
+        assert!(g_low > g_high);
+    }
+
+    #[test]
+    fn sparsity_shifts_curve_up() {
+        // At equal batch, lower sparsity ratio (fewer active experts) gives
+        // higher predicted throughput — matching Fig. 8.
+        let m = ThroughputModel { c2: 0.6, c3: 0.8, c4: 0.4 };
+        assert!(m.predict(2.0, 0.25) > m.predict(2.0, 1.0));
+    }
+
+    #[test]
+    fn intercept_is_dense_batch1_throughput() {
+        // With C₃ = 1, sparsity 1 and batch 1 the log term vanishes.
+        let m = ThroughputModel { c2: 0.9, c3: 1.0, c4: 0.37 };
+        assert!((m.predict(1.0, 1.0) - 0.37).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictions_never_negative() {
+        let m = ThroughputModel { c2: 0.6, c3: 5.0, c4: -2.0 };
+        assert!(m.predict(1.0, 1.0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 samples")]
+    fn fit_rejects_underdetermined() {
+        ThroughputModel::fit(&[
+            ThroughputSample { batch: 1.0, sparsity: 1.0, qps: 0.5 },
+            ThroughputSample { batch: 2.0, sparsity: 1.0, qps: 0.8 },
+        ]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fit_rmse_beats_constant_predictor(
+            c2 in 0.2f64..2.0, c3 in 0.3f64..2.0, c4 in 0.0f64..1.0, noise_seed in 0u64..50
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(noise_seed);
+            let mut samples = synthetic(c2, c3, c4);
+            for s in &mut samples {
+                s.qps *= 1.0 + rng.gen_range(-0.02..0.02);
+            }
+            let (fitted, err) = ThroughputModel::fit(&samples);
+            // Constant predictor at the mean.
+            let mean = samples.iter().map(|s| s.qps).sum::<f64>() / samples.len() as f64;
+            let const_rmse = crate::fit::rmse(
+                &vec![mean; samples.len()],
+                &samples.iter().map(|s| s.qps).collect::<Vec<_>>(),
+            );
+            prop_assert!(err <= const_rmse + 1e-9);
+            prop_assert!(fitted.c3 > 0.0);
+        }
+    }
+}

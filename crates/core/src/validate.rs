@@ -1,0 +1,183 @@
+//! Throughput-model validation against the execution simulator
+//! (paper Figs. 14–15: dots = ground truth, line = Eq. 2 fit, report RMSE).
+
+use crate::throughput_model::{ThroughputModel, ThroughputSample};
+use ftsim_gpu::CostModel;
+use ftsim_model::{FineTuneConfig, MemoryModel, ModelConfig, Sparsity};
+use ftsim_sim::{StepSimulator, ThroughputSweep};
+use serde::{Deserialize, Serialize};
+
+/// The validation record for one (model, dataset, GPU) combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputValidation {
+    /// Combination label, e.g. `"Mixtral/CS @ A40"`.
+    pub label: String,
+    /// Fitted Eq. 2 coefficients.
+    pub model: ThroughputModel,
+    /// RMSE of the fit over all (dense + sparse) points.
+    pub rmse: f64,
+    /// Ground-truth samples the fit was made on.
+    pub samples: Vec<ThroughputSample>,
+    /// Dense sweep for plotting.
+    pub dense: ThroughputSweep,
+    /// Sparse sweep for plotting.
+    pub sparse: ThroughputSweep,
+}
+
+impl ThroughputValidation {
+    /// Mean ground-truth throughput over all samples.
+    pub fn mean_qps(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.qps).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// RMSE normalized by the mean throughput — comparable across
+    /// configurations whose absolute throughput differs by orders of
+    /// magnitude (the simulator's BlackMamba runs far faster than Mixtral,
+    /// so its absolute RMSE is not comparable to the paper's ~1 qps scale).
+    pub fn relative_rmse(&self) -> f64 {
+        let mean = self.mean_qps();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.rmse / mean
+        }
+    }
+}
+
+/// Runs the paper's validation protocol for one combination:
+/// sweep batch sizes 1..=max for dense and sparse on the simulator,
+/// fit Eq. 2 jointly, and report the RMSE.
+pub fn validate_combo(
+    label: impl Into<String>,
+    model: &ModelConfig,
+    cost: &CostModel,
+    seq_len: usize,
+    sparse_top_k: usize,
+) -> ThroughputValidation {
+    let label = label.into();
+    let dense_ft = FineTuneConfig::for_model(model, Sparsity::Dense);
+    let sparse_ft = FineTuneConfig::for_model(model, Sparsity::TopK(sparse_top_k));
+
+    let gpu = cost.spec().clone();
+    let dense_max = MemoryModel::new(model, &dense_ft)
+        .max_batch_size(&gpu, seq_len)
+        .max(1);
+    let sparse_max = MemoryModel::new(model, &sparse_ft)
+        .max_batch_size(&gpu, seq_len)
+        .max(1);
+
+    let dense_sim = StepSimulator::new(model.clone(), dense_ft, cost.clone());
+    let sparse_sim = StepSimulator::new(model.clone(), sparse_ft, cost.clone());
+
+    let batches = |max: usize| -> Vec<usize> { (1..=max).collect() };
+    let dense = ThroughputSweep::run(
+        &dense_sim,
+        format!("{label} dense"),
+        seq_len,
+        &batches(dense_max),
+    );
+    let sparse = ThroughputSweep::run(
+        &sparse_sim,
+        format!("{label} sparse"),
+        seq_len,
+        &batches(sparse_max),
+    );
+
+    let mut samples = Vec::new();
+    for (sweep, sparsity) in [(&dense, 1.0), (&sparse, sparse_ft.sparsity.ratio(model.moe.num_experts))] {
+        for (batch, qps) in sweep.samples() {
+            samples.push(ThroughputSample {
+                batch,
+                sparsity,
+                qps,
+            });
+        }
+    }
+    let (fitted, rmse) = ThroughputModel::fit(&samples);
+    ThroughputValidation {
+        label,
+        model: fitted,
+        rmse,
+        samples,
+        dense,
+        sparse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsim_gpu::GpuSpec;
+    use ftsim_model::presets;
+
+    fn a40() -> CostModel {
+        CostModel::new(GpuSpec::a40())
+    }
+
+    #[test]
+    fn mixtral_cs_fit_is_accurate_on_a40() {
+        // Paper Fig. 14: RMSE < 0.8 on the A40 (abstract claims < 0.55).
+        let v = validate_combo("Mixtral/CS @ A40", &presets::mixtral_8x7b(), &a40(), 79, 2);
+        assert!(v.rmse < 0.55, "RMSE {:.3}", v.rmse);
+        assert!(v.samples.len() >= 6);
+    }
+
+    #[test]
+    fn blackmamba_cs_fit_is_accurate_on_a40() {
+        // The simulated BlackMamba runs at tens of qps (vs the paper's ~1),
+        // so the comparable bound is the *relative* RMSE.
+        let v = validate_combo(
+            "BlackMamba/CS @ A40",
+            &presets::blackmamba_2p8b(),
+            &a40(),
+            79,
+            2,
+        );
+        assert!(v.relative_rmse() < 0.20, "relative RMSE {:.3}", v.relative_rmse());
+    }
+
+    #[test]
+    fn mixtral_gs_fits_other_gpus() {
+        // Paper Fig. 15: A100/H100 RMSE < 0.6 at ~2–5 qps; the comparable
+        // normalized bound is ~0.2 relative.
+        for gpu in [GpuSpec::a100_40(), GpuSpec::a100_80(), GpuSpec::h100_80()] {
+            let name = gpu.name.clone();
+            let v = validate_combo(
+                format!("Mixtral/GS @ {name}"),
+                &presets::mixtral_8x7b(),
+                &CostModel::new(gpu),
+                148,
+                2,
+            );
+            assert!(
+                v.rmse < 0.6 || v.relative_rmse() < 0.25,
+                "{name}: RMSE {:.3} (relative {:.3})",
+                v.rmse,
+                v.relative_rmse()
+            );
+        }
+    }
+
+    #[test]
+    fn fitted_curve_predicts_peak_reasonably() {
+        let v = validate_combo("Mixtral/CS @ A40", &presets::mixtral_8x7b(), &a40(), 79, 2);
+        let truth = v.sparse.peak_qps();
+        let batch = v.sparse.points.last().unwrap().batch as f64;
+        let pred = v.model.predict(batch, 0.25);
+        assert!(
+            (pred - truth).abs() / truth < 0.35,
+            "peak pred {pred:.2} vs truth {truth:.2}"
+        );
+    }
+
+    #[test]
+    fn sweeps_cover_dense_and_sparse() {
+        let v = validate_combo("Mixtral/CS @ A40", &presets::mixtral_8x7b(), &a40(), 79, 2);
+        assert!(v.sparse.points.len() > v.dense.points.len());
+        assert!(v.samples.iter().any(|s| s.sparsity == 1.0));
+        assert!(v.samples.iter().any(|s| s.sparsity == 0.25));
+    }
+}

@@ -1,0 +1,901 @@
+//! Experiment implementations behind the `repro` binary: one function per
+//! table/figure of the paper, each returning a human-readable report and a
+//! JSON artifact.
+
+use ftsim_cost::{
+    validate_combo, BatchSample, CostTable, FineTuneJob, MaxBatchModel, MemoryProjection,
+    ThroughputModel,
+};
+use ftsim_gpu::{CloudProvider, CostModel, GpuSpec, PriceTable};
+use ftsim_model::{presets as models, FineTuneConfig, MemoryModel, ModelConfig, Sparsity};
+use ftsim_sim::report::moe_utilization_table;
+use ftsim_sim::{
+    moetrain, routing, MoeTrainConfig, SensitivityStudy, StepSimulator, ThroughputSweep,
+    TrainabilityMatrix,
+};
+use ftsim_workload::{presets as data, SeqLenDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::{json, Value};
+use std::fmt::Write as _;
+
+/// The output of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Short id (`"table1"`, `"fig8"`, …).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Formatted report text.
+    pub text: String,
+    /// Machine-readable artifact.
+    pub json: Value,
+}
+
+/// All experiment ids in paper order.
+pub fn experiment_ids() -> Vec<&'static str> {
+    vec![
+        "table1", "table2", "fig2", "fig3", "table3", "fig4", "fig5", "fig6", "fig8", "fig9",
+        "fig10", "fig11", "fig13", "fig14", "fig15", "table4", "sensitivity", "ablation",
+        "scaleout",
+    ]
+}
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id; use [`experiment_ids`] for the valid set.
+pub fn run(id: &str) -> ExperimentResult {
+    match id {
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "table3" => table3(),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "fig8" => fig8(),
+        "fig9" => fig9(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "fig13" => fig13(),
+        "fig14" => fig14(),
+        "fig15" => fig15(),
+        "table4" => table4(),
+        "sensitivity" => sensitivity(),
+        "ablation" => ablation(),
+        "scaleout" => scaleout(),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}
+
+fn a40() -> CostModel {
+    CostModel::new(GpuSpec::a40())
+}
+
+fn paper_recipe(model: &ModelConfig, sparse: bool) -> FineTuneConfig {
+    let s = if sparse { Sparsity::TopK(2) } else { Sparsity::Dense };
+    FineTuneConfig::for_model(model, s)
+}
+
+fn sim_for(model: &ModelConfig, sparse: bool, gpu: GpuSpec) -> StepSimulator {
+    StepSimulator::new(model.clone(), paper_recipe(model, sparse), CostModel::new(gpu))
+}
+
+/// The four (model, sparsity) combinations of the paper's runtime studies.
+fn combos() -> Vec<(&'static str, ModelConfig, bool)> {
+    vec![
+        ("Mixtral-D", models::mixtral_8x7b(), false),
+        ("Mixtral-S", models::mixtral_8x7b(), true),
+        ("BlackMamba-D", models::blackmamba_2p8b(), false),
+        ("BlackMamba-S", models::blackmamba_2p8b(), true),
+    ]
+}
+
+/// Max batch size for a combo on a GPU at a sequence length.
+fn max_batch(model: &ModelConfig, sparse: bool, gpu: &GpuSpec, seq: usize) -> usize {
+    MemoryModel::new(model, &paper_recipe(model, sparse)).max_batch_size(gpu, seq)
+}
+
+// ---------------------------------------------------------------- Table I
+
+fn table1() -> ExperimentResult {
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    let _ = writeln!(text, "{:<16} {:>9} {:>12} {:>8} {:>9}", "model", "#params", "mem", "#layers", "#experts");
+    for m in models::all() {
+        let ft = FineTuneConfig::for_model(&m, Sparsity::TopK(2));
+        let mem = MemoryModel::new(&m, &ft);
+        let counts = m.param_counts();
+        let _ = writeln!(
+            text,
+            "{:<16} {:>8.1}B {:>10.2}GB {:>8} {:>9}",
+            m.name,
+            counts.total() as f64 / 1e9,
+            mem.weights_gb(),
+            m.num_layers,
+            m.moe.num_experts
+        );
+        rows.push(json!({
+            "model": m.name,
+            "params_b": counts.total() as f64 / 1e9,
+            "weights_gb": mem.weights_gb(),
+            "layers": m.num_layers,
+            "experts": m.moe.num_experts,
+        }));
+    }
+    let _ = writeln!(text, "paper: Mixtral 47B / 23.35GB / 32 layers; BlackMamba 2.8B / 5.6GB / 18 layers");
+    ExperimentResult {
+        id: "table1",
+        title: "Table I: LLM models",
+        text,
+        json: json!({ "rows": rows }),
+    }
+}
+
+// --------------------------------------------------------------- Table II
+
+fn table2() -> ExperimentResult {
+    let mut text = String::new();
+    let _ = writeln!(text, "{:<18} {:>9} {:>11} {:>14}", "dataset", "#queries", "median len", "type");
+    let rows: Vec<Value> = data::table_ii()
+        .into_iter()
+        .map(|d| {
+            let _ = writeln!(
+                text,
+                "{:<18} {:>9} {:>11} {:>14}",
+                d.name, d.num_queries, d.median_seq_len, d.domain.to_string()
+            );
+            json!({
+                "name": d.name, "code": d.code, "queries": d.num_queries,
+                "median_seq_len": d.median_seq_len, "domain": d.domain.to_string(),
+            })
+        })
+        .collect();
+    ExperimentResult {
+        id: "table2",
+        title: "Table II: datasets",
+        text,
+        json: json!({ "rows": rows }),
+    }
+}
+
+// ----------------------------------------------------------------- Fig. 2
+
+fn fig2() -> ExperimentResult {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut text = String::new();
+    let mut series = Vec::new();
+    for ds in [data::commonsense_15k(), data::math_14k()] {
+        let dist = SeqLenDistribution::for_dataset(&ds);
+        let samples = dist.sample_many(ds.num_queries, &mut rng);
+        let hist = SeqLenDistribution::histogram(&samples, 16);
+        let median = SeqLenDistribution::percentile(&samples, 50.0);
+        let p95 = SeqLenDistribution::percentile(&samples, 95.0);
+        let _ = writeln!(text, "{} — sampled median {median} (nominal {}), p95 {p95}", ds.name, ds.median_seq_len);
+        let peak = hist.iter().map(|&(_, c)| c).max().unwrap_or(1);
+        for &(edge, count) in &hist {
+            let bar = "#".repeat(40 * count / peak.max(1));
+            let _ = writeln!(text, "  ≤{edge:>5}: {bar} {count}");
+        }
+        series.push(json!({
+            "dataset": ds.code, "median": median, "p95": p95,
+            "histogram": hist.iter().map(|&(e, c)| json!([e, c])).collect::<Vec<_>>(),
+        }));
+    }
+    ExperimentResult {
+        id: "fig2",
+        title: "Fig. 2: sequence length distribution",
+        text,
+        json: json!({ "series": series }),
+    }
+}
+
+// ----------------------------------------------------------------- Fig. 3
+
+fn fig3() -> ExperimentResult {
+    let mut text = String::new();
+    let calibrated = TrainabilityMatrix::fig3();
+    let _ = writeln!(text, "[calibrated reconstruction of the paper's curves]");
+    for c in &calibrated.curves {
+        let accs: Vec<String> = c.accuracy.iter().map(|a| format!("{:.2}", a)).collect();
+        let _ = writeln!(text, "{:<16} {}", c.label, accs.join(" "));
+    }
+
+    let _ = writeln!(text, "\n[emergent: genuinely trained CPU-scale MoE (10 epochs)]");
+    let cs = ftsim_workload::SyntheticTask::commonsense(16, 4, 42);
+    let math = ftsim_workload::SyntheticTask::math(16, 4, 42);
+    let mut emergent = Vec::new();
+    let runs = vec![
+        ("big-D/CS", MoeTrainConfig::mixtral_like(8), &cs),
+        ("big-S/CS", MoeTrainConfig::mixtral_like(2), &cs),
+        ("big-S/MATH", MoeTrainConfig::mixtral_like(2), &math),
+        ("small-S/CS", MoeTrainConfig::blackmamba_like(2), &cs),
+    ];
+    for (label, cfg, task) in runs {
+        let out = moetrain::train(task, &cfg, label);
+        let accs: Vec<String> = std::iter::once(out.initial_accuracy)
+            .chain(out.curve.iter().map(|m| m.eval_accuracy))
+            .map(|a| format!("{a:.2}"))
+            .collect();
+        let _ = writeln!(text, "{:<16} {}", label, accs.join(" "));
+        emergent.push(json!({
+            "label": label,
+            "initial": out.initial_accuracy,
+            "accuracy": out.curve.iter().map(|m| m.eval_accuracy).collect::<Vec<_>>(),
+        }));
+    }
+    ExperimentResult {
+        id: "fig3",
+        title: "Fig. 3: testing accuracy vs epoch (dense vs sparse)",
+        text,
+        json: json!({
+            "calibrated": calibrated.curves.iter().map(|c| json!({
+                "label": c.label, "accuracy": c.accuracy,
+            })).collect::<Vec<_>>(),
+            "emergent": emergent,
+        }),
+    }
+}
+
+// --------------------------------------------------------------- Table III
+
+fn table3() -> ExperimentResult {
+    let gpu = GpuSpec::a40();
+    // Paper ground truth (A40, CS median 79 / MATH median 174).
+    let paper: Vec<(&str, &str, usize)> = vec![
+        ("Mixtral-D", "CS", 2), ("Mixtral-S", "CS", 8),
+        ("Mixtral-D", "MATH", 1), ("Mixtral-S", "MATH", 3),
+        ("BlackMamba-D", "CS", 6), ("BlackMamba-S", "CS", 20),
+        ("BlackMamba-D", "MATH", 2), ("BlackMamba-S", "MATH", 8),
+    ];
+    let mut text = String::new();
+    let _ = writeln!(text, "{:<14} {:>6} {:>6} {:>6}", "combo", "data", "ours", "paper");
+    let mut rows = Vec::new();
+    let mut exact = 0;
+    for (combo, ds, truth) in &paper {
+        let (model, sparse) = match *combo {
+            "Mixtral-D" => (models::mixtral_8x7b(), false),
+            "Mixtral-S" => (models::mixtral_8x7b(), true),
+            "BlackMamba-D" => (models::blackmamba_2p8b(), false),
+            _ => (models::blackmamba_2p8b(), true),
+        };
+        let seq = if *ds == "CS" { 79 } else { 174 };
+        let ours = max_batch(&model, sparse, &gpu, seq);
+        if ours == *truth {
+            exact += 1;
+        }
+        let _ = writeln!(text, "{combo:<14} {ds:>6} {ours:>6} {truth:>6}");
+        rows.push(json!({ "combo": combo, "dataset": ds, "ours": ours, "paper": truth }));
+    }
+    let _ = writeln!(text, "exact matches: {exact}/8");
+
+    // Fit Eq. 1 per model across GPUs (the paper's §V-A protocol).
+    let mut fits = Vec::new();
+    for (name, model, sparse_pairs) in [
+        ("Mixtral", models::mixtral_8x7b(), [0.25, 1.0]),
+        ("BlackMamba", models::blackmamba_2p8b(), [0.25, 1.0]),
+    ] {
+        let weights = MemoryModel::new(&model, &paper_recipe(&model, true)).weights_gb();
+        let mut samples = Vec::new();
+        for gpu in GpuSpec::catalog() {
+            for &seq in &[79usize, 148, 174] {
+                for &s in &sparse_pairs {
+                    let mb = max_batch(&model, s < 1.0, &gpu, seq);
+                    if mb > 0 {
+                        samples.push(BatchSample {
+                            gpu_mem_gb: gpu.mem_gb,
+                            model_mem_gb: weights,
+                            seq_len: seq,
+                            sparsity: s,
+                            max_batch: mb,
+                        });
+                    }
+                }
+            }
+        }
+        let (fit, rmse) = MaxBatchModel::fit(&samples);
+        let _ = writeln!(
+            text,
+            "Eq.1 fit {name}: C0={:.2} C1={:.3} (rmse {:.2}, exact {:.0}%; paper C0={} C1={})",
+            fit.c0,
+            fit.c1,
+            rmse,
+            100.0 * fit.exact_match_rate(&samples),
+            if name == "Mixtral" { 82 } else { 83 },
+            if name == "Mixtral" { 0.95 } else { 0.88 },
+        );
+        fits.push(json!({ "model": name, "c0": fit.c0, "c1": fit.c1, "rmse": rmse }));
+    }
+    ExperimentResult {
+        id: "table3",
+        title: "Table III: maximum batch size (A40)",
+        text,
+        json: json!({ "rows": rows, "eq1_fits": fits }),
+    }
+}
+
+// ----------------------------------------------------------------- Fig. 4
+
+fn fig4() -> ExperimentResult {
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    for (label, model, sparse) in combos() {
+        let seq = 128;
+        let mb = max_batch(&model, sparse, &GpuSpec::a40(), seq).max(1);
+        for batch in [1, mb] {
+            let trace = sim_for(&model, sparse, GpuSpec::a40()).simulate_step(batch, seq);
+            let b = trace.stage_breakdown();
+            let _ = writeln!(
+                text,
+                "{label:<14} bs={batch:<3} fwd {:>5.1}%  bwd {:>5.1}%  opt {:>5.1}%  ({:.0} ms)",
+                b.percent("forward"),
+                b.percent("backward"),
+                b.percent("optimizer"),
+                trace.total_seconds() * 1e3
+            );
+            rows.push(json!({
+                "combo": label, "batch": batch,
+                "forward_pct": b.percent("forward"),
+                "backward_pct": b.percent("backward"),
+                "optimizer_pct": b.percent("optimizer"),
+                "total_ms": trace.total_seconds() * 1e3,
+            }));
+        }
+    }
+    ExperimentResult {
+        id: "fig4",
+        title: "Fig. 4: execution time breakdown (fwd/bwd/optimizer)",
+        text,
+        json: json!({ "rows": rows }),
+    }
+}
+
+// ----------------------------------------------------------------- Fig. 5
+
+fn fig5() -> ExperimentResult {
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    let mut moe_shares = Vec::new();
+    for (label, model, sparse) in combos() {
+        let seq = 128;
+        let mb = max_batch(&model, sparse, &GpuSpec::a40(), seq).max(1);
+        for batch in [1, mb] {
+            let trace = sim_for(&model, sparse, GpuSpec::a40()).simulate_step(batch, seq);
+            let b = trace.section_breakdown();
+            let moe = b.percent("moe");
+            moe_shares.push(moe);
+            let mixer = if model.is_attention() { "attention" } else { "mamba" };
+            let _ = writeln!(
+                text,
+                "{label:<14} bs={batch:<3} moe {moe:>5.1}%  {mixer} {:>5.1}%  norm {:>5.1}%  other {:>5.1}%",
+                b.percent(mixer),
+                b.percent("norm"),
+                100.0 - moe - b.percent(mixer) - b.percent("norm"),
+            );
+            rows.push(json!({
+                "combo": label, "batch": batch, "moe_pct": moe,
+                "mixer_pct": b.percent(mixer), "norm_pct": b.percent("norm"),
+            }));
+        }
+    }
+    let avg = moe_shares.iter().sum::<f64>() / moe_shares.len() as f64;
+    let _ = writeln!(text, "average MoE share: {avg:.1}% (paper: ~85%)");
+    ExperimentResult {
+        id: "fig5",
+        title: "Fig. 5: execution time breakdown by model layer",
+        text,
+        json: json!({ "rows": rows, "avg_moe_pct": avg }),
+    }
+}
+
+// ----------------------------------------------------------------- Fig. 6
+
+fn fig6() -> ExperimentResult {
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    for (label, model, sparse) in combos() {
+        let seq = 128;
+        let mb = max_batch(&model, sparse, &GpuSpec::a40(), seq).max(1);
+        for batch in [1, mb] {
+            let trace = sim_for(&model, sparse, GpuSpec::a40()).simulate_step(batch, seq);
+            let b = trace.moe_kernel_breakdown();
+            let mut parts: Vec<String> = b
+                .sorted()
+                .into_iter()
+                .map(|(k, s)| format!("{k} {:.1}%", 100.0 * s / b.total()))
+                .collect();
+            parts.truncate(4);
+            let _ = writeln!(text, "{label:<14} bs={batch:<3} {}", parts.join("  "));
+            rows.push(json!({
+                "combo": label, "batch": batch,
+                "kernels": b.sorted().into_iter()
+                    .map(|(k, s)| json!({ "kernel": k, "pct": 100.0 * s / b.total() }))
+                    .collect::<Vec<_>>(),
+            }));
+        }
+    }
+    ExperimentResult {
+        id: "fig6",
+        title: "Fig. 6: MoE layer kernel breakdown",
+        text,
+        json: json!({ "rows": rows }),
+    }
+}
+
+// ----------------------------------------------------------------- Fig. 8
+
+fn fig8() -> ExperimentResult {
+    let mut text = String::new();
+    let mut series = Vec::new();
+    let cases: Vec<(&str, ModelConfig, bool, usize)> = vec![
+        ("Mixtral-D/CS", models::mixtral_8x7b(), false, 79),
+        ("Mixtral-S/CS", models::mixtral_8x7b(), true, 79),
+        ("Mixtral-D/MATH", models::mixtral_8x7b(), false, 174),
+        ("Mixtral-S/MATH", models::mixtral_8x7b(), true, 174),
+        ("BlackMamba-D/CS", models::blackmamba_2p8b(), false, 79),
+        ("BlackMamba-S/CS", models::blackmamba_2p8b(), true, 79),
+    ];
+    for (label, model, sparse, seq) in cases {
+        let mb = max_batch(&model, sparse, &GpuSpec::a40(), seq).max(1);
+        let batches: Vec<usize> = (1..=mb).collect();
+        let sweep = ThroughputSweep::run(&sim_for(&model, sparse, GpuSpec::a40()), label, seq, &batches);
+        let pts: Vec<String> = sweep
+            .points
+            .iter()
+            .map(|p| format!("bs{}={:.2}", p.batch, p.queries_per_second))
+            .collect();
+        let _ = writeln!(text, "{label:<16} {}", pts.join(" "));
+        series.push(json!({
+            "label": label,
+            "points": sweep.points.iter()
+                .map(|p| json!({ "batch": p.batch, "qps": p.queries_per_second }))
+                .collect::<Vec<_>>(),
+        }));
+    }
+    let _ = writeln!(text, "paper anchors: Mixtral-CS dense bs2 ≈ 0.5 qps, sparse bs2 ≈ 0.7 qps; sparse 1→2 ≈ 1.9x, 1→8 ≈ 4.8x");
+    ExperimentResult {
+        id: "fig8",
+        title: "Fig. 8: query throughput (A40)",
+        text,
+        json: json!({ "series": series }),
+    }
+}
+
+// ------------------------------------------------------------ Figs. 9, 10
+
+fn utilization_fig(id: &'static str, title: &'static str, sm: bool) -> ExperimentResult {
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    let seq = 128;
+    for (label, model, sparse) in combos() {
+        let quantized = model.is_attention();
+        // Paper protocol: dense at {1, maxD}; sparse at {1, maxD, maxS}.
+        let max_d = max_batch(&model, false, &GpuSpec::a40(), seq).max(1);
+        let max_s = max_batch(&model, true, &GpuSpec::a40(), seq).max(1);
+        let batches: Vec<usize> = if sparse {
+            let mut v = vec![1, max_d, max_s];
+            v.dedup();
+            v
+        } else {
+            let mut v = vec![1, max_d];
+            v.dedup();
+            v
+        };
+        for batch in batches {
+            let trace = sim_for(&model, sparse, GpuSpec::a40()).simulate_step(batch, seq);
+            let table = moe_utilization_table(&trace, quantized);
+            let parts: Vec<String> = table
+                .iter()
+                .map(|r| {
+                    let u = if sm { r.util.sm_util } else { r.util.dram_util };
+                    format!("{} {:.0}%", r.kind.label(), 100.0 * u)
+                })
+                .collect();
+            let overall = trace.moe_overall_utilization();
+            let o = if sm { overall.sm_util } else { overall.dram_util };
+            let _ = writeln!(text, "{label:<14} bs={batch:<3} overall {:.0}%  [{}]", o * 100.0, parts.join(" "));
+            rows.push(json!({
+                "combo": label, "batch": batch, "overall": o,
+                "kernels": table.iter().map(|r| json!({
+                    "kernel": r.kind.label(),
+                    "util": if sm { r.util.sm_util } else { r.util.dram_util },
+                })).collect::<Vec<_>>(),
+            }));
+        }
+    }
+    ExperimentResult {
+        id,
+        title,
+        text,
+        json: json!({ "rows": rows }),
+    }
+}
+
+fn fig9() -> ExperimentResult {
+    utilization_fig("fig9", "Fig. 9: GPU SM utilization of MoE kernels", true)
+}
+
+fn fig10() -> ExperimentResult {
+    utilization_fig("fig10", "Fig. 10: GPU DRAM bandwidth utilization of MoE kernels", false)
+}
+
+// ---------------------------------------------------------------- Fig. 11
+
+fn fig11() -> ExperimentResult {
+    let mut text = String::new();
+    let _ = writeln!(text, "[calibrated to the paper's variances]");
+    let mut cal = Vec::new();
+    for case in routing::paper_cases() {
+        let fmt = |d: &routing::TokenDistribution| {
+            d.pct.iter().map(|p| format!("{p:.0}")).collect::<Vec<_>>().join("/")
+        };
+        let _ = writeln!(
+            text,
+            "{:<11} {:<4} before var {:>5.0} [{}]  after var {:>5.0} [{}] dominant e{}",
+            case.model,
+            case.dataset,
+            case.before.variance(),
+            fmt(&case.before),
+            case.after.variance(),
+            fmt(&case.after),
+            case.after.dominant_expert(),
+        );
+        cal.push(json!({
+            "model": case.model, "dataset": case.dataset,
+            "before_pct": case.before.pct, "after_pct": case.after.pct,
+            "before_var": case.before.variance(), "after_var": case.after.variance(),
+        }));
+    }
+
+    let _ = writeln!(text, "\n[emergent from genuinely trained MoE]");
+    let mut emergent = Vec::new();
+    for (label, task) in [
+        ("CS-task", ftsim_workload::SyntheticTask::commonsense(16, 4, 42)),
+        ("MATH-task", ftsim_workload::SyntheticTask::math(16, 4, 42)),
+    ] {
+        let out = moetrain::train(&task, &MoeTrainConfig::mixtral_like(2), label);
+        let _ = writeln!(
+            text,
+            "{label:<10} before var {:>6.1}  after var {:>6.1}  (Δ {:+.1})",
+            out.routing_before.variance(),
+            out.routing_after.variance(),
+            out.imbalance_delta(),
+        );
+        emergent.push(json!({
+            "label": label,
+            "before_var": out.routing_before.variance(),
+            "after_var": out.routing_after.variance(),
+        }));
+    }
+    ExperimentResult {
+        id: "fig11",
+        title: "Fig. 11: token distribution across experts",
+        text,
+        json: json!({ "calibrated": cal, "emergent": emergent }),
+    }
+}
+
+// ---------------------------------------------------------------- Fig. 13
+
+fn fig13() -> ExperimentResult {
+    let model = models::mixtral_8x7b();
+    let ft = paper_recipe(&model, true);
+    let mem = MemoryModel::new(&model, &ft);
+    let seq = 148; // GS
+    // Fit over both sparse and dense ground truth across the catalog so C₁
+    // is identifiable; project the sparse curve to future capacities.
+    let mut measured: Vec<(String, BatchSample)> = Vec::new();
+    for gpu in GpuSpec::catalog() {
+        for (tag, sparse, sparsity) in [("S", true, 0.25), ("D", false, 1.0)] {
+            let mb = max_batch(&model, sparse, &gpu, seq);
+            if mb == 0 {
+                continue;
+            }
+            measured.push((
+                format!("{}-{tag}", gpu.name),
+                BatchSample {
+                    gpu_mem_gb: gpu.mem_gb,
+                    model_mem_gb: mem.weights_gb(),
+                    seq_len: seq,
+                    sparsity,
+                    max_batch: mb,
+                },
+            ));
+        }
+    }
+    let proj = MemoryProjection::build(&measured, &[100.0, 120.0], mem.weights_gb(), seq, 0.25);
+    let mut text = String::new();
+    let _ = writeln!(text, "Eq.1 fit: C0={:.2} C1={:.3} (rmse {:.2})", proj.model.c0, proj.model.c1, proj.fit_rmse);
+    for p in &proj.points {
+        let truth = p
+            .ground_truth
+            .map(|t| format!("{t}"))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(text, "{:<14} {:>5.0}GB  predicted {:>3}  measured {truth}", p.label, p.mem_gb, p.predicted);
+    }
+    let _ = writeln!(text, "paper projects 28 (100GB) and 35 (120GB) with its unit convention; shape (linear growth in memory) matches");
+    ExperimentResult {
+        id: "fig13",
+        title: "Fig. 13: projected max batch size vs GPU memory (Mixtral sparse, GS)",
+        text,
+        json: json!({
+            "c0": proj.model.c0, "c1": proj.model.c1, "rmse": proj.fit_rmse,
+            "points": proj.points.iter().map(|p| json!({
+                "label": p.label, "mem_gb": p.mem_gb,
+                "predicted": p.predicted, "measured": p.ground_truth,
+            })).collect::<Vec<_>>(),
+        }),
+    }
+}
+
+// ------------------------------------------------------------ Figs. 14, 15
+
+fn fig14() -> ExperimentResult {
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    let cases: Vec<(&str, ModelConfig, usize)> = vec![
+        ("Mixtral/CS", models::mixtral_8x7b(), 79),
+        ("Mixtral/MATH", models::mixtral_8x7b(), 174),
+        ("BlackMamba/CS", models::blackmamba_2p8b(), 79),
+        ("BlackMamba/MATH", models::blackmamba_2p8b(), 174),
+    ];
+    for (label, model, seq) in cases {
+        let v = validate_combo(format!("{label} @ A40"), &model, &a40(), seq, 2);
+        let _ = writeln!(
+            text,
+            "{label:<16} C2={:>6.2} C3={:>6.3} C4={:>6.2}  RMSE {:.3} (relative {:.3})",
+            v.model.c2, v.model.c3, v.model.c4, v.rmse, v.relative_rmse()
+        );
+        rows.push(json!({
+            "label": label, "c2": v.model.c2, "c3": v.model.c3, "c4": v.model.c4,
+            "rmse": v.rmse, "relative_rmse": v.relative_rmse(),
+            "samples": v.samples.iter().map(|s| json!([s.batch, s.sparsity, s.qps])).collect::<Vec<_>>(),
+        }));
+    }
+    let _ = writeln!(text, "paper: RMSE < 0.8 on A40 (abstract: < 0.55)");
+    ExperimentResult {
+        id: "fig14",
+        title: "Fig. 14: throughput model fit vs simulator ground truth (A40)",
+        text,
+        json: json!({ "rows": rows }),
+    }
+}
+
+fn fig15() -> ExperimentResult {
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    for gpu in [GpuSpec::a100_40(), GpuSpec::a100_80(), GpuSpec::h100_80()] {
+        let name = gpu.name.clone();
+        let v = validate_combo(
+            format!("Mixtral/GS @ {name}"),
+            &models::mixtral_8x7b(),
+            &CostModel::new(gpu),
+            148,
+            2,
+        );
+        let _ = writeln!(
+            text,
+            "{name:<12} C2={:>6.2} C3={:>6.3} C4={:>6.2}  RMSE {:.3} (relative {:.3})",
+            v.model.c2, v.model.c3, v.model.c4, v.rmse, v.relative_rmse()
+        );
+        rows.push(json!({
+            "gpu": name, "c2": v.model.c2, "c3": v.model.c3, "c4": v.model.c4,
+            "rmse": v.rmse, "relative_rmse": v.relative_rmse(),
+        }));
+    }
+    let _ = writeln!(text, "paper: RMSE < 0.6 on A100/H100");
+    ExperimentResult {
+        id: "fig15",
+        title: "Fig. 15: throughput model fit on A100/H100 (Mixtral, GS)",
+        text,
+        json: json!({ "rows": rows }),
+    }
+}
+
+// ---------------------------------------------------------------- Table IV
+
+fn table4() -> ExperimentResult {
+    let model = models::mixtral_8x7b();
+    let seq = 148; // GS
+    let mem = MemoryModel::new(&model, &paper_recipe(&model, true));
+    // Fit one Eq. 2 model per GPU from simulator ground truth.
+    let gpus_with_models: Vec<(GpuSpec, ThroughputModel)> =
+        [GpuSpec::a40(), GpuSpec::a100_80(), GpuSpec::h100_80()]
+            .into_iter()
+            .map(|gpu| {
+                let v = validate_combo(
+                    format!("Mixtral/GS @ {}", gpu.name),
+                    &model,
+                    &CostModel::new(gpu.clone()),
+                    seq,
+                    2,
+                );
+                (gpu, v.model)
+            })
+            .collect();
+    let job = FineTuneJob::ten_epochs(&data::math_14k());
+    let prices = PriceTable::for_provider(CloudProvider::Cudo);
+    let table = CostTable::build(&gpus_with_models, &mem, 0.25, seq, job, &prices);
+
+    let mut text = String::new();
+    let _ = writeln!(text, "{table}");
+    let _ = writeln!(text, "paper Table IV: A40 $32.7 (MBS 4, 1.01 q/s) | A100-80 $25.4 (17, 2.74) | H100 $17.9 (17, 4.90)");
+    let cheapest = table.cheapest().expect("catalog GPUs priced").clone();
+    let _ = writeln!(text, "most cost-effective: {}", cheapest.gpu);
+
+    // OpenOrca projection (§V-C).
+    let orca = table.scaled_to_queries(job, FineTuneJob::ten_epochs(&data::openorca()));
+    let orca_best = orca.cheapest().expect("non-empty").clone();
+    let _ = writeln!(
+        text,
+        "OpenOrca (2M queries, 10 epochs) on {}: ${:.0} (paper: $3460 on H100)",
+        orca_best.gpu, orca_best.usd
+    );
+    ExperimentResult {
+        id: "table4",
+        title: "Table IV: estimated cost of fine-tuning Mixtral on GS (sparse)",
+        text,
+        json: json!({
+            "rows": table.rows.iter().map(|r| json!({
+                "gpu": r.gpu, "mem_gb": r.mem_gb, "mbs": r.max_batch,
+                "qps": r.throughput_qps, "usd_per_hour": r.usd_per_hour, "usd": r.usd,
+            })).collect::<Vec<_>>(),
+            "openorca_usd": orca_best.usd,
+            "openorca_gpu": orca_best.gpu,
+        }),
+    }
+}
+
+// -------------------------------------------------------------- §IV-B6
+
+fn sensitivity() -> ExperimentResult {
+    let seqs = [64usize, 128, 256, 512, 1024];
+    let mut text = String::new();
+    let mut series = Vec::new();
+    for (label, model, sparse) in combos() {
+        let sim = sim_for(&model, sparse, GpuSpec::a40());
+        let study = SensitivityStudy::run(&sim, label, &seqs);
+        if study.points.is_empty() {
+            continue;
+        }
+        let pts: Vec<String> = study
+            .points
+            .iter()
+            .map(|p| format!("L{}:bs{} {:.0}ms", p.seq_len, p.max_batch, p.step_seconds * 1e3))
+            .collect();
+        let _ = writeln!(text, "{label:<14} {}  (latency ratio {:.2})", pts.join(" "), study.latency_ratio());
+        series.push(json!({
+            "label": label,
+            "latency_ratio": study.latency_ratio(),
+            "points": study.points.iter().map(|p| json!({
+                "seq": p.seq_len, "batch": p.max_batch,
+                "ms": p.step_seconds * 1e3, "qps": p.queries_per_second,
+            })).collect::<Vec<_>>(),
+        }));
+    }
+    let _ = writeln!(text, "paper: Mixtral latency ~flat; BlackMamba −19%/−25% at long sequences; shorter sequences give higher throughput");
+    ExperimentResult {
+        id: "sensitivity",
+        title: "§IV-B6: sequence-length sensitivity",
+        text,
+        json: json!({ "series": series }),
+    }
+}
+
+// ------------------------------------------------------------ extensions
+
+fn ablation() -> ExperimentResult {
+    use ftsim_sim::ablation::{ablate_checkpointing, ablate_quantization};
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    let cost = a40();
+    for (model, ft, batch) in [
+        (models::mixtral_8x7b(), FineTuneConfig::qlora_sparse(), 2usize),
+        (models::blackmamba_2p8b(), FineTuneConfig::full_sparse(), 4),
+    ] {
+        let ck = ablate_checkpointing(&model, ft, &cost, batch, 128);
+        let _ = writeln!(
+            text,
+            "{:<16} {}: off/on runtime {:.2}x, backward share {:.0}% → {:.0}%",
+            model.name,
+            ck.name,
+            ck.slowdown(),
+            ck.baseline.backward_share * 100.0,
+            ck.variant.backward_share * 100.0
+        );
+        rows.push(json!({ "model": model.name, "ablation": ck.name, "slowdown": ck.slowdown() }));
+    }
+    let q = ablate_quantization(&models::mixtral_8x7b(), FineTuneConfig::qlora_sparse(), &cost, 1, 128);
+    let _ = writeln!(
+        text,
+        "Mixtral {}: bf16-LoRA static {:.0} GB vs NF4 {:.0} GB; bf16 max batch {} (does not fit the A40) vs NF4 {}",
+        q.name, q.variant.static_gb, q.baseline.static_gb, q.variant.max_batch, q.baseline.max_batch
+    );
+    rows.push(json!({
+        "model": "Mixtral-8x7B", "ablation": q.name,
+        "bf16_static_gb": q.variant.static_gb, "nf4_static_gb": q.baseline.static_gb,
+        "bf16_max_batch": q.variant.max_batch, "nf4_max_batch": q.baseline.max_batch,
+    }));
+    ExperimentResult {
+        id: "ablation",
+        title: "Ablations: gradient checkpointing & NF4 quantization trade-offs",
+        text,
+        json: json!({ "rows": rows }),
+    }
+}
+
+fn scaleout() -> ExperimentResult {
+    use ftsim_cost::{scale_out, Interconnect};
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    let gpus = [1usize, 2, 4, 8];
+    let cases = [
+        ("Mixtral QLoRA (fp32 grads)", models::mixtral_8x7b(), FineTuneConfig::qlora_sparse(), 4usize, 4.0),
+        ("BlackMamba full (bf16 grads)", models::blackmamba_2p8b(), FineTuneConfig::full_sparse(), 12, 2.0),
+    ];
+    for (label, model, ft, batch, grad_bytes) in cases {
+        let step = StepSimulator::new(model.clone(), ft, a40())
+            .simulate_step(batch, 128)
+            .total_seconds();
+        let trainable = ft.trainable_params(&model) as f64;
+        for link in [Interconnect::nvlink3(), Interconnect::pcie4()] {
+            let pts = scale_out(step, batch, trainable, grad_bytes, link, &gpus);
+            let series: Vec<String> = pts
+                .iter()
+                .map(|p| format!("{}x{:.1}q/s({:.0}%)", p.gpus, p.queries_per_second, p.efficiency * 100.0))
+                .collect();
+            let _ = writeln!(text, "{label:<30} {:<9} {}", link.name, series.join("  "));
+            rows.push(json!({
+                "case": label, "link": link.name,
+                "points": pts.iter().map(|p| json!({
+                    "gpus": p.gpus, "qps": p.queries_per_second, "efficiency": p.efficiency,
+                })).collect::<Vec<_>>(),
+            }));
+        }
+    }
+    let _ = writeln!(text, "extension of §VII future work: data-parallel scaling with ring all-reduce");
+    ExperimentResult {
+        id: "scaleout",
+        title: "Extension: multi-GPU data-parallel scaling estimate",
+        text,
+        json: json!({ "rows": rows }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ids_run_and_produce_output() {
+        // fig3/fig11 do real training; keep them but this is the slowest test.
+        for id in experiment_ids() {
+            let r = run(id);
+            assert_eq!(r.id, id);
+            assert!(!r.text.is_empty(), "{id} produced no text");
+            assert!(!r.json.is_null(), "{id} produced no json");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment id")]
+    fn unknown_id_panics() {
+        run("fig99");
+    }
+
+    #[test]
+    fn table3_reports_exact_matches() {
+        let r = run("table3");
+        assert!(r.text.contains("exact matches: 7/8") || r.text.contains("exact matches: 8/8"),
+            "{}", r.text);
+    }
+
+    #[test]
+    fn table4_ranks_h100_cheapest() {
+        let r = run("table4");
+        assert!(r.text.contains("most cost-effective: H100-80GB"), "{}", r.text);
+    }
+}

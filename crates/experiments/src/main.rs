@@ -1,0 +1,72 @@
+//! `repro` — regenerates the paper's tables and figures from the ftsim
+//! stack.
+//!
+//! ```text
+//! repro all            # run everything, write results/*.json
+//! repro fig8 table4    # run selected experiments
+//! repro --list         # list experiment ids
+//! ```
+
+use ftsim_experiments::{experiment_ids, run};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--list] [--out DIR] <all | id...>");
+        eprintln!("ids: {}", experiment_ids().join(" "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiment_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let mut out_dir = String::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                });
+            }
+            "all" => ids = experiment_ids().iter().map(|s| s.to_string()).collect(),
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let valid = experiment_ids();
+    for id in &ids {
+        if !valid.contains(&id.as_str()) {
+            eprintln!("unknown experiment id {id:?}; use --list");
+            std::process::exit(2);
+        }
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        std::process::exit(1);
+    }
+
+    for id in &ids {
+        let result = run(id);
+        println!("== {} ==", result.title);
+        println!("{}", result.text);
+        let path = Path::new(&out_dir).join(format!("{id}.json"));
+        match serde_json::to_string_pretty(&result.json) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(&path, body) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                } else {
+                    println!("[artifact: {}]\n", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The roofline + occupancy kernel cost model.
+//!
+//! This module stands in for the physical GPU of the paper's testbed. Each
+//! [`KernelDesc`] is priced as
+//!
+//! ```text
+//! latency = t_launch + max( flops / (peak_flops · e_kind · occ(tiles)),
+//!                           bytes / (peak_bw   · b_kind) )
+//! ```
+//!
+//! where `occ(tiles) = tiles / (tiles + κ·SMs)` is a saturating occupancy
+//! efficiency and `(e_kind, b_kind)` are per-kernel-family ceilings. This one
+//! mechanism reproduces the paper's qualitative findings:
+//!
+//! * small batches are **memory/overhead-bound**, large batches
+//!   **compute-bound** (Takeaway 5),
+//! * throughput rises near-linearly then saturates logarithmically with
+//!   batch size (Fig. 8, the basis of the Eq. 2 throughput model),
+//! * SM utilization grows with batch size, is lower for sparse MoE at equal
+//!   batch, and is batch-independent for de-quantization (Fig. 9),
+//! * time-weighted DRAM utilization falls as batch grows (Fig. 10).
+
+use crate::kernel::{KernelDesc, KernelKind};
+use crate::spec::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which resource bound determined a kernel's latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Arithmetic throughput bound.
+    Compute,
+    /// DRAM bandwidth bound.
+    Memory,
+    /// Fixed launch/dispatch overhead dominated.
+    Overhead,
+}
+
+/// Per-kernel-family efficiency ceilings and framework overheads.
+///
+/// Every constant is calibrated against a *published* observation of the
+/// paper, noted on the field. The defaults model PyTorch eager execution
+/// with bitsandbytes-style NF4 de-quantization, as used by the paper's
+/// LLaMA-Factory setup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationProfile {
+    /// GEMM fraction of peak tensor throughput at full occupancy
+    /// (cuBLAS on medium shapes; bounds the compute-bound regime of Fig. 8).
+    pub matmul_peak_frac: f64,
+    /// FlashAttention-2 fraction of peak (paper §III enables FA-2).
+    pub attention_peak_frac: f64,
+    /// Mamba selective-scan fraction of peak (scan is not tensor-core work).
+    pub mamba_peak_frac: f64,
+    /// Non-tensor (CUDA-core) compute ceiling for elementwise-style kernels.
+    pub scalar_peak_frac: f64,
+    /// Achievable fraction of peak DRAM bandwidth for streaming kernels.
+    pub stream_bw_frac: f64,
+    /// Achievable DRAM fraction for NF4 de-quantization. bitsandbytes-style
+    /// dequant runs far below streaming peak; this constant sets the large
+    /// fixed cost per step that makes small-batch Mixtral-QLoRA
+    /// overhead-bound and dequant "significant at small batch sizes"
+    /// (paper Fig. 6).
+    pub dequant_bw_frac: f64,
+    /// Achievable DRAM fraction for optimizer read-modify-write sweeps.
+    pub optimizer_bw_frac: f64,
+    /// Occupancy shape parameter κ: tiles = κ·SMs gives 50% efficiency.
+    pub occupancy_kappa: f64,
+    /// Per-kernel dispatch overhead added on top of the hardware launch
+    /// latency, in µs (PyTorch eager dispatch; drives the per-kernel fixed
+    /// cost visible at batch size 1).
+    pub dispatch_overhead_us: f64,
+}
+
+impl Default for CalibrationProfile {
+    fn default() -> Self {
+        CalibrationProfile {
+            matmul_peak_frac: 0.45,
+            attention_peak_frac: 0.30,
+            mamba_peak_frac: 0.10,
+            scalar_peak_frac: 0.04,
+            stream_bw_frac: 0.70,
+            dequant_bw_frac: 0.28,
+            optimizer_bw_frac: 0.55,
+            occupancy_kappa: 1.0,
+            dispatch_overhead_us: 14.0,
+        }
+    }
+}
+
+impl CalibrationProfile {
+    /// `(compute_frac, bandwidth_frac)` ceilings for a kernel family.
+    pub fn ceilings(&self, kind: KernelKind) -> (f64, f64) {
+        match kind {
+            KernelKind::MatMul => (self.matmul_peak_frac, self.stream_bw_frac),
+            KernelKind::Attention => (self.attention_peak_frac, self.stream_bw_frac),
+            KernelKind::MambaScan => (self.mamba_peak_frac, 0.60),
+            KernelKind::Dequant => (self.scalar_peak_frac, self.dequant_bw_frac),
+            KernelKind::Router => (self.matmul_peak_frac, self.stream_bw_frac),
+            KernelKind::Optimizer => (self.scalar_peak_frac, self.optimizer_bw_frac),
+            KernelKind::Softmax
+            | KernelKind::TopK
+            | KernelKind::Norm
+            | KernelKind::Elementwise
+            | KernelKind::IndexAdd => (self.scalar_peak_frac, self.stream_bw_frac),
+        }
+    }
+}
+
+/// The priced execution of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Wall-clock latency in seconds.
+    pub latency_s: f64,
+    /// SM utilization in `[0, 1]`: the occupancy-weighted fraction of SM
+    /// capacity kept busy while the kernel runs (Nsight `sm__throughput`
+    /// analogue, reported in the paper's Fig. 9).
+    pub sm_util: f64,
+    /// Achieved fraction of peak DRAM bandwidth in `[0, 1]`
+    /// (Nsight `dram__throughput` analogue, Fig. 10).
+    pub dram_util: f64,
+    /// The binding resource.
+    pub bound: Bound,
+}
+
+/// Prices [`KernelDesc`]s on a [`GpuSpec`] under a [`CalibrationProfile`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    spec: GpuSpec,
+    calib: CalibrationProfile,
+}
+
+impl CostModel {
+    /// Cost model with the default calibration.
+    pub fn new(spec: GpuSpec) -> Self {
+        CostModel {
+            spec,
+            calib: CalibrationProfile::default(),
+        }
+    }
+
+    /// Cost model with an explicit calibration profile.
+    pub fn with_calibration(spec: GpuSpec, calib: CalibrationProfile) -> Self {
+        CostModel { spec, calib }
+    }
+
+    /// The device being modeled.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// The active calibration.
+    pub fn calibration(&self) -> &CalibrationProfile {
+        &self.calib
+    }
+
+    /// Occupancy efficiency for a kernel exposing `tiles` independent tiles.
+    pub fn occupancy(&self, tiles: f64) -> f64 {
+        let s = self.spec.sm_count as f64 * self.calib.occupancy_kappa;
+        tiles / (tiles + s)
+    }
+
+    /// Prices a single kernel launch.
+    pub fn kernel_cost(&self, k: &KernelDesc) -> KernelCost {
+        let (compute_frac, bw_frac) = self.calib.ceilings(k.kind);
+        let occ = self.occupancy(k.tiles);
+        let peak_flops = self.spec.peak_tflops * 1e12;
+        let peak_bw = self.spec.mem_bandwidth_gbps * 1e9;
+
+        let t_compute = if k.flops > 0.0 {
+            k.flops / (peak_flops * compute_frac * occ)
+        } else {
+            0.0
+        };
+        let t_memory = if k.bytes > 0.0 {
+            k.bytes / (peak_bw * bw_frac)
+        } else {
+            0.0
+        };
+        let t_launch =
+            (self.spec.kernel_launch_overhead_us + self.calib.dispatch_overhead_us) * 1e-6;
+        let t_work = t_compute.max(t_memory);
+        let latency = t_launch + t_work;
+
+        let bound = if t_work < t_launch {
+            Bound::Overhead
+        } else if t_compute >= t_memory {
+            Bound::Compute
+        } else {
+            Bound::Memory
+        };
+
+        // SMs are occupied (issuing or stalled on memory) for the working
+        // portion of the kernel, across the fraction of the machine the grid
+        // covers.
+        let busy = (k.tiles / self.spec.sm_count as f64).min(1.0);
+        let sm_util = (busy * t_work / latency).clamp(0.0, 1.0);
+        let dram_util = (k.bytes / peak_bw / latency).clamp(0.0, 1.0);
+
+        KernelCost {
+            latency_s: latency,
+            sm_util,
+            dram_util,
+            bound,
+        }
+    }
+
+    /// Total latency of a sequence of kernels (no overlap, as in eager
+    /// execution).
+    pub fn sequence_latency(&self, kernels: &[KernelDesc]) -> f64 {
+        kernels.iter().map(|k| self.kernel_cost(k).latency_s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> CostModel {
+        CostModel::new(GpuSpec::a40())
+    }
+
+    #[test]
+    fn occupancy_saturates_toward_one() {
+        let m = model();
+        assert!(m.occupancy(1.0) < 0.05);
+        let half = m.occupancy(84.0);
+        assert!((half - 0.5).abs() < 1e-9, "kappa=1 → 50% at tiles=SMs");
+        assert!(m.occupancy(100_000.0) > 0.99);
+    }
+
+    #[test]
+    fn big_gemm_is_compute_bound() {
+        let m = model();
+        let k = KernelDesc::matmul(8192, 8192, 8192, 2);
+        let c = m.kernel_cost(&k);
+        assert_eq!(c.bound, Bound::Compute);
+        assert!(c.sm_util > 0.9);
+    }
+
+    #[test]
+    fn skinny_gemm_is_memory_bound() {
+        // One token row: loads the whole weight matrix for almost no math.
+        let m = model();
+        let k = KernelDesc::matmul(1, 14336, 4096, 2);
+        let c = m.kernel_cost(&k);
+        assert_eq!(c.bound, Bound::Memory);
+    }
+
+    #[test]
+    fn tiny_kernel_is_overhead_bound() {
+        let m = model();
+        let k = KernelDesc::elementwise(KernelKind::Norm, 128.0, 5.0, 4.0);
+        let c = m.kernel_cost(&k);
+        assert_eq!(c.bound, Bound::Overhead);
+    }
+
+    #[test]
+    fn dequant_util_is_batch_independent() {
+        // The dequant kernel touches the same weights regardless of batch:
+        // identical descriptors → identical utilization (paper Fig. 9/10).
+        let m = model();
+        let c = m.kernel_cost(&KernelDesc::dequant(1e9));
+        assert!(c.sm_util > 0.5, "weights expose plenty of parallelism");
+        assert!(c.dram_util > 0.15 && c.dram_util < 0.30);
+    }
+
+    #[test]
+    fn matmul_sm_util_grows_with_rows() {
+        let m = model();
+        let small = m.kernel_cost(&KernelDesc::matmul(32, 14336, 4096, 2));
+        let large = m.kernel_cost(&KernelDesc::matmul(1024, 14336, 4096, 2));
+        assert!(large.sm_util > small.sm_util);
+    }
+
+    #[test]
+    fn matmul_dram_util_falls_with_rows() {
+        let m = model();
+        let small = m.kernel_cost(&KernelDesc::matmul(32, 14336, 4096, 2));
+        let large = m.kernel_cost(&KernelDesc::matmul(2048, 14336, 4096, 2));
+        assert!(large.dram_util < small.dram_util);
+    }
+
+    #[test]
+    fn faster_gpu_is_faster_on_compute_bound_work() {
+        let a40 = CostModel::new(GpuSpec::a40());
+        let h100 = CostModel::new(GpuSpec::h100_80());
+        let k = KernelDesc::matmul(4096, 4096, 4096, 2);
+        assert!(h100.kernel_cost(&k).latency_s < a40.kernel_cost(&k).latency_s);
+    }
+
+    #[test]
+    fn sequence_latency_adds_up() {
+        let m = model();
+        let ks = vec![
+            KernelDesc::matmul(256, 256, 256, 2),
+            KernelDesc::dequant(1e6),
+        ];
+        let total = m.sequence_latency(&ks);
+        let manual: f64 = ks.iter().map(|k| m.kernel_cost(k).latency_s).sum();
+        assert!((total - manual).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_latency_monotone_in_flops(base in 1e6f64..1e12, extra in 1e6f64..1e12) {
+            let m = model();
+            let k1 = KernelDesc::new(KernelKind::MatMul, base, 1e6, 500.0);
+            let k2 = KernelDesc::new(KernelKind::MatMul, base + extra, 1e6, 500.0);
+            prop_assert!(m.kernel_cost(&k2).latency_s >= m.kernel_cost(&k1).latency_s);
+        }
+
+        #[test]
+        fn prop_latency_monotone_in_bytes(base in 1e6f64..1e12, extra in 1e6f64..1e12) {
+            let m = model();
+            let k1 = KernelDesc::new(KernelKind::Elementwise, 0.0, base, 500.0);
+            let k2 = KernelDesc::new(KernelKind::Elementwise, 0.0, base + extra, 500.0);
+            prop_assert!(m.kernel_cost(&k2).latency_s >= m.kernel_cost(&k1).latency_s);
+        }
+
+        #[test]
+        fn prop_utils_in_unit_interval(flops in 0.0f64..1e13, bytes in 0.0f64..1e12, tiles in 1.0f64..1e6) {
+            let m = model();
+            let c = m.kernel_cost(&KernelDesc::new(KernelKind::MatMul, flops, bytes, tiles));
+            prop_assert!((0.0..=1.0).contains(&c.sm_util));
+            prop_assert!((0.0..=1.0).contains(&c.dram_util));
+            prop_assert!(c.latency_s > 0.0);
+        }
+
+        #[test]
+        fn prop_occupancy_monotone(t1 in 1.0f64..1e6, t2 in 1.0f64..1e6) {
+            let m = model();
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(m.occupancy(lo) <= m.occupancy(hi));
+        }
+    }
+}

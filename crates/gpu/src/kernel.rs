@@ -1,0 +1,186 @@
+//! Kernel descriptors: the unit of work the cost model prices.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kernel families that appear in the paper's MoE-layer breakdown
+/// (Fig. 6) and hardware characterization (Figs. 9–10), plus the remaining
+/// families needed to cover a full fine-tuning step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Dense matrix multiplication (GEMM) — expert W1/W2/W3, attention
+    /// projections, LoRA adapters.
+    MatMul,
+    /// NF4 → bf16 weight de-quantization (QLoRA path only).
+    Dequant,
+    /// MoE router: gate projection producing router logits.
+    Router,
+    /// Row-wise softmax (router weights, attention probabilities).
+    Softmax,
+    /// Top-k expert selection.
+    TopK,
+    /// Fused flash-attention kernel.
+    Attention,
+    /// Mamba selective-scan kernel (BlackMamba state-space layers).
+    MambaScan,
+    /// RMS / layer normalization.
+    Norm,
+    /// Generic elementwise work: activations, residual adds, scaling.
+    Elementwise,
+    /// `index_add_` scatter combining expert outputs (paper Fig. 12 line 8).
+    IndexAdd,
+    /// Optimizer update (AdamW read-modify-write over trainable state).
+    Optimizer,
+}
+
+impl KernelKind {
+    /// All kinds, in display order.
+    pub fn all() -> [KernelKind; 11] {
+        use KernelKind::*;
+        [
+            MatMul, Dequant, Router, Softmax, TopK, Attention, MambaScan, Norm, Elementwise,
+            IndexAdd, Optimizer,
+        ]
+    }
+
+    /// Short label used in reports (matches the paper's figure legends where
+    /// applicable).
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelKind::MatMul => "matmul",
+            KernelKind::Dequant => "dequant",
+            KernelKind::Router => "router",
+            KernelKind::Softmax => "softmax",
+            KernelKind::TopK => "topk",
+            KernelKind::Attention => "attention",
+            KernelKind::MambaScan => "mamba_scan",
+            KernelKind::Norm => "norm",
+            KernelKind::Elementwise => "elementwise",
+            KernelKind::IndexAdd => "index_add",
+            KernelKind::Optimizer => "optimizer",
+        }
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A single kernel launch: how much arithmetic, how much memory traffic, and
+/// how much tile-level parallelism it exposes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Kernel family (drives per-kind efficiency in the cost model).
+    pub kind: KernelKind,
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes moved to/from DRAM (reads + writes).
+    pub bytes: f64,
+    /// Independent tiles / thread blocks the kernel can spread over SMs.
+    pub tiles: f64,
+}
+
+impl KernelDesc {
+    /// Creates a descriptor; clamps negative inputs to zero.
+    pub fn new(kind: KernelKind, flops: f64, bytes: f64, tiles: f64) -> Self {
+        KernelDesc {
+            kind,
+            flops: flops.max(0.0),
+            bytes: bytes.max(0.0),
+            tiles: tiles.max(1.0),
+        }
+    }
+
+    /// A GEMM `C[m,n] = A[m,k] @ B[k,n]` with `dtype_bytes`-wide elements.
+    ///
+    /// `flops = 2 m n k`, traffic = A + B + C, tiles follow a 64×128 output
+    /// tiling (a common tensor-core tile granularity).
+    pub fn matmul(m: usize, n: usize, k: usize, dtype_bytes: usize) -> Self {
+        let (mf, nf, kf, d) = (m as f64, n as f64, k as f64, dtype_bytes as f64);
+        KernelDesc::new(
+            KernelKind::MatMul,
+            2.0 * mf * nf * kf,
+            (mf * kf + kf * nf + mf * nf) * d,
+            (mf / 64.0).ceil() * (nf / 128.0).ceil(),
+        )
+    }
+
+    /// An elementwise kernel over `elems` elements with `flops_per_elem`
+    /// operations and `bytes_per_elem` of traffic each.
+    pub fn elementwise(kind: KernelKind, elems: f64, flops_per_elem: f64, bytes_per_elem: f64) -> Self {
+        KernelDesc::new(kind, elems * flops_per_elem, elems * bytes_per_elem, (elems / 4096.0).ceil())
+    }
+
+    /// A de-quantization kernel expanding `elems` 4-bit weights to bf16:
+    /// reads 0.5 B/elem (+ scales), writes 2 B/elem, ~4 flops each.
+    pub fn dequant(elems: f64) -> Self {
+        KernelDesc::new(
+            KernelKind::Dequant,
+            4.0 * elems,
+            2.5625 * elems, // 0.5 read + 2.0 write + 1/16 block-scale read
+            (elems / 4096.0).ceil(),
+        )
+    }
+
+    /// Arithmetic intensity in FLOPs per byte (∞-safe: returns 0 for empty
+    /// kernels).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            0.0
+        } else {
+            self.flops / self.bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_flops_and_bytes() {
+        let k = KernelDesc::matmul(128, 256, 64, 2);
+        assert_eq!(k.flops, 2.0 * 128.0 * 256.0 * 64.0);
+        assert_eq!(k.bytes, ((128 * 64 + 64 * 256 + 128 * 256) * 2) as f64);
+        assert_eq!(k.tiles, 4.0); // ceil(128/64) * ceil(256/128)
+    }
+
+    #[test]
+    fn matmul_tiles_round_up() {
+        let k = KernelDesc::matmul(1, 14336, 4096, 2);
+        assert_eq!(k.tiles, 112.0); // 1 row-tile × 112 col-tiles
+    }
+
+    #[test]
+    fn dequant_traffic_dominated_by_write() {
+        let k = KernelDesc::dequant(1e6);
+        assert!(k.bytes > 2.0e6 && k.bytes < 3.0e6);
+        assert_eq!(k.kind, KernelKind::Dequant);
+    }
+
+    #[test]
+    fn intensity_monotone_in_k() {
+        // Bigger inner dimension -> higher arithmetic intensity.
+        let small = KernelDesc::matmul(256, 256, 64, 2);
+        let large = KernelDesc::matmul(256, 256, 1024, 2);
+        assert!(large.intensity() > small.intensity());
+    }
+
+    #[test]
+    fn new_clamps_degenerate_inputs() {
+        let k = KernelDesc::new(KernelKind::Norm, -5.0, -1.0, 0.0);
+        assert_eq!(k.flops, 0.0);
+        assert_eq!(k.bytes, 0.0);
+        assert_eq!(k.tiles, 1.0);
+        assert_eq!(k.intensity(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            KernelKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), KernelKind::all().len());
+    }
+}

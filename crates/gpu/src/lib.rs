@@ -1,0 +1,37 @@
+//! # ftsim-gpu
+//!
+//! GPU hardware modeling for the `ftsim` workspace: device specifications,
+//! an analytical (roofline + occupancy) kernel cost model standing in for a
+//! physical GPU, Nsight-Compute-style profile aggregation, and cloud GPU
+//! pricing.
+//!
+//! The paper characterizes LLM fine-tuning on an NVIDIA A40 and validates its
+//! analytical cost model on A100-40GB, A100-80GB and H100-80GB. All four
+//! devices are available from [`GpuSpec`]'s catalog:
+//!
+//! ```
+//! use ftsim_gpu::{CostModel, GpuSpec, KernelDesc, KernelKind};
+//!
+//! let gpu = GpuSpec::a40();
+//! let model = CostModel::new(gpu);
+//! // A 4096x4096x4096 bf16 GEMM:
+//! let gemm = KernelDesc::matmul(4096, 4096, 4096, 2);
+//! let cost = model.kernel_cost(&gemm);
+//! assert!(cost.latency_s > 0.0);
+//! assert!(cost.sm_util <= 1.0 && cost.dram_util <= 1.0);
+//! ```
+
+pub mod cost;
+pub mod kernel;
+pub mod pricing;
+pub mod profile;
+pub mod spec;
+
+pub use cost::{CalibrationProfile, CostModel, KernelCost};
+pub use kernel::{KernelDesc, KernelKind};
+pub use pricing::{CloudProvider, PriceTable};
+pub use profile::{Breakdown, UtilizationSummary};
+pub use spec::GpuSpec;
+
+/// Bytes in one gibibyte.
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;

@@ -1,0 +1,231 @@
+//! Nsight-Compute-style aggregation of priced kernels: time breakdowns and
+//! time-weighted utilization summaries.
+
+use crate::cost::KernelCost;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A latency breakdown keyed by an arbitrary label (stage name, layer name,
+/// kernel family, …), as plotted in the paper's Figs. 4–6.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    entries: BTreeMap<String, f64>,
+}
+
+impl Breakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `seconds` to `key`'s bucket.
+    pub fn add(&mut self, key: impl Into<String>, seconds: f64) {
+        *self.entries.entry(key.into()).or_insert(0.0) += seconds;
+    }
+
+    /// Seconds accumulated for `key` (0 if absent).
+    pub fn seconds(&self, key: &str) -> f64 {
+        self.entries.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Total seconds across all buckets.
+    pub fn total(&self) -> f64 {
+        self.entries.values().sum()
+    }
+
+    /// `key`'s share of the total, in percent (0 if the total is 0).
+    pub fn percent(&self, key: &str) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            100.0 * self.seconds(key) / total
+        }
+    }
+
+    /// `(key, seconds)` pairs sorted by descending time.
+    pub fn sorted(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .entries
+            .iter()
+            .map(|(k, &s)| (k.clone(), s))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Iterates over `(key, seconds)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no keys were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        for (key, secs) in self.sorted() {
+            let pct = if total > 0.0 { 100.0 * secs / total } else { 0.0 };
+            writeln!(f, "  {key:<16} {:>10.3} ms  {pct:>5.1}%", secs * 1e3)?;
+        }
+        writeln!(f, "  {:<16} {:>10.3} ms  100.0%", "TOTAL", total * 1e3)
+    }
+}
+
+impl<K: Into<String>> FromIterator<(K, f64)> for Breakdown {
+    fn from_iter<T: IntoIterator<Item = (K, f64)>>(iter: T) -> Self {
+        let mut b = Breakdown::new();
+        for (k, s) in iter {
+            b.add(k, s);
+        }
+        b
+    }
+}
+
+impl Extend<(String, f64)> for Breakdown {
+    fn extend<T: IntoIterator<Item = (String, f64)>>(&mut self, iter: T) {
+        for (k, s) in iter {
+            self.add(k, s);
+        }
+    }
+}
+
+/// Time-weighted utilization aggregate over a set of priced kernels — the
+/// quantity plotted per kernel family in the paper's Figs. 9 and 10
+/// ("utilization weighted by the amount of time each kernel takes").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSummary {
+    /// Total kernel-seconds aggregated.
+    pub seconds: f64,
+    /// Time-weighted mean SM utilization in `[0, 1]`.
+    pub sm_util: f64,
+    /// Time-weighted mean DRAM bandwidth utilization in `[0, 1]`.
+    pub dram_util: f64,
+}
+
+impl UtilizationSummary {
+    /// Aggregates priced kernels into a time-weighted summary.
+    pub fn from_costs<'a>(costs: impl IntoIterator<Item = &'a KernelCost>) -> Self {
+        let mut seconds = 0.0;
+        let mut sm = 0.0;
+        let mut dram = 0.0;
+        for c in costs {
+            seconds += c.latency_s;
+            sm += c.sm_util * c.latency_s;
+            dram += c.dram_util * c.latency_s;
+        }
+        if seconds == 0.0 {
+            UtilizationSummary::default()
+        } else {
+            UtilizationSummary {
+                seconds,
+                sm_util: sm / seconds,
+                dram_util: dram / seconds,
+            }
+        }
+    }
+
+    /// Merges two summaries, preserving time weighting.
+    pub fn merge(self, other: UtilizationSummary) -> UtilizationSummary {
+        let seconds = self.seconds + other.seconds;
+        if seconds == 0.0 {
+            return UtilizationSummary::default();
+        }
+        UtilizationSummary {
+            seconds,
+            sm_util: (self.sm_util * self.seconds + other.sm_util * other.seconds) / seconds,
+            dram_util: (self.dram_util * self.seconds + other.dram_util * other.seconds) / seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Bound;
+
+    fn cost(latency: f64, sm: f64, dram: f64) -> KernelCost {
+        KernelCost {
+            latency_s: latency,
+            sm_util: sm,
+            dram_util: dram,
+            bound: Bound::Compute,
+        }
+    }
+
+    #[test]
+    fn breakdown_accumulates_and_ranks() {
+        let mut b = Breakdown::new();
+        b.add("moe", 0.8);
+        b.add("attention", 0.15);
+        b.add("moe", 0.05);
+        assert!((b.seconds("moe") - 0.85).abs() < 1e-12);
+        assert!((b.total() - 1.0).abs() < 1e-12);
+        assert!((b.percent("moe") - 85.0).abs() < 1e-9);
+        assert_eq!(b.sorted()[0].0, "moe");
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn breakdown_missing_key_is_zero() {
+        let b = Breakdown::new();
+        assert_eq!(b.seconds("nope"), 0.0);
+        assert_eq!(b.percent("nope"), 0.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn breakdown_from_iterator() {
+        let b: Breakdown = vec![("a", 1.0), ("b", 2.0), ("a", 3.0)].into_iter().collect();
+        assert_eq!(b.seconds("a"), 4.0);
+        assert_eq!(b.seconds("b"), 2.0);
+    }
+
+    #[test]
+    fn utilization_is_time_weighted() {
+        // A long kernel at 100% and a short one at 0% → mean near 100%.
+        let costs = [cost(0.9, 1.0, 0.2), cost(0.1, 0.0, 1.0)];
+        let u = UtilizationSummary::from_costs(costs.iter());
+        assert!((u.sm_util - 0.9).abs() < 1e-9);
+        assert!((u.dram_util - (0.2 * 0.9 + 1.0 * 0.1)).abs() < 1e-9);
+        assert!((u.seconds - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_utilization_is_zero() {
+        let u = UtilizationSummary::from_costs(std::iter::empty());
+        assert_eq!(u.seconds, 0.0);
+        assert_eq!(u.sm_util, 0.0);
+    }
+
+    #[test]
+    fn merge_equals_joint_aggregation() {
+        let a = [cost(0.5, 0.8, 0.3), cost(0.2, 0.4, 0.6)];
+        let b = [cost(0.3, 0.1, 0.9)];
+        let merged = UtilizationSummary::from_costs(a.iter())
+            .merge(UtilizationSummary::from_costs(b.iter()));
+        let joint = UtilizationSummary::from_costs(a.iter().chain(b.iter()));
+        assert!((merged.sm_util - joint.sm_util).abs() < 1e-12);
+        assert!((merged.dram_util - joint.dram_util).abs() < 1e-12);
+        assert!((merged.seconds - joint.seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_total() {
+        let mut b = Breakdown::new();
+        b.add("x", 0.001);
+        let s = b.to_string();
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains('x'));
+    }
+}

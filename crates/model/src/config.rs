@@ -1,0 +1,121 @@
+//! Model architecture configuration types.
+
+use ftsim_tensor::nn::ExpertKind;
+use serde::{Deserialize, Serialize};
+
+/// The sequence-mixing block of a decoder layer: self-attention (Mixtral) or
+/// a Mamba selective-state-space block (BlackMamba). See the paper's Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SequenceMixer {
+    /// Multi-head attention with grouped-query KV heads.
+    Attention {
+        /// Number of query heads.
+        heads: usize,
+        /// Number of key/value heads (GQA).
+        kv_heads: usize,
+        /// Per-head dimension.
+        head_dim: usize,
+    },
+    /// Mamba selective scan block.
+    Mamba {
+        /// Inner expansion factor (d_inner = expand × hidden).
+        expand: usize,
+        /// SSM state dimension N.
+        state_dim: usize,
+        /// Depthwise conv kernel width.
+        conv_width: usize,
+        /// Rank of the Δt projection.
+        dt_rank: usize,
+    },
+}
+
+/// Mixture-of-experts sub-layer configuration (the FFN replacement of
+/// Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MoeConfig {
+    /// Number of experts per MoE layer (8 for both paper models).
+    pub num_experts: usize,
+    /// Expert FFN inner dimension.
+    pub ffn_dim: usize,
+    /// Expert architecture (Fig. 7: SwiGLU for Mixtral, GELU FFN for
+    /// BlackMamba).
+    pub expert_kind: ExpertKind,
+}
+
+/// A full decoder-only MoE LLM architecture.
+///
+/// Every decoder layer consists of `mixer` (attention or Mamba) followed by
+/// an MoE feed-forward sub-layer, with RMS norms around each — the structure
+/// shared by Mixtral and BlackMamba in the paper's Fig. 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Model name for reports.
+    pub name: String,
+    /// Hidden (residual-stream) dimension.
+    pub hidden: usize,
+    /// Number of decoder layers.
+    pub num_layers: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Whether input embedding and LM head share weights.
+    pub tie_embeddings: bool,
+    /// The sequence mixer of each layer.
+    pub mixer: SequenceMixer,
+    /// The MoE sub-layer of each layer.
+    pub moe: MoeConfig,
+}
+
+impl ModelConfig {
+    /// Parameter counts broken down by component.
+    pub fn param_counts(&self) -> crate::params::ParamCounts {
+        crate::params::ParamCounts::of(self)
+    }
+
+    /// Dimension of the mixer's output projection input (`heads × head_dim`
+    /// for attention, `expand × hidden` for Mamba).
+    pub fn mixer_inner_dim(&self) -> usize {
+        match self.mixer {
+            SequenceMixer::Attention { heads, head_dim, .. } => heads * head_dim,
+            SequenceMixer::Mamba { expand, .. } => expand * self.hidden,
+        }
+    }
+
+    /// `true` if the mixer is attention-based.
+    pub fn is_attention(&self) -> bool {
+        matches!(self.mixer, SequenceMixer::Attention { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn mixtral_is_attention_based() {
+        let m = presets::mixtral_8x7b();
+        assert!(m.is_attention());
+        assert_eq!(m.mixer_inner_dim(), 4096);
+        assert_eq!(m.moe.num_experts, 8);
+        assert_eq!(m.moe.expert_kind, ftsim_tensor::nn::ExpertKind::SwiGlu);
+    }
+
+    #[test]
+    fn blackmamba_is_state_space() {
+        let m = presets::blackmamba_2p8b();
+        assert!(!m.is_attention());
+        assert_eq!(m.moe.expert_kind, ftsim_tensor::nn::ExpertKind::GeluFfn);
+        match m.mixer {
+            SequenceMixer::Mamba { expand, .. } => assert_eq!(m.mixer_inner_dim(), expand * m.hidden),
+            _ => panic!("expected Mamba mixer"),
+        }
+    }
+
+    #[test]
+    fn configs_serialize_roundtrip() {
+        let m = presets::mixtral_8x7b();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ModelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

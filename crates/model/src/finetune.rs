@@ -1,0 +1,238 @@
+//! Fine-tuning strategies: what is trained, what is quantized, and how many
+//! experts are activated.
+
+use crate::config::ModelConfig;
+use ftsim_tensor::nn::ExpertKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How many experts each token activates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sparsity {
+    /// All experts active for every token (paper's *dense* configuration).
+    Dense,
+    /// Top-k experts per token (the paper's *sparse* configuration is
+    /// `TopK(2)` of 8 experts).
+    TopK(usize),
+}
+
+impl Sparsity {
+    /// Experts activated per token for a model with `num_experts` experts.
+    pub fn active_experts(&self, num_experts: usize) -> usize {
+        match *self {
+            Sparsity::Dense => num_experts,
+            Sparsity::TopK(k) => k.min(num_experts),
+        }
+    }
+
+    /// The scalar sparsity ratio `active / total` used by the paper's
+    /// Eqs. (1) and (2): 1.0 for dense, 0.25 for top-2 of 8.
+    pub fn ratio(&self, num_experts: usize) -> f64 {
+        self.active_experts(num_experts) as f64 / num_experts as f64
+    }
+}
+
+impl fmt::Display for Sparsity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sparsity::Dense => write!(f, "dense"),
+            Sparsity::TopK(k) => write!(f, "sparse(top-{k})"),
+        }
+    }
+}
+
+/// Which parameters are trained and how base weights are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FineTuneMethod {
+    /// Full fine-tuning: all parameters trainable, bf16 weights — the
+    /// paper's BlackMamba setup.
+    Full,
+    /// LoRA adapters of the given rank on the MoE layers (experts + router),
+    /// bf16 base weights.
+    Lora {
+        /// Adapter rank.
+        rank: usize,
+    },
+    /// QLoRA: LoRA adapters on the MoE layers (experts + router) with NF4
+    /// double-quantized base weights — the paper's Mixtral setup, rank 16.
+    QLora {
+        /// Adapter rank.
+        rank: usize,
+    },
+}
+
+impl FineTuneMethod {
+    /// `true` if base weights are stored 4-bit and de-quantized on the fly.
+    pub fn is_quantized(&self) -> bool {
+        matches!(self, FineTuneMethod::QLora { .. })
+    }
+
+    /// LoRA rank, if adapters are used.
+    pub fn lora_rank(&self) -> Option<usize> {
+        match *self {
+            FineTuneMethod::Full => None,
+            FineTuneMethod::Lora { rank } | FineTuneMethod::QLora { rank } => Some(rank),
+        }
+    }
+}
+
+/// A complete fine-tuning recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FineTuneConfig {
+    /// Trainable-parameter strategy.
+    pub method: FineTuneMethod,
+    /// Expert activation pattern.
+    pub sparsity: Sparsity,
+    /// Whether activations are recomputed in the backward pass (the paper
+    /// enables gradient checkpointing to save memory, at the cost of an
+    /// extra forward re-computation — see its Fig. 4 discussion).
+    pub gradient_checkpointing: bool,
+}
+
+impl FineTuneConfig {
+    /// The paper's Mixtral recipe: QLoRA rank 16 on MoE layers (including
+    /// routers), sparse top-2 routing, gradient checkpointing on.
+    pub fn qlora_sparse() -> Self {
+        FineTuneConfig {
+            method: FineTuneMethod::QLora { rank: 16 },
+            sparsity: Sparsity::TopK(2),
+            gradient_checkpointing: true,
+        }
+    }
+
+    /// The paper's Mixtral dense ablation: QLoRA with all experts active.
+    pub fn qlora_dense() -> Self {
+        FineTuneConfig {
+            sparsity: Sparsity::Dense,
+            ..Self::qlora_sparse()
+        }
+    }
+
+    /// The paper's BlackMamba recipe: full fine-tuning, sparse top-2.
+    pub fn full_sparse() -> Self {
+        FineTuneConfig {
+            method: FineTuneMethod::Full,
+            sparsity: Sparsity::TopK(2),
+            gradient_checkpointing: true,
+        }
+    }
+
+    /// The paper's BlackMamba dense ablation.
+    pub fn full_dense() -> Self {
+        FineTuneConfig {
+            sparsity: Sparsity::Dense,
+            ..Self::full_sparse()
+        }
+    }
+
+    /// The canonical recipe the paper uses for `model` (QLoRA for Mixtral,
+    /// full fine-tuning for BlackMamba), with the given sparsity.
+    pub fn for_model(model: &ModelConfig, sparsity: Sparsity) -> Self {
+        let base = if model.is_attention() {
+            Self::qlora_sparse()
+        } else {
+            Self::full_sparse()
+        };
+        FineTuneConfig { sparsity, ..base }
+    }
+
+    /// Number of trainable parameters for `model` under this recipe.
+    ///
+    /// For (Q)LoRA this counts adapters on every expert matrix and the
+    /// router of every layer, matching the paper's "we target the MoE
+    /// layers, including the routers" setup.
+    pub fn trainable_params(&self, model: &ModelConfig) -> u64 {
+        match self.method {
+            FineTuneMethod::Full => model.param_counts().total(),
+            FineTuneMethod::Lora { rank } | FineTuneMethod::QLora { rank } => {
+                let h = model.hidden as u64;
+                let f = model.moe.ffn_dim as u64;
+                let e = model.moe.num_experts as u64;
+                let r = rank as u64;
+                let mats = match model.moe.expert_kind {
+                    ExpertKind::SwiGlu => 3,
+                    ExpertKind::GeluFfn => 2,
+                };
+                // Each adapted matrix W[h×f] gains A[h×r] + B[r×f].
+                let per_expert = mats * r * (h + f);
+                let router = r * (h + e);
+                (e * per_expert + router) * model.num_layers as u64
+            }
+        }
+    }
+
+    /// Trainable fraction of all parameters, in percent.
+    pub fn trainable_pct(&self, model: &ModelConfig) -> f64 {
+        100.0 * self.trainable_params(model) as f64 / model.param_counts().total() as f64
+    }
+}
+
+impl fmt::Display for FineTuneConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let method = match self.method {
+            FineTuneMethod::Full => "full".to_string(),
+            FineTuneMethod::Lora { rank } => format!("LoRA(r={rank})"),
+            FineTuneMethod::QLora { rank } => format!("QLoRA(r={rank})"),
+        };
+        write!(f, "{method}/{}", self.sparsity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn sparsity_ratios_match_paper() {
+        assert_eq!(Sparsity::Dense.ratio(8), 1.0);
+        assert_eq!(Sparsity::TopK(2).ratio(8), 0.25);
+        assert_eq!(Sparsity::TopK(2).active_experts(8), 2);
+        assert_eq!(Sparsity::TopK(12).active_experts(8), 8);
+    }
+
+    #[test]
+    fn qlora_trainable_params_are_fraction_of_percent() {
+        let m = presets::mixtral_8x7b();
+        let ft = FineTuneConfig::qlora_sparse();
+        let trainable = ft.trainable_params(&m);
+        // rank-16 adapters on 8 experts × 3 matrices × 32 layers ≈ 228M.
+        assert!(
+            (220e6..240e6).contains(&(trainable as f64)),
+            "trainable = {trainable}"
+        );
+        assert!(ft.trainable_pct(&m) < 1.0);
+    }
+
+    #[test]
+    fn full_finetune_trains_everything() {
+        let m = presets::blackmamba_2p8b();
+        let ft = FineTuneConfig::full_sparse();
+        assert_eq!(ft.trainable_params(&m), m.param_counts().total());
+        assert_eq!(ft.trainable_pct(&m), 100.0);
+    }
+
+    #[test]
+    fn for_model_picks_paper_recipes() {
+        let mx = FineTuneConfig::for_model(&presets::mixtral_8x7b(), Sparsity::TopK(2));
+        assert!(mx.method.is_quantized());
+        assert_eq!(mx.method.lora_rank(), Some(16));
+        let bm = FineTuneConfig::for_model(&presets::blackmamba_2p8b(), Sparsity::Dense);
+        assert_eq!(bm.method, FineTuneMethod::Full);
+        assert_eq!(bm.sparsity, Sparsity::Dense);
+    }
+
+    #[test]
+    fn sparsity_is_the_only_difference_between_ablations() {
+        let s = FineTuneConfig::qlora_sparse();
+        let d = FineTuneConfig::qlora_dense();
+        assert_eq!(s.method, d.method);
+        assert_ne!(s.sparsity, d.sparsity);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(FineTuneConfig::qlora_sparse().to_string(), "QLoRA(r=16)/sparse(top-2)");
+        assert_eq!(FineTuneConfig::full_dense().to_string(), "full/dense");
+    }
+}

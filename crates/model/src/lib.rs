@@ -1,0 +1,32 @@
+//! # ftsim-model
+//!
+//! Architecture descriptions of the LLMs characterized in the paper —
+//! Mixtral-8x7B (attention MoE) and BlackMamba-2.8B (state-space MoE) —
+//! together with exact parameter counting, fine-tuning strategies
+//! (full / LoRA / QLoRA), and the GPU memory model that determines the
+//! maximum fine-tuning batch size (paper Table III).
+//!
+//! ```
+//! use ftsim_model::{presets, FineTuneConfig, MemoryModel};
+//! use ftsim_gpu::GpuSpec;
+//!
+//! let mixtral = presets::mixtral_8x7b();
+//! // Paper Table I: 47B parameters, 23.35 GB as NF4.
+//! assert!((mixtral.param_counts().total() as f64 / 1e9 - 46.7).abs() < 0.5);
+//!
+//! let ft = FineTuneConfig::qlora_sparse(); // the paper's Mixtral setup
+//! let mem = MemoryModel::new(&mixtral, &ft);
+//! let max_bs = mem.max_batch_size(&GpuSpec::a40(), 79); // CS dataset
+//! assert_eq!(max_bs, 8); // paper Table III, Mixtral-S on CS
+//! ```
+
+pub mod config;
+pub mod finetune;
+pub mod memory;
+pub mod params;
+pub mod presets;
+
+pub use config::{ModelConfig, MoeConfig, SequenceMixer};
+pub use finetune::{FineTuneConfig, FineTuneMethod, Sparsity};
+pub use memory::{ActivationCalibration, Dtype, MemoryBreakdown, MemoryModel};
+pub use params::ParamCounts;

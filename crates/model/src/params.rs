@@ -1,0 +1,177 @@
+//! Exact parameter counting per architectural component.
+
+use crate::config::{ModelConfig, SequenceMixer};
+use ftsim_tensor::nn::ExpertKind;
+use serde::{Deserialize, Serialize};
+
+/// Parameter counts of a [`ModelConfig`], broken down by component.
+///
+/// All counts are totals over the whole model (i.e. already multiplied by
+/// the number of layers / experts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamCounts {
+    /// Input embedding (+ untied LM head).
+    pub embedding: u64,
+    /// All sequence mixers (attention or Mamba blocks).
+    pub mixer: u64,
+    /// All MoE routers (gates).
+    pub router: u64,
+    /// All experts across all MoE layers.
+    pub experts: u64,
+    /// All RMS norms (two per layer plus the final norm).
+    pub norms: u64,
+    /// Experts per MoE layer (copied from the config, for
+    /// [`ParamCounts::active_total`]).
+    num_experts: u64,
+}
+
+impl ParamCounts {
+    /// Computes the breakdown for `config`.
+    pub fn of(config: &ModelConfig) -> Self {
+        let h = config.hidden as u64;
+        let layers = config.num_layers as u64;
+        let vocab = config.vocab as u64;
+
+        let embedding = if config.tie_embeddings {
+            vocab * h
+        } else {
+            2 * vocab * h
+        };
+
+        let mixer_per_layer = match config.mixer {
+            SequenceMixer::Attention {
+                heads,
+                kv_heads,
+                head_dim,
+            } => {
+                let q = h * (heads * head_dim) as u64;
+                let kv = 2 * h * (kv_heads * head_dim) as u64;
+                let o = (heads * head_dim) as u64 * h;
+                q + kv + o
+            }
+            SequenceMixer::Mamba {
+                expand,
+                state_dim,
+                conv_width,
+                dt_rank,
+            } => {
+                let d_inner = (expand * config.hidden) as u64;
+                let in_proj = h * 2 * d_inner; // x and gate paths
+                let conv = d_inner * conv_width as u64 + d_inner;
+                let x_proj = d_inner * (dt_rank as u64 + 2 * state_dim as u64);
+                let dt_proj = dt_rank as u64 * d_inner + d_inner;
+                let ssm_state = d_inner * state_dim as u64 + d_inner; // A_log + D
+                let out_proj = d_inner * h;
+                in_proj + conv + x_proj + dt_proj + ssm_state + out_proj
+            }
+        };
+
+        let router_per_layer = h * config.moe.num_experts as u64;
+        let expert_mats = match config.moe.expert_kind {
+            ExpertKind::SwiGlu => 3,
+            ExpertKind::GeluFfn => 2,
+        };
+        let experts_per_layer =
+            config.moe.num_experts as u64 * expert_mats * h * config.moe.ffn_dim as u64;
+        let norms = (2 * layers + 1) * h;
+
+        ParamCounts {
+            embedding,
+            mixer: mixer_per_layer * layers,
+            router: router_per_layer * layers,
+            experts: experts_per_layer * layers,
+            norms,
+            num_experts: config.moe.num_experts as u64,
+        }
+    }
+
+    /// Total parameters.
+    pub fn total(&self) -> u64 {
+        self.embedding + self.mixer + self.router + self.experts + self.norms
+    }
+
+    /// Parameters touched by a forward pass when only `top_k` of the experts
+    /// are activated per token (the paper's *sparse* configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top_k` is zero or exceeds the expert count.
+    pub fn active_total(&self, top_k: usize) -> u64 {
+        assert!(
+            top_k >= 1 && top_k as u64 <= self.num_experts,
+            "top_k {top_k} out of range 1..={}",
+            self.num_experts
+        );
+        self.embedding + self.mixer + self.router + self.norms
+            + self.experts * top_k as u64 / self.num_experts
+    }
+
+    /// Expert parameters per single expert of one layer × all layers... i.e.
+    /// the expert pool share of total parameters, in percent.
+    pub fn expert_share_pct(&self) -> f64 {
+        100.0 * self.experts as f64 / self.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets;
+
+    #[test]
+    fn mixtral_expert_pool_dominates() {
+        let c = presets::mixtral_8x7b().param_counts();
+        // Experts are 8×3×4096×14336×32 ≈ 45.1B of ~46.7B total.
+        assert!(c.expert_share_pct() > 90.0);
+        assert_eq!(c.experts, 8 * 3 * 4096 * 14336 * 32);
+    }
+
+    #[test]
+    fn mixtral_active_params_match_published_13b() {
+        // Mixtral's top-2 active parameter count is publicly ~12.9B.
+        let c = presets::mixtral_8x7b().param_counts();
+        let active = c.active_total(2) as f64 / 1e9;
+        assert!(
+            (12.0..13.5).contains(&active),
+            "active params {active:.2}B out of expected range"
+        );
+    }
+
+    #[test]
+    fn active_equals_total_when_dense() {
+        for m in presets::all() {
+            let c = m.param_counts();
+            assert_eq!(c.active_total(m.moe.num_experts), c.total());
+        }
+    }
+
+    #[test]
+    fn active_monotone_in_top_k() {
+        let c = presets::blackmamba_2p8b().param_counts();
+        let mut prev = 0;
+        for k in 1..=8 {
+            let a = c.active_total(k);
+            assert!(a > prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn active_total_rejects_zero() {
+        presets::mixtral_8x7b().param_counts().active_total(0);
+    }
+
+    #[test]
+    fn untied_embeddings_double() {
+        let mut m = presets::mixtral_8x7b();
+        let untied = m.param_counts().embedding;
+        m.tie_embeddings = true;
+        assert_eq!(m.param_counts().embedding * 2, untied);
+    }
+
+    #[test]
+    fn router_is_tiny() {
+        let c = presets::mixtral_8x7b().param_counts();
+        assert!(c.router < c.total() / 10_000);
+    }
+}

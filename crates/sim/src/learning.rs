@@ -1,0 +1,242 @@
+//! Calibrated learning curves (paper Fig. 3).
+//!
+//! The paper fine-tunes Mixtral and BlackMamba for 10 epochs and reports
+//! test accuracy per epoch on Hellaswag (HE) and GSM8K (GS), dense vs
+//! sparse. Running those fine-tuning jobs requires the real checkpoints and
+//! GPUs, so this module provides a *calibrated reconstruction*: saturating
+//! exponential curves whose anchors come from the paper's stated facts —
+//! pre-trained accuracy (<25% Mixtral, <10% BlackMamba), convergence within
+//! 10 epochs, GS near peak after 1 epoch, BlackMamba needing ~5 epochs on
+//! HE, BlackMamba inadequate on GS, and the sparse Mixtral-HE overfitting
+//! dip between epochs 4 and 5.
+//!
+//! The *emergent* counterpart — genuinely trained MoE models exhibiting the
+//! same relative structure — lives in [`crate::moetrain`].
+
+use serde::{Deserialize, Serialize};
+
+/// Accuracy-vs-epoch curve for one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearningCurve {
+    /// Configuration label, e.g. `"Mixtral-S/HE"`.
+    pub label: String,
+    /// Test accuracy at epochs 0 (pre-trained) through 10.
+    pub accuracy: Vec<f64>,
+}
+
+impl LearningCurve {
+    /// Accuracy of the pre-trained model (epoch 0).
+    pub fn pretrained(&self) -> f64 {
+        self.accuracy[0]
+    }
+
+    /// Best accuracy over all epochs.
+    pub fn peak(&self) -> f64 {
+        self.accuracy.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// First epoch within `tolerance` of the peak.
+    pub fn convergence_epoch(&self, tolerance: f64) -> usize {
+        let peak = self.peak();
+        self.accuracy
+            .iter()
+            .position(|&a| a >= peak - tolerance)
+            .expect("peak exists")
+    }
+}
+
+/// Parameters of one saturating curve with an optional overfitting dip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct CurveParams {
+    base: f64,
+    peak: f64,
+    tau: f64,
+    /// `(center_epoch, width, depth)` of a transient accuracy drop.
+    dip: Option<(f64, f64, f64)>,
+}
+
+impl CurveParams {
+    fn accuracy_at(&self, epoch: f64) -> f64 {
+        let mut acc = self.base + (self.peak - self.base) * (1.0 - (-epoch / self.tau).exp());
+        if let Some((center, width, depth)) = self.dip {
+            acc -= depth * (-((epoch - center) / width).powi(2)).exp();
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    fn curve(&self, label: &str, epochs: usize) -> LearningCurve {
+        LearningCurve {
+            label: label.to_string(),
+            accuracy: (0..=epochs).map(|e| self.accuracy_at(e as f64)).collect(),
+        }
+    }
+}
+
+/// The full Fig. 3 matrix: (model × dataset × sparsity) learning curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainabilityMatrix {
+    /// All eight curves.
+    pub curves: Vec<LearningCurve>,
+}
+
+impl TrainabilityMatrix {
+    /// Builds the calibrated Fig. 3 reconstruction (10 epochs).
+    pub fn fig3() -> Self {
+        let spec: [(&str, CurveParams); 8] = [
+            (
+                "Mixtral-D/HE",
+                CurveParams { base: 0.24, peak: 0.85, tau: 1.2, dip: None },
+            ),
+            (
+                // The paper's outlier: sparse Mixtral on the easy task dips
+                // between epochs 4 and 5 (overfitting) but recovers to a
+                // similar peak.
+                "Mixtral-S/HE",
+                CurveParams { base: 0.24, peak: 0.84, tau: 1.3, dip: Some((4.5, 0.7, 0.14)) },
+            ),
+            (
+                "Mixtral-D/GS",
+                CurveParams { base: 0.14, peak: 0.47, tau: 0.5, dip: None },
+            ),
+            (
+                "Mixtral-S/GS",
+                CurveParams { base: 0.14, peak: 0.46, tau: 0.55, dip: None },
+            ),
+            (
+                "BlackMamba-D/HE",
+                CurveParams { base: 0.08, peak: 0.63, tau: 2.2, dip: None },
+            ),
+            (
+                "BlackMamba-S/HE",
+                CurveParams { base: 0.08, peak: 0.61, tau: 2.4, dip: None },
+            ),
+            (
+                "BlackMamba-D/GS",
+                CurveParams { base: 0.03, peak: 0.09, tau: 0.5, dip: None },
+            ),
+            (
+                "BlackMamba-S/GS",
+                CurveParams { base: 0.03, peak: 0.08, tau: 0.55, dip: None },
+            ),
+        ];
+        TrainabilityMatrix {
+            curves: spec.iter().map(|(label, p)| p.curve(label, 10)).collect(),
+        }
+    }
+
+    /// Finds a curve by its label.
+    pub fn curve(&self, label: &str) -> Option<&LearningCurve> {
+        self.curves.iter().find(|c| c.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> TrainabilityMatrix {
+        TrainabilityMatrix::fig3()
+    }
+
+    #[test]
+    fn pretrained_accuracy_matches_paper_bounds() {
+        // "HE and GS have under 25% on Mixtral and under 10% on BlackMamba."
+        let m = matrix();
+        for c in &m.curves {
+            if c.label.starts_with("Mixtral") {
+                assert!(c.pretrained() < 0.25, "{}", c.label);
+            } else {
+                assert!(c.pretrained() < 0.10, "{}", c.label);
+            }
+        }
+    }
+
+    #[test]
+    fn ten_epochs_reach_peak() {
+        // Takeaway 2: fine-tuning takes < 10 epochs to reach peak accuracy.
+        for c in &matrix().curves {
+            assert!(
+                c.convergence_epoch(0.02) <= 10,
+                "{} converges at {}",
+                c.label,
+                c.convergence_epoch(0.02)
+            );
+        }
+    }
+
+    #[test]
+    fn gs_converges_by_first_epoch() {
+        // "On GS, both models are close to their peak accuracy at the first
+        // epoch."
+        let m = matrix();
+        for label in ["Mixtral-D/GS", "BlackMamba-D/GS"] {
+            let c = m.curve(label).unwrap();
+            assert!(
+                c.accuracy[1] > 0.8 * c.peak(),
+                "{label}: epoch-1 accuracy {} vs peak {}",
+                c.accuracy[1],
+                c.peak()
+            );
+        }
+    }
+
+    #[test]
+    fn blackmamba_he_needs_about_five_epochs() {
+        // "it took BlackMamba 5 epochs to converge on HE."
+        let c = matrix().curve("BlackMamba-D/HE").unwrap().clone();
+        let conv = c.convergence_epoch(0.05);
+        assert!((4..=7).contains(&conv), "converged at {conv}");
+    }
+
+    #[test]
+    fn mixtral_beats_blackmamba_everywhere() {
+        // Paper observation 3.
+        let m = matrix();
+        for ds in ["HE", "GS"] {
+            let mx = m.curve(&format!("Mixtral-D/{ds}")).unwrap().peak();
+            let bm = m.curve(&format!("BlackMamba-D/{ds}")).unwrap().peak();
+            assert!(mx > bm, "{ds}: {mx} vs {bm}");
+        }
+    }
+
+    #[test]
+    fn he_easier_than_gs() {
+        // Paper observation 4: both models do better on HE than GS.
+        let m = matrix();
+        for model in ["Mixtral", "BlackMamba"] {
+            let he = m.curve(&format!("{model}-D/HE")).unwrap().peak();
+            let gs = m.curve(&format!("{model}-D/GS")).unwrap().peak();
+            assert!(he > gs);
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense_peak() {
+        // Takeaway 1: sparse trains as well as dense (peaks within 3 pts).
+        let m = matrix();
+        for (d, s) in [
+            ("Mixtral-D/HE", "Mixtral-S/HE"),
+            ("Mixtral-D/GS", "Mixtral-S/GS"),
+            ("BlackMamba-D/HE", "BlackMamba-S/HE"),
+        ] {
+            let dp = m.curve(d).unwrap().peak();
+            let sp = m.curve(s).unwrap().peak();
+            assert!((dp - sp).abs() < 0.03, "{d} {dp} vs {s} {sp}");
+        }
+    }
+
+    #[test]
+    fn sparse_mixtral_he_dips_between_epochs_4_and_5() {
+        // The paper's overfitting outlier.
+        let c = matrix().curve("Mixtral-S/HE").unwrap().clone();
+        let dip_region = c.accuracy[4].min(c.accuracy[5]);
+        assert!(dip_region < c.accuracy[3], "no dip: {:?}", c.accuracy);
+        assert!(c.accuracy[10] > dip_region, "no recovery: {:?}", c.accuracy);
+    }
+
+    #[test]
+    fn blackmamba_gs_is_inadequate() {
+        // The paper drops BlackMamba-MATH from later studies for this.
+        assert!(matrix().curve("BlackMamba-D/GS").unwrap().peak() < 0.15);
+    }
+}

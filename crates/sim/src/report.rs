@@ -1,0 +1,133 @@
+//! Report assembly over step traces: per-kernel-family utilization tables
+//! (paper Figs. 9–10) and formatted breakdown summaries.
+
+use crate::trace::StepTrace;
+use ftsim_gpu::{KernelKind, UtilizationSummary};
+use serde::{Deserialize, Serialize};
+
+/// Utilization of one kernel family within the MoE layer at one batch size —
+/// one bar of the paper's Fig. 9 (SM) / Fig. 10 (DRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KindUtilization {
+    /// Kernel family.
+    pub kind: KernelKind,
+    /// Batch size of the trace.
+    pub batch: usize,
+    /// Time-weighted utilization aggregate.
+    pub util: UtilizationSummary,
+}
+
+/// The kernel families the paper's MoE-layer hardware study tracks.
+pub fn moe_kernel_kinds(quantized: bool) -> Vec<KernelKind> {
+    let mut kinds = vec![
+        KernelKind::MatMul,
+        KernelKind::Router,
+        KernelKind::Softmax,
+        KernelKind::TopK,
+        KernelKind::Elementwise,
+        KernelKind::IndexAdd,
+    ];
+    if quantized {
+        kinds.insert(1, KernelKind::Dequant);
+    }
+    kinds
+}
+
+/// Per-family MoE utilization rows for one trace.
+pub fn moe_utilization_table(trace: &StepTrace, quantized: bool) -> Vec<KindUtilization> {
+    moe_kernel_kinds(quantized)
+        .into_iter()
+        .map(|kind| KindUtilization {
+            kind,
+            batch: trace.batch,
+            util: trace.moe_utilization(kind),
+        })
+        .filter(|row| row.util.seconds > 0.0)
+        .collect()
+}
+
+/// A compact multi-line rendering of a trace's three breakdowns, used by the
+/// `repro` binary and examples.
+pub fn format_trace_summary(trace: &StepTrace) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "step: batch={} seq={} kernels={} total={:.1} ms",
+        trace.batch,
+        trace.seq_len,
+        trace.kernel_count(),
+        trace.total_seconds() * 1e3
+    );
+    let _ = writeln!(out, "by stage:\n{}", trace.stage_breakdown());
+    let _ = writeln!(out, "by layer:\n{}", trace.section_breakdown());
+    let _ = writeln!(out, "MoE kernels:\n{}", trace.moe_kernel_breakdown());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::StepSimulator;
+    use ftsim_gpu::{CostModel, GpuSpec};
+    use ftsim_model::{presets, FineTuneConfig};
+
+    fn trace(batch: usize) -> StepTrace {
+        StepSimulator::new(
+            presets::mixtral_8x7b(),
+            FineTuneConfig::qlora_sparse(),
+            CostModel::new(GpuSpec::a40()),
+        )
+        .simulate_step(batch, 128)
+    }
+
+    #[test]
+    fn quantized_table_includes_dequant() {
+        let rows = moe_utilization_table(&trace(1), true);
+        assert!(rows.iter().any(|r| r.kind == KernelKind::Dequant));
+        assert!(rows.iter().any(|r| r.kind == KernelKind::MatMul));
+        assert!(rows.iter().all(|r| r.util.seconds > 0.0));
+    }
+
+    #[test]
+    fn unquantized_kind_list_drops_dequant() {
+        assert!(!moe_kernel_kinds(false).contains(&KernelKind::Dequant));
+        assert!(moe_kernel_kinds(true).contains(&KernelKind::Dequant));
+    }
+
+    #[test]
+    fn matmul_sm_util_increases_with_batch() {
+        // The Fig. 9 trend: larger batch → higher matmul SM utilization.
+        let small = trace(1);
+        let large = trace(8);
+        let sm = |t: &StepTrace| t.moe_utilization(KernelKind::MatMul).sm_util;
+        assert!(sm(&large) > sm(&small));
+    }
+
+    #[test]
+    fn dequant_utilization_is_batch_invariant() {
+        // The Fig. 9/10 observation: dequant touches only weights, so its
+        // utilization does not depend on batch size.
+        let a = trace(1).moe_utilization(KernelKind::Dequant);
+        let b = trace(8).moe_utilization(KernelKind::Dequant);
+        assert!((a.sm_util - b.sm_util).abs() < 1e-9);
+        assert!((a.dram_util - b.dram_util).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overall_dram_util_decreases_with_batch() {
+        // Fig. 10: time-weighted memory utilization decreases as batch
+        // grows (weights amortized over more queries).
+        let small = trace(1).moe_overall_utilization();
+        let large = trace(8).moe_overall_utilization();
+        assert!(large.dram_util < small.dram_util);
+    }
+
+    #[test]
+    fn summary_mentions_all_sections() {
+        let s = format_trace_summary(&trace(2));
+        for key in ["forward", "backward", "optimizer", "moe", "matmul"] {
+            assert!(s.contains(key), "missing {key} in summary:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Expert token-distribution modeling (paper Fig. 11).
+//!
+//! The paper measures how fine-tuning shifts the token distribution across
+//! the 8 experts, quantified as the variance of the per-expert assignment
+//! percentages: Mixtral grows more imbalanced (CS 55 → 112, GS 21 → 79,
+//! with expert 3 becoming dominant), while BlackMamba's imbalance shrinks on
+//! CS (150 → 93) and barely moves on GS.
+//!
+//! Two complementary views are provided:
+//!
+//! * this module's **calibrated router population model** — a softmax router
+//!   whose concentration is bisected to reproduce the paper's published
+//!   variances exactly;
+//! * the **emergent measurement** from genuinely training a small MoE
+//!   ([`crate::moetrain`]), whose routing statistics are measured, not set.
+
+use ftsim_tensor::ops;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A percentage distribution of token assignments over experts
+/// (sums to 100).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenDistribution {
+    /// Percent of (token, expert) assignments routed to each expert.
+    pub pct: Vec<f64>,
+}
+
+impl TokenDistribution {
+    /// Builds a distribution from raw per-expert counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or all zero.
+    pub fn from_counts(counts: &[usize]) -> Self {
+        assert!(!counts.is_empty(), "need at least one expert");
+        let total: usize = counts.iter().sum();
+        assert!(total > 0, "need at least one routed token");
+        TokenDistribution {
+            pct: counts
+                .iter()
+                .map(|&c| 100.0 * c as f64 / total as f64)
+                .collect(),
+        }
+    }
+
+    /// Variance of the percentage values — the paper's imbalance metric.
+    pub fn variance(&self) -> f64 {
+        ops::variance(&self.pct)
+    }
+
+    /// Index of the most-used expert.
+    pub fn dominant_expert(&self) -> usize {
+        self.pct
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("percentages are finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+}
+
+/// A softmax router population: each expert has a fixed affinity, and the
+/// share of tokens it attracts is `softmax(concentration × affinity)`.
+/// Concentration 0 is perfectly balanced; larger values are more imbalanced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterDrift {
+    affinity: Vec<f64>,
+}
+
+impl RouterDrift {
+    /// Random expert affinities for `num_experts` experts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_experts` is zero.
+    pub fn new(num_experts: usize, seed: u64) -> Self {
+        assert!(num_experts >= 1, "need at least one expert");
+        let mut rng = StdRng::seed_from_u64(seed);
+        RouterDrift {
+            affinity: (0..num_experts).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        }
+    }
+
+    /// Moves the highest affinity to `idx`, making it the dominant expert
+    /// (the paper observes expert 3 dominating post-tuning Mixtral).
+    pub fn with_dominant(mut self, idx: usize) -> Self {
+        assert!(idx < self.affinity.len(), "expert index out of range");
+        let max_idx = self
+            .affinity
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        self.affinity.swap(max_idx, idx);
+        self
+    }
+
+    /// Token distribution at a given concentration.
+    pub fn distribution(&self, concentration: f64) -> TokenDistribution {
+        let m = self
+            .affinity
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = self
+            .affinity
+            .iter()
+            .map(|&a| ((a - m) * concentration).exp())
+            .collect();
+        let denom: f64 = exps.iter().sum();
+        TokenDistribution {
+            pct: exps.into_iter().map(|e| 100.0 * e / denom).collect(),
+        }
+    }
+
+    /// Bisects the concentration so the distribution's variance matches
+    /// `target` (within 1e-6), returning the concentration and distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is negative or beyond the all-to-one-expert
+    /// maximum.
+    pub fn calibrate(&self, target: f64) -> (f64, TokenDistribution) {
+        assert!(target >= 0.0, "variance target must be non-negative");
+        let n = self.affinity.len() as f64;
+        let max_var = {
+            // All tokens on one expert.
+            let mean = 100.0 / n;
+            ((100.0 - mean).powi(2) + (n - 1.0) * mean * mean) / n
+        };
+        assert!(target < max_var, "target {target} exceeds maximum {max_var:.1}");
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        while self.distribution(hi).variance() < target {
+            hi *= 2.0;
+            assert!(hi < 1e9, "calibration failed to bracket target");
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.distribution(mid).variance() < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let c = 0.5 * (lo + hi);
+        (c, self.distribution(c))
+    }
+}
+
+/// A before/after fine-tuning pair for one (model, dataset) combination of
+/// the paper's Fig. 11.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig11Case {
+    /// Model name.
+    pub model: String,
+    /// Dataset code (CS / GS).
+    pub dataset: String,
+    /// Token distribution of the pre-trained router.
+    pub before: TokenDistribution,
+    /// Token distribution after 10 epochs of fine-tuning.
+    pub after: TokenDistribution,
+}
+
+impl Fig11Case {
+    /// Change in imbalance variance caused by fine-tuning.
+    pub fn variance_delta(&self) -> f64 {
+        self.after.variance() - self.before.variance()
+    }
+}
+
+/// The four cases of the paper's Fig. 11, calibrated to its published
+/// variances.
+pub fn paper_cases() -> Vec<Fig11Case> {
+    let case = |model: &str, dataset: &str, seed, v_before, v_after, dominant| {
+        let drift_before = RouterDrift::new(8, seed);
+        let drift_after = match dominant {
+            Some(idx) => RouterDrift::new(8, seed ^ 0xf17e).with_dominant(idx),
+            None => RouterDrift::new(8, seed ^ 0xf17e),
+        };
+        Fig11Case {
+            model: model.into(),
+            dataset: dataset.into(),
+            before: drift_before.calibrate(v_before).1,
+            after: drift_after.calibrate(v_after).1,
+        }
+    };
+    vec![
+        // Paper: "variance increased from 55 to 112 for CS and from 21 to 79
+        // for GS. Expert 3 became the most frequently used."
+        case("Mixtral", "CS", 31, 55.0, 112.0, Some(3)),
+        case("Mixtral", "GS", 32, 21.0, 79.0, Some(3)),
+        // Paper: "a decrease ... for BlackMamba on CS, from 150 to 93;
+        // for GS ... almost unchanged."
+        case("BlackMamba", "CS", 33, 150.0, 93.0, None),
+        case("BlackMamba", "GS", 34, 118.0, 120.0, None),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_counts_normalizes() {
+        let d = TokenDistribution::from_counts(&[1, 1, 2]);
+        assert!((d.pct.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert_eq!(d.dominant_expert(), 2);
+    }
+
+    #[test]
+    fn uniform_distribution_has_zero_variance() {
+        let d = TokenDistribution::from_counts(&[5, 5, 5, 5]);
+        assert!(d.variance() < 1e-9);
+    }
+
+    #[test]
+    fn concentration_zero_is_uniform() {
+        let d = RouterDrift::new(8, 1).distribution(0.0);
+        for &p in &d.pct {
+            assert!((p - 12.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn variance_monotone_in_concentration() {
+        let r = RouterDrift::new(8, 2);
+        let mut prev = -1.0;
+        for c in [0.0, 0.5, 1.0, 2.0, 4.0] {
+            let v = r.distribution(c).variance();
+            assert!(v >= prev, "variance not monotone at c={c}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn calibrate_hits_target() {
+        let r = RouterDrift::new(8, 3);
+        for target in [10.0, 55.0, 112.0, 150.0] {
+            let (_, d) = r.calibrate(target);
+            assert!(
+                (d.variance() - target).abs() < 0.01,
+                "target {target}, got {}",
+                d.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_cases_reproduce_published_variances() {
+        let cases = paper_cases();
+        let v: Vec<(f64, f64)> = cases
+            .iter()
+            .map(|c| (c.before.variance(), c.after.variance()))
+            .collect();
+        assert!((v[0].0 - 55.0).abs() < 0.1 && (v[0].1 - 112.0).abs() < 0.1);
+        assert!((v[1].0 - 21.0).abs() < 0.1 && (v[1].1 - 79.0).abs() < 0.1);
+        assert!((v[2].0 - 150.0).abs() < 0.1 && (v[2].1 - 93.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn mixtral_gains_imbalance_blackmamba_cs_loses_it() {
+        let cases = paper_cases();
+        assert!(cases[0].variance_delta() > 0.0, "Mixtral CS should grow");
+        assert!(cases[1].variance_delta() > 0.0, "Mixtral GS should grow");
+        assert!(cases[2].variance_delta() < 0.0, "BlackMamba CS should shrink");
+        assert!(cases[3].variance_delta().abs() < 10.0, "BlackMamba GS ~unchanged");
+    }
+
+    #[test]
+    fn tuned_mixtral_dominant_expert_is_three() {
+        let cases = paper_cases();
+        assert_eq!(cases[0].after.dominant_expert(), 3);
+        assert_eq!(cases[1].after.dominant_expert(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds maximum")]
+    fn calibrate_rejects_impossible_target() {
+        RouterDrift::new(8, 1).calibrate(2000.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distributions_sum_to_100(seed in 0u64..100, c in 0.0f64..10.0) {
+            let d = RouterDrift::new(8, seed).distribution(c);
+            prop_assert!((d.pct.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+            prop_assert!(d.pct.iter().all(|&p| p >= 0.0));
+        }
+
+        #[test]
+        fn prop_with_dominant_places_max(seed in 0u64..100, idx in 0usize..8) {
+            let r = RouterDrift::new(8, seed).with_dominant(idx);
+            let d = r.distribution(3.0);
+            prop_assert_eq!(d.dominant_expert(), idx);
+        }
+    }
+}

@@ -1,0 +1,743 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! [`Var`] wraps a [`Tensor`] in a dynamically-built computation graph.
+//! Calling [`Var::backward`] on a scalar result propagates gradients to every
+//! reachable [`Var::parameter`] leaf. This is the engine behind the
+//! genuinely-trained mixture-of-experts models used for the paper's
+//! trainability (Fig. 3) and load-imbalance (Fig. 11) experiments.
+
+use crate::ops;
+use crate::shape::Shape;
+use crate::tensor::{Tensor, TensorError};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+type BackwardFn = Box<dyn Fn(&Tensor)>;
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    requires_grad: bool,
+    parents: Vec<Var>,
+    backward: Option<BackwardFn>,
+}
+
+/// A differentiable tensor variable.
+///
+/// `Var` is a cheap handle (reference-counted) onto a node of the computation
+/// graph. Cloning a `Var` aliases the same node.
+///
+/// ```
+/// use ftsim_tensor::{Tensor, Var};
+/// let w = Var::parameter(Tensor::scalar(3.0));
+/// let loss = w.mul(&w).unwrap().mean(); // w^2
+/// loss.backward();
+/// assert!((w.grad().unwrap().item() - 6.0).abs() < 1e-5);
+/// ```
+#[derive(Clone)]
+pub struct Var {
+    node: Rc<RefCell<Node>>,
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.node.borrow();
+        f.debug_struct("Var")
+            .field("shape", n.value.shape())
+            .field("requires_grad", &n.requires_grad)
+            .finish()
+    }
+}
+
+impl Var {
+    fn from_node(node: Node) -> Var {
+        Var {
+            node: Rc::new(RefCell::new(node)),
+        }
+    }
+
+    /// Wraps a tensor that does **not** receive gradients (input data).
+    pub fn constant(value: Tensor) -> Var {
+        Var::from_node(Node {
+            value,
+            grad: None,
+            requires_grad: false,
+            parents: Vec::new(),
+            backward: None,
+        })
+    }
+
+    /// Wraps a trainable tensor that accumulates gradients.
+    pub fn parameter(value: Tensor) -> Var {
+        Var::from_node(Node {
+            value,
+            grad: None,
+            requires_grad: true,
+            parents: Vec::new(),
+            backward: None,
+        })
+    }
+
+    /// A clone of the current value.
+    pub fn value(&self) -> Tensor {
+        self.node.borrow().value.clone()
+    }
+
+    /// The shape of the current value.
+    pub fn shape(&self) -> Shape {
+        self.node.borrow().value.shape().clone()
+    }
+
+    /// A clone of the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.node.borrow().grad.clone()
+    }
+
+    /// Whether this variable participates in gradient computation.
+    pub fn requires_grad(&self) -> bool {
+        self.node.borrow().requires_grad
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        self.node.borrow_mut().grad = None;
+    }
+
+    /// Replaces the value in place (used by optimizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new value's shape differs from the current one.
+    pub fn set_value(&self, value: Tensor) {
+        let mut n = self.node.borrow_mut();
+        assert_eq!(
+            n.value.shape(),
+            value.shape(),
+            "set_value must preserve shape"
+        );
+        n.value = value;
+    }
+
+    /// Applies `f` to the value in place (used by optimizers).
+    pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.node.borrow_mut().value);
+    }
+
+    fn accumulate_grad(&self, g: &Tensor) {
+        let mut n = self.node.borrow_mut();
+        if !n.requires_grad {
+            return;
+        }
+        match &mut n.grad {
+            Some(existing) => {
+                *existing = existing.add(g).expect("gradient shape must match value shape");
+            }
+            None => n.grad = Some(g.clone()),
+        }
+    }
+
+    fn unary(
+        &self,
+        value: Tensor,
+        backward: impl Fn(&Var, &Tensor) + 'static,
+    ) -> Var {
+        let parent = self.clone();
+        let requires = parent.requires_grad();
+        let p2 = parent.clone();
+        Var::from_node(Node {
+            value,
+            grad: None,
+            requires_grad: requires,
+            parents: vec![parent],
+            backward: if requires {
+                Some(Box::new(move |up| backward(&p2, up)))
+            } else {
+                None
+            },
+        })
+    }
+
+    fn binary(
+        a: &Var,
+        b: &Var,
+        value: Tensor,
+        backward: impl Fn(&Var, &Var, &Tensor) + 'static,
+    ) -> Var {
+        let requires = a.requires_grad() || b.requires_grad();
+        let (a2, b2) = (a.clone(), b.clone());
+        Var::from_node(Node {
+            value,
+            grad: None,
+            requires_grad: requires,
+            parents: vec![a.clone(), b.clone()],
+            backward: if requires {
+                Some(Box::new(move |up| backward(&a2, &b2, up)))
+            } else {
+                None
+            },
+        })
+    }
+
+    /// Matrix product `self @ rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the operands are not conforming matrices.
+    pub fn matmul(&self, rhs: &Var) -> Result<Var, TensorError> {
+        let value = self.value().matmul(&rhs.node.borrow().value)?;
+        let (av, bv) = (self.value(), rhs.value());
+        Ok(Var::binary(self, rhs, value, move |a, b, up| {
+            if a.requires_grad() {
+                let da = up.matmul(&bv.transpose().expect("matrix")).expect("conforming");
+                a.accumulate_grad(&da);
+            }
+            if b.requires_grad() {
+                let db = av.transpose().expect("matrix").matmul(up).expect("conforming");
+                b.accumulate_grad(&db);
+            }
+        }))
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when shapes differ.
+    pub fn add(&self, rhs: &Var) -> Result<Var, TensorError> {
+        let value = self.node.borrow().value.add(&rhs.node.borrow().value)?;
+        Ok(Var::binary(self, rhs, value, |a, b, up| {
+            a.accumulate_grad(up);
+            b.accumulate_grad(up);
+        }))
+    }
+
+    /// Adds a `[1, n]` bias row to every row of an `[m, n]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the column counts differ.
+    pub fn add_row(&self, bias: &Var) -> Result<Var, TensorError> {
+        let x = self.value();
+        let b = bias.value();
+        let (m, n) = x.shape().as_matrix().ok_or_else(|| {
+            TensorError::InvalidArgument("add_row requires a matrix".into())
+        })?;
+        let (br, bn) = b.shape().as_matrix().ok_or_else(|| {
+            TensorError::InvalidArgument("add_row bias must be [1, n]".into())
+        })?;
+        if br != 1 || bn != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_row",
+                lhs: x.shape().clone(),
+                rhs: b.shape().clone(),
+            });
+        }
+        let mut out = Tensor::zeros(Shape::matrix(m, n));
+        for r in 0..m {
+            for c in 0..n {
+                out.set2(r, c, x.get2(r, c) + b.get2(0, c));
+            }
+        }
+        Ok(Var::binary(self, bias, out, move |a, bv, up| {
+            a.accumulate_grad(up);
+            if bv.requires_grad() {
+                let (m, n) = up.shape().as_matrix().expect("matrix");
+                let mut db = Tensor::zeros(Shape::matrix(1, n));
+                for r in 0..m {
+                    for c in 0..n {
+                        db.set2(0, c, db.get2(0, c) + up.get2(r, c));
+                    }
+                }
+                bv.accumulate_grad(&db);
+            }
+        }))
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when shapes differ.
+    pub fn mul(&self, rhs: &Var) -> Result<Var, TensorError> {
+        let value = self.node.borrow().value.mul(&rhs.node.borrow().value)?;
+        let (av, bv) = (self.value(), rhs.value());
+        Ok(Var::binary(self, rhs, value, move |a, b, up| {
+            if a.requires_grad() {
+                a.accumulate_grad(&up.mul(&bv).expect("same shape"));
+            }
+            if b.requires_grad() {
+                b.accumulate_grad(&up.mul(&av).expect("same shape"));
+            }
+        }))
+    }
+
+    /// Multiplies each row `r` of an `[m, n]` matrix by `col[r, 0]` of an
+    /// `[m, 1]` column — the expert-output weighting step of an MoE layer
+    /// (`current_hidden_states * router_weights` in the paper's Fig. 12).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `col` is not `[m, 1]`.
+    pub fn mul_col(&self, col: &Var) -> Result<Var, TensorError> {
+        let x = self.value();
+        let c = col.value();
+        let (m, n) = x.shape().as_matrix().ok_or_else(|| {
+            TensorError::InvalidArgument("mul_col requires a matrix".into())
+        })?;
+        if c.shape().as_matrix() != Some((m, 1)) {
+            return Err(TensorError::ShapeMismatch {
+                op: "mul_col",
+                lhs: x.shape().clone(),
+                rhs: c.shape().clone(),
+            });
+        }
+        let mut out = Tensor::zeros(Shape::matrix(m, n));
+        for r in 0..m {
+            let w = c.get2(r, 0);
+            for j in 0..n {
+                out.set2(r, j, x.get2(r, j) * w);
+            }
+        }
+        let (xv, cv) = (x, c);
+        Ok(Var::binary(self, col, out, move |a, b, up| {
+            let (m, n) = up.shape().as_matrix().expect("matrix");
+            if a.requires_grad() {
+                let mut da = Tensor::zeros(Shape::matrix(m, n));
+                for r in 0..m {
+                    let w = cv.get2(r, 0);
+                    for j in 0..n {
+                        da.set2(r, j, up.get2(r, j) * w);
+                    }
+                }
+                a.accumulate_grad(&da);
+            }
+            if b.requires_grad() {
+                let mut db = Tensor::zeros(Shape::matrix(m, 1));
+                for r in 0..m {
+                    let mut s = 0.0;
+                    for j in 0..n {
+                        s += up.get2(r, j) * xv.get2(r, j);
+                    }
+                    db.set2(r, 0, s);
+                }
+                b.accumulate_grad(&db);
+            }
+        }))
+    }
+
+    /// Multiplies every element by the constant `s`.
+    pub fn scale(&self, s: f32) -> Var {
+        let value = self.value().scale(s);
+        self.unary(value, move |a, up| a.accumulate_grad(&up.scale(s)))
+    }
+
+    fn activation(
+        &self,
+        f: impl Fn(f32) -> f32,
+        df: impl Fn(f32) -> f32 + 'static,
+    ) -> Var {
+        let x = self.value();
+        let value = x.map(&f);
+        self.unary(value, move |a, up| {
+            let dx = Tensor::new(
+                up.shape().clone(),
+                up.data()
+                    .iter()
+                    .zip(x.data())
+                    .map(|(&g, &xi)| g * df(xi))
+                    .collect(),
+            )
+            .expect("same shape");
+            a.accumulate_grad(&dx);
+        })
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        self.activation(|x| x.max(0.0), |x| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// GELU activation (tanh approximation) — BlackMamba expert FFNs.
+    pub fn gelu(&self) -> Var {
+        self.activation(ops::gelu, ops::gelu_grad)
+    }
+
+    /// SiLU / Swish activation — Mixtral SwiGLU experts.
+    pub fn silu(&self) -> Var {
+        self.activation(ops::silu, ops::silu_grad)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        self.activation(
+            |x| x.tanh(),
+            |x| {
+                let t = x.tanh();
+                1.0 - t * t
+            },
+        )
+    }
+
+    /// Row-wise softmax restricted to `allowed` entries per row; the rest of
+    /// the row is zero. With all entries allowed this is a plain softmax.
+    ///
+    /// This models top-k MoE gating: the router computes
+    /// `softmax(topk(logits))` over the selected experts only.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a matrix, `allowed` has the wrong
+    /// dimensions, or a row has no allowed entry.
+    pub fn masked_softmax_rows(&self, allowed: &[Vec<bool>]) -> Result<Var, TensorError> {
+        let x = self.value();
+        let (m, n) = x.shape().as_matrix().ok_or_else(|| {
+            TensorError::InvalidArgument("masked_softmax_rows requires a matrix".into())
+        })?;
+        if allowed.len() != m || allowed.iter().any(|r| r.len() != n) {
+            return Err(TensorError::InvalidArgument(format!(
+                "mask must be {m}x{n}"
+            )));
+        }
+        let mut out = Tensor::zeros(Shape::matrix(m, n));
+        for r in 0..m {
+            let mask = &allowed[r];
+            let mut mx = f32::NEG_INFINITY;
+            for c in 0..n {
+                if mask[c] {
+                    mx = mx.max(x.get2(r, c));
+                }
+            }
+            if mx == f32::NEG_INFINITY {
+                return Err(TensorError::InvalidArgument(format!(
+                    "row {r} has no allowed entries"
+                )));
+            }
+            let mut denom = 0.0;
+            for c in 0..n {
+                if mask[c] {
+                    denom += (x.get2(r, c) - mx).exp();
+                }
+            }
+            for c in 0..n {
+                if mask[c] {
+                    out.set2(r, c, (x.get2(r, c) - mx).exp() / denom);
+                }
+            }
+        }
+        let p = out.clone();
+        Ok(self.unary(out, move |a, up| {
+            // dX = P ⊙ (dP - rowsum(dP ⊙ P)); masked entries have P = 0.
+            let (m, n) = up.shape().as_matrix().expect("matrix");
+            let mut dx = Tensor::zeros(Shape::matrix(m, n));
+            for r in 0..m {
+                let mut dot = 0.0;
+                for c in 0..n {
+                    dot += up.get2(r, c) * p.get2(r, c);
+                }
+                for c in 0..n {
+                    let pi = p.get2(r, c);
+                    dx.set2(r, c, pi * (up.get2(r, c) - dot));
+                }
+            }
+            a.accumulate_grad(&dx);
+        }))
+    }
+
+    /// Row-wise softmax over all entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a matrix.
+    pub fn softmax_rows(&self) -> Result<Var, TensorError> {
+        let (m, n) = self.shape().as_matrix().ok_or_else(|| {
+            TensorError::InvalidArgument("softmax_rows requires a matrix".into())
+        })?;
+        self.masked_softmax_rows(&vec![vec![true; n]; m])
+    }
+
+    /// Mean of all elements as a scalar variable.
+    pub fn mean(&self) -> Var {
+        let x = self.value();
+        let n = x.numel().max(1);
+        let value = Tensor::scalar(x.mean());
+        let shape = x.shape().clone();
+        self.unary(value, move |a, up| {
+            let g = up.item() / n as f32;
+            a.accumulate_grad(&Tensor::full(shape.clone(), g));
+        })
+    }
+
+    /// Sum of all elements as a scalar variable.
+    pub fn sum(&self) -> Var {
+        let x = self.value();
+        let value = Tensor::scalar(x.sum());
+        let shape = x.shape().clone();
+        self.unary(value, move |a, up| {
+            a.accumulate_grad(&Tensor::full(shape.clone(), up.item()));
+        })
+    }
+
+    /// Mean cross-entropy loss between row logits and integer labels,
+    /// fused with log-softmax for numerical stability.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrix logits or out-of-range labels.
+    pub fn cross_entropy(&self, labels: &[usize]) -> Result<Var, TensorError> {
+        let x = self.value();
+        let loss = ops::cross_entropy(&x, labels)?;
+        let probs = ops::softmax_rows(&x)?;
+        let labels = labels.to_vec();
+        Ok(self.unary(Tensor::scalar(loss), move |a, up| {
+            let (m, n) = probs.shape().as_matrix().expect("matrix");
+            let mut dx = probs.clone();
+            for (r, &l) in labels.iter().enumerate() {
+                dx.set2(r, l, dx.get2(r, l) - 1.0);
+            }
+            let scale = up.item() / m as f32;
+            let _ = n;
+            a.accumulate_grad(&dx.scale(scale));
+        }))
+    }
+
+    /// Runs reverse-mode differentiation from this scalar variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable does not hold exactly one element.
+    pub fn backward(&self) {
+        assert_eq!(
+            self.node.borrow().value.numel(),
+            1,
+            "backward() must start from a scalar"
+        );
+        // Topological order via iterative post-order DFS.
+        let mut order: Vec<Var> = Vec::new();
+        let mut visited: HashSet<*const RefCell<Node>> = HashSet::new();
+        let mut stack: Vec<(Var, bool)> = vec![(self.clone(), false)];
+        while let Some((var, expanded)) = stack.pop() {
+            let key = Rc::as_ptr(&var.node);
+            if expanded {
+                order.push(var);
+                continue;
+            }
+            if !visited.insert(key) {
+                continue;
+            }
+            stack.push((var.clone(), true));
+            for p in var.node.borrow().parents.iter() {
+                if !visited.contains(&Rc::as_ptr(&p.node)) {
+                    stack.push((p.clone(), false));
+                }
+            }
+        }
+        // Seed and propagate in reverse topological order.
+        {
+            let mut n = self.node.borrow_mut();
+            let shape = n.value.shape().clone();
+            n.grad = Some(Tensor::ones(shape));
+        }
+        for var in order.into_iter().rev() {
+            let (grad, backward) = {
+                let n = var.node.borrow();
+                if n.backward.is_none() || n.grad.is_none() {
+                    continue;
+                }
+                (n.grad.clone().expect("checked"), ())
+            };
+            let _ = backward;
+            // Call outside the borrow so the closure can mutate parents
+            // (which may alias `var` only in degenerate graphs we don't build).
+            let node = var.node.borrow();
+            if let Some(bw) = node.backward.as_ref() {
+                bw(&grad);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Central finite difference of a scalar-valued function of one parameter
+    /// entry, used to validate analytic gradients.
+    fn check_grad(build: impl Fn(&Var) -> Var, init: Tensor, tol: f32) {
+        let p = Var::parameter(init.clone());
+        let loss = build(&p);
+        loss.backward();
+        let grad = p.grad().expect("gradient present");
+        let h = 1e-2;
+        for i in 0..init.numel() {
+            let mut plus = init.clone();
+            plus.data_mut()[i] += h;
+            let mut minus = init.clone();
+            minus.data_mut()[i] -= h;
+            let fp = build(&Var::parameter(plus)).value().item();
+            let fm = build(&Var::parameter(minus)).value().item();
+            let fd = (fp - fm) / (2.0 * h);
+            let an = grad.data()[i];
+            assert!(
+                (fd - an).abs() < tol,
+                "grad[{i}]: analytic {an} vs finite-diff {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_of_square_via_mul() {
+        check_grad(
+            |w| w.mul(w).unwrap().mean(),
+            Tensor::from_rows(&[&[1.5, -2.0]]).unwrap(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_through_matmul_chain() {
+        let x = Tensor::from_rows(&[&[0.5, -1.0], &[2.0, 0.25]]).unwrap();
+        check_grad(
+            move |w| {
+                let xv = Var::constant(x.clone());
+                xv.matmul(w).unwrap().relu().mean()
+            },
+            Tensor::from_rows(&[&[0.3, 0.7], &[-0.2, 0.9]]).unwrap(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_through_gelu_and_silu() {
+        check_grad(
+            |w| w.gelu().sum(),
+            Tensor::from_rows(&[&[0.4, -0.8, 1.2]]).unwrap(),
+            2e-2,
+        );
+        check_grad(
+            |w| w.silu().sum(),
+            Tensor::from_rows(&[&[0.4, -0.8, 1.2]]).unwrap(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_through_softmax() {
+        check_grad(
+            |w| {
+                let p = w.softmax_rows().unwrap();
+                // weight the first column to create asymmetric gradients
+                let mask = Var::constant(Tensor::from_rows(&[&[1.0, 0.0, 0.0]]).unwrap());
+                p.mul(&mask).unwrap().sum()
+            },
+            Tensor::from_rows(&[&[0.2, -0.3, 0.5]]).unwrap(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_through_masked_softmax_ignores_masked() {
+        let p = Var::parameter(Tensor::from_rows(&[&[1.0, 5.0, 2.0]]).unwrap());
+        let masks = vec![vec![true, false, true]];
+        let s = p.masked_softmax_rows(&masks).unwrap();
+        assert_eq!(s.value().get2(0, 1), 0.0);
+        let loss = s.sum();
+        loss.backward();
+        // Sum of a (masked) softmax row is constant 1 → zero gradient.
+        let g = p.grad().unwrap();
+        for &v in g.data() {
+            assert!(v.abs() < 1e-5, "expected zero grad, got {v}");
+        }
+    }
+
+    #[test]
+    fn grad_through_cross_entropy() {
+        check_grad(
+            |w| w.cross_entropy(&[2]).unwrap(),
+            Tensor::from_rows(&[&[0.1, -0.4, 0.3]]).unwrap(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_through_add_row_bias() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        check_grad(
+            move |b| {
+                let xv = Var::constant(x.clone());
+                xv.add_row(b).unwrap().mul(&xv.add_row(b).unwrap()).unwrap().mean()
+            },
+            Tensor::from_rows(&[&[0.5, -0.5]]).unwrap(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_through_mul_col() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        check_grad(
+            move |c| {
+                let xv = Var::constant(x.clone());
+                xv.mul_col(c).unwrap().sum()
+            },
+            Tensor::from_rows(&[&[2.0], &[-1.0]]).unwrap(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn shared_subexpression_accumulates_grads() {
+        // loss = mean(w) + mean(w) → dloss/dw = 2/n each.
+        let w = Var::parameter(Tensor::from_rows(&[&[1.0, 2.0]]).unwrap());
+        let loss = w.mean().add(&w.mean()).unwrap();
+        loss.backward();
+        let g = w.grad().unwrap();
+        assert!(g.allclose(&Tensor::from_rows(&[&[1.0, 1.0]]).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn constants_receive_no_grad() {
+        let c = Var::constant(Tensor::scalar(2.0));
+        let w = Var::parameter(Tensor::scalar(3.0));
+        let loss = c.mul(&w).unwrap().mean();
+        loss.backward();
+        assert!(c.grad().is_none());
+        assert!((w.grad().unwrap().item() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let w = Var::parameter(Tensor::scalar(3.0));
+        let loss = w.mul(&w).unwrap().mean();
+        loss.backward();
+        assert!(w.grad().is_some());
+        w.zero_grad();
+        assert!(w.grad().is_none());
+    }
+
+    #[test]
+    fn randomized_two_layer_network_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let x = Tensor::rand_uniform([3, 4], 1.0, &mut rng);
+        let w2 = Tensor::rand_uniform([5, 2], 1.0, &mut rng);
+        let labels: Vec<usize> = (0..3).map(|_| rng.gen_range(0..2)).collect();
+        let init = Tensor::rand_uniform([4, 5], 0.5, &mut rng);
+        check_grad(
+            move |w1| {
+                let xv = Var::constant(x.clone());
+                let w2v = Var::constant(w2.clone());
+                xv.matmul(w1)
+                    .unwrap()
+                    .gelu()
+                    .matmul(&w2v)
+                    .unwrap()
+                    .cross_entropy(&labels)
+                    .unwrap()
+            },
+            init,
+            3e-2,
+        );
+    }
+}

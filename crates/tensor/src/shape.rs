@@ -1,0 +1,168 @@
+//! Tensor shapes and shape algebra.
+
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`], row-major.
+///
+/// A `Shape` is an ordered list of dimension sizes. Most operations in this
+/// crate are rank-2 (matrices), but `Shape` supports arbitrary rank so that
+/// callers can carry batch dimensions through bookkeeping code.
+///
+/// ```
+/// use ftsim_tensor::Shape;
+/// let s = Shape::matrix(3, 4);
+/// assert_eq!(s.numel(), 12);
+/// assert_eq!(s.dims(), &[3, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from raw dimensions.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Creates a rank-1 shape.
+    pub fn vector(n: usize) -> Self {
+        Shape(vec![n])
+    }
+
+    /// Creates a rank-2 shape with `rows` rows and `cols` columns.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape(vec![rows, cols])
+    }
+
+    /// A scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions (tensor rank).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `(rows, cols)` if this is a rank-2 shape.
+    pub fn as_matrix(&self) -> Option<(usize, usize)> {
+        match self.0.as_slice() {
+            [r, c] => Some((*r, *c)),
+            _ => None,
+        }
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// ```
+    /// use ftsim_tensor::Shape;
+    /// assert_eq!(Shape::new([2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Shape of the result of `self @ rhs` matrix multiplication, if valid.
+    pub fn matmul(&self, rhs: &Shape) -> Option<Shape> {
+        let (m, k1) = self.as_matrix()?;
+        let (k2, n) = rhs.as_matrix()?;
+        (k1 == k2).then(|| Shape::matrix(m, n))
+    }
+
+    /// Shape with the two trailing dimensions swapped (matrix transpose).
+    pub fn transposed(&self) -> Option<Shape> {
+        let (r, c) = self.as_matrix()?;
+        Some(Shape::matrix(c, r))
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shape_roundtrip() {
+        let s = Shape::matrix(5, 7);
+        assert_eq!(s.as_matrix(), Some((5, 7)));
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.numel(), 35);
+    }
+
+    #[test]
+    fn scalar_numel_is_one() {
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new([4, 5]).strides(), vec![5, 1]);
+        assert_eq!(Shape::new([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::vector(9).strides(), vec![1]);
+    }
+
+    #[test]
+    fn matmul_shape_rules() {
+        let a = Shape::matrix(2, 3);
+        let b = Shape::matrix(3, 4);
+        assert_eq!(a.matmul(&b), Some(Shape::matrix(2, 4)));
+        assert_eq!(b.matmul(&a), None);
+        assert_eq!(a.matmul(&Shape::vector(3)), None);
+    }
+
+    #[test]
+    fn transpose_swaps_dims() {
+        assert_eq!(Shape::matrix(2, 9).transposed(), Some(Shape::matrix(9, 2)));
+        assert_eq!(Shape::vector(3).transposed(), None);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new([2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

@@ -1,0 +1,161 @@
+//! Batch assembly with right-padding, as done by the paper's LLaMA-Factory
+//! training loop.
+
+use crate::distribution::SeqLenDistribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One training batch: the sampled sequence lengths, padded to the longest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Batch {
+    /// Unpadded query lengths.
+    pub seq_lens: Vec<usize>,
+}
+
+impl Batch {
+    /// Creates a batch from raw lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq_lens` is empty.
+    pub fn new(seq_lens: Vec<usize>) -> Self {
+        assert!(!seq_lens.is_empty(), "a batch needs at least one query");
+        Batch { seq_lens }
+    }
+
+    /// Number of queries.
+    pub fn size(&self) -> usize {
+        self.seq_lens.len()
+    }
+
+    /// Padded sequence length (the longest query).
+    pub fn padded_len(&self) -> usize {
+        *self.seq_lens.iter().max().expect("non-empty")
+    }
+
+    /// Total tokens actually carrying data.
+    pub fn real_tokens(&self) -> usize {
+        self.seq_lens.iter().sum()
+    }
+
+    /// Total tokens after padding (`size × padded_len`) — what the GPU
+    /// actually computes on.
+    pub fn padded_tokens(&self) -> usize {
+        self.size() * self.padded_len()
+    }
+
+    /// Fraction of computed tokens that carry data, in `(0, 1]`.
+    pub fn padding_efficiency(&self) -> f64 {
+        self.real_tokens() as f64 / self.padded_tokens() as f64
+    }
+}
+
+/// Assembles batches of a fixed size from a sequence-length distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchPlanner {
+    /// Queries per batch.
+    pub batch_size: usize,
+    /// Length distribution queries are drawn from.
+    pub dist: SeqLenDistribution,
+}
+
+impl BatchPlanner {
+    /// Planner producing `batch_size`-query batches from `dist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: usize, dist: SeqLenDistribution) -> Self {
+        assert!(batch_size >= 1, "batch_size must be at least 1");
+        BatchPlanner { batch_size, dist }
+    }
+
+    /// Draws the next batch.
+    pub fn next_batch(&self, rng: &mut impl Rng) -> Batch {
+        Batch::new(self.dist.sample_many(self.batch_size, rng))
+    }
+
+    /// Draws enough batches to cover `num_queries` queries (the final batch
+    /// may be short).
+    pub fn plan_epoch(&self, num_queries: usize, rng: &mut impl Rng) -> Vec<Batch> {
+        let mut batches = Vec::new();
+        let mut remaining = num_queries;
+        while remaining > 0 {
+            let take = remaining.min(self.batch_size);
+            batches.push(Batch::new(self.dist.sample_many(take, rng)));
+            remaining -= take;
+        }
+        batches
+    }
+
+    /// Mean padded sequence length over `n` sampled batches — the effective
+    /// sequence length the memory and runtime models should see for this
+    /// batch size (padding rounds every batch up to its longest member).
+    pub fn expected_padded_len(&self, n: usize, rng: &mut impl Rng) -> f64 {
+        assert!(n > 0, "need at least one batch to estimate");
+        (0..n)
+            .map(|_| self.next_batch(rng).padded_len())
+            .sum::<usize>() as f64
+            / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_stats() {
+        let b = Batch::new(vec![10, 20, 15]);
+        assert_eq!(b.size(), 3);
+        assert_eq!(b.padded_len(), 20);
+        assert_eq!(b.real_tokens(), 45);
+        assert_eq!(b.padded_tokens(), 60);
+        assert!((b.padding_efficiency() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn empty_batch_rejected() {
+        Batch::new(vec![]);
+    }
+
+    #[test]
+    fn epoch_covers_all_queries() {
+        let dist = SeqLenDistribution::with_median(79, 0.5);
+        let planner = BatchPlanner::new(8, dist);
+        let mut rng = StdRng::seed_from_u64(1);
+        let batches = planner.plan_epoch(100, &mut rng);
+        assert_eq!(batches.iter().map(Batch::size).sum::<usize>(), 100);
+        assert_eq!(batches.len(), 13); // 12 × 8 + 1 × 4
+        assert_eq!(batches.last().unwrap().size(), 4);
+    }
+
+    #[test]
+    fn bigger_batches_pad_longer() {
+        // Expected max of n log-normal draws grows with n.
+        let dist = SeqLenDistribution::with_median(79, 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = BatchPlanner::new(2, dist).expected_padded_len(200, &mut rng);
+        let large = BatchPlanner::new(16, dist).expected_padded_len(200, &mut rng);
+        assert!(large > small, "{large} vs {small}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_padding_efficiency_unit_interval(lens in proptest::collection::vec(1usize..500, 1..20)) {
+            let b = Batch::new(lens);
+            let eff = b.padding_efficiency();
+            prop_assert!(eff > 0.0 && eff <= 1.0);
+        }
+
+        #[test]
+        fn prop_single_query_batches_never_pad(len in 1usize..500) {
+            let b = Batch::new(vec![len]);
+            prop_assert_eq!(b.padding_efficiency(), 1.0);
+        }
+    }
+}

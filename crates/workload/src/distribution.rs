@@ -1,0 +1,201 @@
+//! Sequence-length distributions (paper Fig. 2).
+//!
+//! Instruction-tuning sequence lengths are heavy-tailed; we model them as
+//! log-normal, parameterized directly by the dataset's published median
+//! (the log-normal median is `exp(μ)`, so `μ = ln(median)`).
+
+use crate::dataset::DatasetSpec;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A log-normal sequence-length distribution clamped to `[1, max_len]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeqLenDistribution {
+    /// Location parameter μ (log of the median).
+    pub mu: f64,
+    /// Scale parameter σ of the underlying normal.
+    pub sigma: f64,
+    /// Hard clamp for outliers (tokenizer/context limits).
+    pub max_len: usize,
+}
+
+impl SeqLenDistribution {
+    /// Distribution with the given median and log-scale σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median` is zero or `sigma` is negative.
+    pub fn with_median(median: usize, sigma: f64) -> Self {
+        assert!(median >= 1, "median must be at least 1 token");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        SeqLenDistribution {
+            mu: (median as f64).ln(),
+            sigma,
+            max_len: 2048,
+        }
+    }
+
+    /// The distribution used for `dataset`, with σ = 0.5 — a spread chosen to
+    /// visually match the paper's Fig. 2 histograms (most CS queries between
+    /// 40 and 200 tokens, most MATH queries between 80 and 450).
+    pub fn for_dataset(dataset: &DatasetSpec) -> Self {
+        Self::with_median(dataset.median_seq_len, 0.5)
+    }
+
+    /// The distribution's median in tokens.
+    pub fn median(&self) -> usize {
+        self.mu.exp().round() as usize
+    }
+
+    /// Draws one sequence length.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        // Box–Muller standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let len = (self.mu + self.sigma * z).exp();
+        (len.round() as usize).clamp(1, self.max_len)
+    }
+
+    /// Draws `n` sequence lengths.
+    pub fn sample_many(&self, n: usize, rng: &mut impl Rng) -> Vec<usize> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Histogram of `samples` with `bins` equal-width bins over
+    /// `[0, max_observed]`, as `(bin_upper_edge, count)` pairs — the Fig. 2
+    /// rendering.
+    pub fn histogram(samples: &[usize], bins: usize) -> Vec<(usize, usize)> {
+        assert!(bins > 0, "bins must be positive");
+        let max = samples.iter().copied().max().unwrap_or(0).max(1);
+        let width = max.div_ceil(bins);
+        let mut counts = vec![0usize; bins];
+        for &s in samples {
+            let b = ((s.saturating_sub(1)) / width).min(bins - 1);
+            counts[b] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| ((i + 1) * width, c))
+            .collect()
+    }
+
+    /// The `p`-th percentile (0–100) of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `p` is outside 0–100.
+    pub fn percentile(samples: &[usize], p: f64) -> usize {
+        assert!(!samples.is_empty(), "percentile of empty sample set");
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::presets;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn median_parameterization_roundtrips() {
+        for m in [79, 148, 174, 272] {
+            assert_eq!(SeqLenDistribution::with_median(m, 0.5).median(), m);
+        }
+    }
+
+    #[test]
+    fn sampled_median_is_close_to_nominal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for ds in presets::table_ii() {
+            let dist = SeqLenDistribution::for_dataset(&ds);
+            let samples = dist.sample_many(20_000, &mut rng);
+            let med = SeqLenDistribution::percentile(&samples, 50.0);
+            let nominal = ds.median_seq_len as f64;
+            assert!(
+                (med as f64 - nominal).abs() < nominal * 0.06,
+                "{}: sampled median {med} vs nominal {nominal}",
+                ds.code
+            );
+        }
+    }
+
+    #[test]
+    fn math_sequences_are_longer_than_cs() {
+        // Fig. 2's headline: MATH median (174) > CS median (79).
+        let mut rng = StdRng::seed_from_u64(2);
+        let cs = SeqLenDistribution::for_dataset(&presets::commonsense_15k());
+        let math = SeqLenDistribution::for_dataset(&presets::math_14k());
+        let cs_mean: f64 = cs.sample_many(5000, &mut rng).iter().sum::<usize>() as f64 / 5000.0;
+        let math_mean: f64 =
+            math.sample_many(5000, &mut rng).iter().sum::<usize>() as f64 / 5000.0;
+        assert!(math_mean > 1.5 * cs_mean);
+    }
+
+    #[test]
+    fn distribution_is_right_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = SeqLenDistribution::with_median(100, 0.5);
+        let samples = dist.sample_many(20_000, &mut rng);
+        let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+        let med = SeqLenDistribution::percentile(&samples, 50.0) as f64;
+        assert!(mean > med, "log-normal mean {mean} should exceed median {med}");
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let samples = vec![5, 10, 15, 20, 100];
+        let hist = SeqLenDistribution::histogram(&samples, 4);
+        assert_eq!(hist.len(), 4);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, samples.len());
+        // Edges are increasing.
+        for w in hist.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let dist = SeqLenDistribution::with_median(79, 0.5);
+        let a = dist.sample_many(100, &mut StdRng::seed_from_u64(9));
+        let b = dist.sample_many(100, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty")]
+    fn percentile_rejects_empty() {
+        SeqLenDistribution::percentile(&[], 50.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_samples_within_bounds(median in 10usize..500, seed in 0u64..200) {
+            let dist = SeqLenDistribution::with_median(median, 0.6);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                let s = dist.sample(&mut rng);
+                prop_assert!(s >= 1 && s <= dist.max_len);
+            }
+        }
+
+        #[test]
+        fn prop_percentiles_monotone(seed in 0u64..200) {
+            let dist = SeqLenDistribution::with_median(120, 0.5);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples = dist.sample_many(500, &mut rng);
+            let p25 = SeqLenDistribution::percentile(&samples, 25.0);
+            let p50 = SeqLenDistribution::percentile(&samples, 50.0);
+            let p95 = SeqLenDistribution::percentile(&samples, 95.0);
+            prop_assert!(p25 <= p50 && p50 <= p95);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Capacity planner: where does the GPU memory go, and what batch size fits?
+//!
+//! ```text
+//! cargo run --example capacity_planner -- [seq_len]
+//! ```
+//!
+//! Walks the paper's §IV-B1/§V-A memory story: the per-component footprint
+//! (weights, adapters, gradients, optimizer state), the Table III max-batch
+//! grid, and the Fig. 13 projection to hypothetical 100/120 GB devices.
+
+use ftsim::cost::{BatchSample, MemoryProjection};
+use ftsim::gpu::GpuSpec;
+use ftsim::model::{presets, FineTuneConfig, MemoryModel, Sparsity};
+
+fn main() {
+    let seq_len: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(148);
+
+    for model in presets::all() {
+        println!("=== {} ===", model.name);
+        let sparse = FineTuneConfig::for_model(&model, Sparsity::TopK(2));
+        let mem = MemoryModel::new(&model, &sparse);
+        let b = mem.breakdown(0, 0);
+        println!(
+            "static footprint: weights {:.2} GB + adapters {:.2} GB + grads {:.2} GB \
+             + optimizer {:.2} GB + overhead {:.2} GB = {:.2} GB",
+            b.weights_gb, b.adapters_gb, b.gradients_gb, b.optimizer_gb, b.overhead_gb,
+            b.static_gb()
+        );
+        println!(
+            "per query at {seq_len} tokens: {:.3} GB (sparse top-2)",
+            mem.activation_gb_per_query(seq_len)
+        );
+
+        println!("\nmax batch size (sequence {seq_len}):");
+        println!("{:<12} {:>7} {:>7}", "gpu", "sparse", "dense");
+        for gpu in GpuSpec::catalog() {
+            let dense_ft = FineTuneConfig::for_model(&model, Sparsity::Dense);
+            let dense = MemoryModel::new(&model, &dense_ft).max_batch_size(&gpu, seq_len);
+            let s = mem.max_batch_size(&gpu, seq_len);
+            println!("{:<12} {:>7} {:>7}", gpu.name, s, dense);
+        }
+
+        // Fig. 13-style projection for this model.
+        let mut measured: Vec<(String, BatchSample)> = Vec::new();
+        for gpu in GpuSpec::catalog() {
+            for (s, is_sparse) in [(0.25, true), (1.0, false)] {
+                let ft = FineTuneConfig::for_model(
+                    &model,
+                    if is_sparse { Sparsity::TopK(2) } else { Sparsity::Dense },
+                );
+                let m = MemoryModel::new(&model, &ft);
+                let mb = m.max_batch_size(&gpu, seq_len);
+                if mb > 0 {
+                    measured.push((
+                        format!("{}{}", gpu.name, if is_sparse { "-S" } else { "-D" }),
+                        BatchSample {
+                            gpu_mem_gb: gpu.mem_gb,
+                            model_mem_gb: m.weights_gb(),
+                            seq_len,
+                            sparsity: s,
+                            max_batch: mb,
+                        },
+                    ));
+                }
+            }
+        }
+        if !measured.is_empty() {
+            let proj = MemoryProjection::build(
+                &measured,
+                &[100.0, 120.0],
+                mem.weights_gb(),
+                seq_len,
+                0.25,
+            );
+            println!(
+                "\nEq.1 fit: C0={:.2} C1={:.3} (rmse {:.2}); projected sparse batch: \
+                 100GB → {}, 120GB → {}",
+                proj.model.c0,
+                proj.model.c1,
+                proj.fit_rmse,
+                proj.points[proj.points.len() - 2].predicted,
+                proj.points[proj.points.len() - 1].predicted,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,75 @@
+//! Cost planner: pick the cheapest cloud GPU for *your* fine-tuning job.
+//!
+//! ```text
+//! cargo run --example cost_planner -- [queries] [median_seq_len] [epochs]
+//! cargo run --example cost_planner -- 2000000 174 10   # OpenOrca-scale
+//! ```
+//!
+//! This is the paper's §V workflow end-to-end: fit Eq. 2 per GPU from
+//! simulated sweeps, predict the maximum batch size from the memory model,
+//! and rank devices by total dollars.
+
+use ftsim::cost::{validate_combo, CostTable, FineTuneJob, ThroughputModel};
+use ftsim::gpu::{CloudProvider, CostModel, GpuSpec, PriceTable};
+use ftsim::model::{presets, FineTuneConfig, MemoryModel};
+
+fn arg(n: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(n)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let queries = arg(1, 14_000);
+    let seq_len = arg(2, 148);
+    let epochs = arg(3, 10);
+    let job = FineTuneJob { queries, epochs };
+
+    let model = presets::mixtral_8x7b();
+    let ft = FineTuneConfig::qlora_sparse();
+    let mem = MemoryModel::new(&model, &ft);
+
+    println!(
+        "job: {} queries × {} epochs, median sequence {} tokens",
+        queries, epochs, seq_len
+    );
+    println!("model: {} ({ft})\n", model.name);
+
+    // Fit a throughput model per catalog GPU from simulator ground truth.
+    let mut fitted: Vec<(GpuSpec, ThroughputModel)> = Vec::new();
+    for gpu in GpuSpec::catalog() {
+        if mem.max_batch_size(&gpu, seq_len) == 0 {
+            println!("{}: model does not fit, skipping", gpu.name);
+            continue;
+        }
+        let v = validate_combo(
+            format!("Mixtral @ {}", gpu.name),
+            &model,
+            &CostModel::new(gpu.clone()),
+            seq_len,
+            2,
+        );
+        println!(
+            "{:<12} Eq.2 fit RMSE {:.3} (relative {:.3})",
+            gpu.name,
+            v.rmse,
+            v.relative_rmse()
+        );
+        fitted.push((gpu, v.model));
+    }
+
+    for provider in [CloudProvider::Cudo, CloudProvider::Lambda, CloudProvider::Aws] {
+        let prices = PriceTable::for_provider(provider);
+        let table = CostTable::build(&fitted, &mem, 0.25, seq_len, job, &prices);
+        println!("\n=== {provider} ===");
+        if table.rows.is_empty() {
+            println!("no priced GPUs fit this job");
+            continue;
+        }
+        print!("{table}");
+        if let Some(best) = table.cheapest() {
+            println!("--> rent {}: ${:.0} total", best.gpu, best.usd);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! MoE training lab: genuinely train small mixture-of-experts models and
+//! watch the paper's trainability findings emerge.
+//!
+//! ```text
+//! cargo run --release --example moe_training_lab
+//! ```
+//!
+//! Reproduces, at CPU scale, the *relative* structure of the paper's
+//! Fig. 3 (sparse learns ≈ dense; math-like tasks are harder; the smaller
+//! model lags) and Fig. 11 (fine-tuning shifts the expert token
+//! distribution).
+
+use ftsim::sim::moetrain::{train, MoeTrainConfig};
+use ftsim::workload::SyntheticTask;
+
+fn spark(vals: impl IntoIterator<Item = f64>) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    vals.into_iter()
+        .map(|v| BARS[((v.clamp(0.0, 1.0) * 7.0).round()) as usize])
+        .collect()
+}
+
+fn main() {
+    let cs = SyntheticTask::commonsense(16, 4, 42);
+    let math = SyntheticTask::math(16, 4, 42);
+
+    println!("10 epochs of real AdamW training; accuracy per epoch:\n");
+    let runs = vec![
+        ("dense  top-8 / commonsense", MoeTrainConfig::mixtral_like(8), &cs),
+        ("sparse top-2 / commonsense", MoeTrainConfig::mixtral_like(2), &cs),
+        ("dense  top-8 / math       ", MoeTrainConfig::mixtral_like(8), &math),
+        ("sparse top-2 / math       ", MoeTrainConfig::mixtral_like(2), &math),
+        ("small  top-2 / commonsense", MoeTrainConfig::blackmamba_like(2), &cs),
+    ];
+    for (label, cfg, task) in runs {
+        let out = train(task, &cfg, label);
+        let curve: Vec<f64> = std::iter::once(out.initial_accuracy)
+            .chain(out.curve.iter().map(|m| m.eval_accuracy))
+            .collect();
+        println!(
+            "{label}  {}  {:.0}% → {:.0}% (peak {:.0}%)",
+            spark(curve.iter().copied()),
+            out.initial_accuracy * 100.0,
+            out.final_accuracy() * 100.0,
+            out.peak_accuracy() * 100.0
+        );
+        println!(
+            "   routing variance {:>6.1} → {:>6.1}  ({:+.1}, dominant expert {} → {})\n",
+            out.routing_before.variance(),
+            out.routing_after.variance(),
+            out.imbalance_delta(),
+            out.routing_before.dominant_expert(),
+            out.routing_after.dominant_expert(),
+        );
+    }
+
+    println!("takeaway 1 (sparse ≈ dense) and takeaway 6 (fine-tuning moves");
+    println!("the expert load distribution) both emerge from real training.");
+}

@@ -1,0 +1,60 @@
+//! Profile explorer: an Nsight-style view of one simulated training step.
+//!
+//! ```text
+//! cargo run --example profile_explorer -- [mixtral|blackmamba] [sparse|dense] [batch] [seq]
+//! cargo run --example profile_explorer -- mixtral sparse 8 128
+//! ```
+//!
+//! Prints the three breakdowns of the paper's Figs. 4–6 plus the
+//! per-kernel-family SM / DRAM utilizations of Figs. 9–10.
+
+use ftsim::gpu::{CostModel, GpuSpec};
+use ftsim::model::{presets, FineTuneConfig, MemoryModel, Sparsity};
+use ftsim::sim::report::{format_trace_summary, moe_utilization_table};
+use ftsim::sim::StepSimulator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = match args.first().map(String::as_str) {
+        Some("blackmamba") => presets::blackmamba_2p8b(),
+        _ => presets::mixtral_8x7b(),
+    };
+    let sparsity = match args.get(1).map(String::as_str) {
+        Some("dense") => Sparsity::Dense,
+        _ => Sparsity::TopK(2),
+    };
+    let ft = FineTuneConfig::for_model(&model, sparsity);
+    let gpu = GpuSpec::a40();
+    let seq: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(128);
+    let batch: usize = args
+        .get(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| MemoryModel::new(&model, &ft).max_batch_size(&gpu, seq).max(1));
+
+    println!("{} | {} | batch {} | seq {} | {}\n", model.name, ft, batch, seq, gpu);
+
+    let quantized = ft.method.is_quantized();
+    let sim = StepSimulator::new(model, ft, CostModel::new(gpu));
+    let trace = sim.simulate_step(batch, seq);
+    println!("{}", format_trace_summary(&trace));
+
+    println!("MoE kernel utilizations (time-weighted):");
+    println!("{:<14} {:>8} {:>8} {:>10}", "kernel", "SM", "DRAM", "time");
+    for row in moe_utilization_table(&trace, quantized) {
+        println!(
+            "{:<14} {:>7.1}% {:>7.1}% {:>8.2}ms",
+            row.kind.label(),
+            row.util.sm_util * 100.0,
+            row.util.dram_util * 100.0,
+            row.util.seconds * 1e3
+        );
+    }
+    let overall = trace.moe_overall_utilization();
+    println!(
+        "{:<14} {:>7.1}% {:>7.1}% {:>8.2}ms",
+        "OVERALL",
+        overall.sm_util * 100.0,
+        overall.dram_util * 100.0,
+        overall.seconds * 1e3
+    );
+}

@@ -1,0 +1,43 @@
+//! # ftsim
+//!
+//! A reproduction, as a Rust workspace, of *"Understanding the Performance
+//! and Estimating the Cost of LLM Fine-Tuning"* (IISWC 2024): workload
+//! characterization of single-GPU MoE LLM fine-tuning and an analytical
+//! model for its cloud cost.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`tensor`] — CPU tensors, autograd, NN layers, NF4 quantization
+//! * [`gpu`] — GPU specs, roofline cost model, profiling, pricing
+//! * [`model`] — Mixtral/BlackMamba architectures, memory model
+//! * [`workload`] — datasets, sequence-length distributions, synthetic tasks
+//! * [`sim`] — the fine-tuning execution simulator + real MoE training
+//! * [`cost`] — Eq. 1 / Eq. 2 analytical models, fitting, cost estimation
+//!
+//! ## Thirty-second tour
+//!
+//! ```
+//! use ftsim::gpu::{CostModel, GpuSpec};
+//! use ftsim::model::{presets, FineTuneConfig, MemoryModel};
+//! use ftsim::sim::StepSimulator;
+//!
+//! // The paper's headline setup: Mixtral-8x7B, QLoRA, sparse top-2, A40.
+//! let model = presets::mixtral_8x7b();
+//! let ft = FineTuneConfig::qlora_sparse();
+//!
+//! // Maximum batch size on the A40 for the CS dataset (Table III: 8).
+//! let mem = MemoryModel::new(&model, &ft);
+//! assert_eq!(mem.max_batch_size(&GpuSpec::a40(), 79), 8);
+//!
+//! // One training step's kernel trace and its dominant layer (Fig. 5).
+//! let sim = StepSimulator::new(model, ft, CostModel::new(GpuSpec::a40()));
+//! let trace = sim.simulate_step(8, 79);
+//! assert_eq!(trace.section_breakdown().sorted()[0].0, "moe");
+//! ```
+
+pub use ftsim_cost as cost;
+pub use ftsim_gpu as gpu;
+pub use ftsim_model as model;
+pub use ftsim_sim as sim;
+pub use ftsim_tensor as tensor;
+pub use ftsim_workload as workload;
