@@ -3,7 +3,9 @@
 //! (Figs. 14–15).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ftsim_cost::{validate_combo, BatchSample, MaxBatchModel, MemoryProjection, ThroughputModel, ThroughputSample};
+use ftsim_cost::{
+    validate_combo, BatchSample, MaxBatchModel, MemoryProjection, ThroughputModel, ThroughputSample,
+};
 use ftsim_gpu::{CostModel, GpuSpec};
 use ftsim_model::{presets, FineTuneConfig, MemoryModel};
 use std::hint::black_box;
@@ -79,7 +81,11 @@ fn fig15_other_gpus(c: &mut Criterion) {
 }
 
 fn eq2_fit_micro(c: &mut Criterion) {
-    let truth = ThroughputModel { c2: 0.55, c3: 0.8, c4: 0.4 };
+    let truth = ThroughputModel {
+        c2: 0.55,
+        c3: 0.8,
+        c4: 0.4,
+    };
     let samples: Vec<ThroughputSample> = (1..=20)
         .flat_map(|b| {
             [0.25, 1.0].into_iter().map(move |s| ThroughputSample {

@@ -38,7 +38,10 @@ fn fig5_layer_breakdown(c: &mut Criterion) {
 fn fig6_moe_kernels(c: &mut Criterion) {
     let sim = mixtral_sparse_a40();
     let trace = sim.simulate_step(5, 128);
-    eprintln!("[fig6] Mixtral-S bs5 MoE kernels:\n{}", trace.moe_kernel_breakdown());
+    eprintln!(
+        "[fig6] Mixtral-S bs5 MoE kernels:\n{}",
+        trace.moe_kernel_breakdown()
+    );
     c.bench_function("fig6/moe_kernel_breakdown", |b| {
         b.iter(|| black_box(sim.simulate_step(5, 128).moe_kernel_breakdown()))
     });

@@ -1,0 +1,69 @@
+//! Benchmarks the simulation engine itself: serial naive emission vs.
+//! memoized layer traces vs. the multi-threaded sweep fan-out, on the
+//! Fig. 8 Mixtral-S/CS configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftsim_bench::mixtral_sparse_a40;
+use ftsim_sim::{parallel_map_with, thread_count, ThroughputSweep};
+use std::hint::black_box;
+
+const SEQ: usize = 79;
+
+fn batches() -> Vec<usize> {
+    (1..=16).collect()
+}
+
+fn serial_naive(c: &mut Criterion) {
+    let sim = mixtral_sparse_a40();
+    let batches = batches();
+    c.bench_function("engine/sweep_serial_naive", |b| {
+        b.iter(|| {
+            let total: f64 = batches
+                .iter()
+                .map(|&bs| sim.simulate_step_naive(bs, SEQ).total_seconds())
+                .sum();
+            black_box(total)
+        })
+    });
+}
+
+fn serial_memoized(c: &mut Criterion) {
+    let sim = mixtral_sparse_a40();
+    let batches = batches();
+    c.bench_function("engine/sweep_serial_memoized", |b| {
+        b.iter(|| {
+            let total: f64 = batches
+                .iter()
+                .map(|&bs| sim.simulate_step(bs, SEQ).total_seconds())
+                .sum();
+            black_box(total)
+        })
+    });
+}
+
+fn parallel_memoized(c: &mut Criterion) {
+    let sim = mixtral_sparse_a40();
+    let batches = batches();
+    let threads = thread_count();
+    eprintln!("[engine] parallel fan-out over {threads} thread(s)");
+    c.bench_function("engine/sweep_parallel_memoized", |b| {
+        b.iter(|| {
+            let totals = parallel_map_with(threads, &batches, |&bs| {
+                sim.simulate_step(bs, SEQ).total_seconds()
+            });
+            black_box(totals.iter().sum::<f64>())
+        })
+    });
+    c.bench_function("engine/throughput_sweep_parallel", |b| {
+        b.iter(|| {
+            black_box(ThroughputSweep::run(&sim, "bench", SEQ, &batches).expect("valid batch list"))
+        })
+    });
+}
+
+criterion_group! {
+    name = engine;
+    config = Criterion::default().sample_size(10);
+    targets = serial_naive, serial_memoized, parallel_memoized
+}
+criterion_main!(engine);

@@ -10,18 +10,18 @@ use std::hint::black_box;
 fn fig8_sweeps(c: &mut Criterion) {
     let sim = mixtral_sparse_a40();
     let batches: Vec<usize> = (1..=8).collect();
-    let sweep = ThroughputSweep::run(&sim, "Mixtral-S/CS", 79, &batches);
+    let sweep = ThroughputSweep::run(&sim, "Mixtral-S/CS", 79, &batches).expect("valid batch list");
     for p in &sweep.points {
         eprintln!("[fig8] bs{} = {:.2} qps", p.batch, p.queries_per_second);
     }
     c.bench_function("fig8/mixtral_sparse_cs_sweep", |b| {
-        b.iter(|| black_box(ThroughputSweep::run(&sim, "bench", 79, &batches)))
+        b.iter(|| black_box(ThroughputSweep::run(&sim, "bench", 79, &batches).unwrap()))
     });
 
     let bm = sim_on_a40(presets::blackmamba_2p8b(), true);
     let bm_batches: Vec<usize> = (1..=20).collect();
     c.bench_function("fig8/blackmamba_sparse_cs_sweep", |b| {
-        b.iter(|| black_box(ThroughputSweep::run(&bm, "bench", 79, &bm_batches)))
+        b.iter(|| black_box(ThroughputSweep::run(&bm, "bench", 79, &bm_batches).unwrap()))
     });
 }
 

@@ -71,9 +71,30 @@ fn table4_cost(c: &mut Criterion) {
     let model = presets::mixtral_8x7b();
     let mem = MemoryModel::new(&model, &FineTuneConfig::qlora_sparse());
     let combos = vec![
-        (GpuSpec::a40(), ThroughputModel { c2: 0.35, c3: 1.0, c4: 0.05 }),
-        (GpuSpec::a100_80(), ThroughputModel { c2: 0.70, c3: 1.0, c4: 0.30 }),
-        (GpuSpec::h100_80(), ThroughputModel { c2: 1.30, c3: 1.0, c4: 0.50 }),
+        (
+            GpuSpec::a40(),
+            ThroughputModel {
+                c2: 0.35,
+                c3: 1.0,
+                c4: 0.05,
+            },
+        ),
+        (
+            GpuSpec::a100_80(),
+            ThroughputModel {
+                c2: 0.70,
+                c3: 1.0,
+                c4: 0.30,
+            },
+        ),
+        (
+            GpuSpec::h100_80(),
+            ThroughputModel {
+                c2: 1.30,
+                c3: 1.0,
+                c4: 0.50,
+            },
+        ),
     ];
     let prices = PriceTable::for_provider(CloudProvider::Cudo);
     let job = FineTuneJob::ten_epochs(&data::math_14k());

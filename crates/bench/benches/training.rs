@@ -35,7 +35,11 @@ fn fig3_training(c: &mut Criterion) {
 fn fig11_routing(c: &mut Criterion) {
     let drift = RouterDrift::new(8, 31);
     let (conc, dist) = drift.calibrate(112.0);
-    eprintln!("[fig11] concentration {:.3} → variance {:.1}", conc, dist.variance());
+    eprintln!(
+        "[fig11] concentration {:.3} → variance {:.1}",
+        conc,
+        dist.variance()
+    );
     c.bench_function("fig11/calibrate_variance", |b| {
         b.iter(|| black_box(drift.calibrate(112.0)))
     });
@@ -52,7 +56,9 @@ fn tensor_micro(c: &mut Criterion) {
         b.iter(|| black_box(a.matmul(&bm).expect("conforming")))
     });
 
-    let weights: Vec<f32> = (0..16_384).map(|i| ((i as f32) * 0.01).sin() * 0.02).collect();
+    let weights: Vec<f32> = (0..16_384)
+        .map(|i| ((i as f32) * 0.01).sin() * 0.02)
+        .collect();
     c.bench_function("micro/nf4_quantize_16k", |b| {
         b.iter(|| black_box(Quantized4Bit::quantize(&weights, 64).expect("valid")))
     });

@@ -24,7 +24,11 @@ pub fn mixtral_sparse_a40() -> StepSimulator {
 
 /// A simulator for an arbitrary combo on the A40.
 pub fn sim_on_a40(model: ModelConfig, sparse: bool) -> StepSimulator {
-    let s = if sparse { Sparsity::TopK(2) } else { Sparsity::Dense };
+    let s = if sparse {
+        Sparsity::TopK(2)
+    } else {
+        Sparsity::Dense
+    };
     let ft = FineTuneConfig::for_model(&model, s);
     StepSimulator::new(model, ft, CostModel::new(GpuSpec::a40()))
 }

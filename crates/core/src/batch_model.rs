@@ -63,7 +63,8 @@ impl MaxBatchModel {
         seq_len: usize,
         sparsity: f64,
     ) -> usize {
-        self.predict_f(gpu_mem_gb, model_mem_gb, seq_len, sparsity).floor() as usize
+        self.predict_f(gpu_mem_gb, model_mem_gb, seq_len, sparsity)
+            .floor() as usize
     }
 
     /// Fits `(C₀, C₁)` to `samples`: a grid over `C₁ ∈ [0, 1)` with the
@@ -100,7 +101,7 @@ impl MaxBatchModel {
             }
             let model = MaxBatchModel { c0: num / den, c1 };
             let err = model.rmse(samples);
-            if best.map_or(true, |(_, e)| err < e) {
+            if best.is_none_or(|(_, e)| err < e) {
                 best = Some((model, err));
             }
         }

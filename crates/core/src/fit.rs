@@ -29,11 +29,7 @@ impl Default for NelderMeadOptions {
 /// # Panics
 ///
 /// Panics if `x0` is empty.
-pub fn nelder_mead(
-    f: impl Fn(&[f64]) -> f64,
-    x0: &[f64],
-    opts: NelderMeadOptions,
-) -> Vec<f64> {
+pub fn nelder_mead(f: impl Fn(&[f64]) -> f64, x0: &[f64], opts: NelderMeadOptions) -> Vec<f64> {
     assert!(!x0.is_empty(), "need at least one dimension");
     let n = x0.len();
     let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
@@ -89,7 +85,11 @@ pub fn nelder_mead(
             // Try expanding.
             let expanded = at(gamma);
             let fe = f(&expanded);
-            simplex[n] = if fe < fr { (expanded, fe) } else { (reflected, fr) };
+            simplex[n] = if fe < fr {
+                (expanded, fe)
+            } else {
+                (reflected, fr)
+            };
         } else if fr < simplex[n - 1].1 {
             simplex[n] = (reflected, fr);
         } else {
@@ -131,9 +131,7 @@ pub fn multi_start(
     starts
         .iter()
         .map(|s| nelder_mead(&f, s, opts))
-        .min_by(|a, b| {
-            f(a).partial_cmp(&f(b)).unwrap_or(std::cmp::Ordering::Equal)
-        })
+        .min_by(|a, b| f(a).partial_cmp(&f(b)).unwrap_or(std::cmp::Ordering::Equal))
         .expect("at least one start")
 }
 
@@ -145,11 +143,7 @@ pub fn multi_start(
 pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len(), "length mismatch");
     assert!(!pred.is_empty(), "rmse of empty slices");
-    let sum: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(&p, &t)| (p - t).powi(2))
-        .sum();
+    let sum: f64 = pred.iter().zip(truth).map(|(&p, &t)| (p - t).powi(2)).sum();
     (sum / pred.len() as f64).sqrt()
 }
 
@@ -200,7 +194,11 @@ mod tests {
 
     #[test]
     fn one_dimensional_works() {
-        let best = nelder_mead(|x| (x[0] - 7.0).powi(2), &[0.0], NelderMeadOptions::default());
+        let best = nelder_mead(
+            |x| (x[0] - 7.0).powi(2),
+            &[0.0],
+            NelderMeadOptions::default(),
+        );
         assert!((best[0] - 7.0).abs() < 1e-3);
     }
 
@@ -230,7 +228,7 @@ mod tests {
                 .map(|(&x, &y)| (p[0] * x.ln() + p[1] - y).powi(2))
                 .sum()
         };
-        let best = nelder_mead(&objective, &[1.0, 0.0], NelderMeadOptions::default());
+        let best = nelder_mead(objective, &[1.0, 0.0], NelderMeadOptions::default());
         assert!((best[0] - 2.5).abs() < 1e-3, "{best:?}");
         assert!((best[1] - 0.7).abs() < 1e-3, "{best:?}");
     }

@@ -75,10 +75,7 @@ impl MemoryProjection {
     pub fn max_abs_error(&self) -> usize {
         self.points
             .iter()
-            .filter_map(|p| {
-                p.ground_truth
-                    .map(|t| p.predicted.abs_diff(t))
-            })
+            .filter_map(|p| p.ground_truth.map(|t| p.predicted.abs_diff(t)))
             .max()
             .unwrap_or(0)
     }
@@ -108,15 +105,26 @@ mod tests {
     #[test]
     fn projection_grows_with_memory() {
         let p = MemoryProjection::build(&measured(), &[100.0, 120.0], 23.35, 148, 0.25);
-        let by_mem: Vec<(f64, usize)> =
-            p.points.iter().map(|pt| (pt.mem_gb, pt.predicted)).collect();
+        let by_mem: Vec<(f64, usize)> = p
+            .points
+            .iter()
+            .map(|pt| (pt.mem_gb, pt.predicted))
+            .collect();
         for w in by_mem.windows(2) {
             if w[0].0 <= w[1].0 {
                 assert!(w[0].1 <= w[1].1, "{by_mem:?}");
             }
         }
-        let f120 = p.points.iter().find(|pt| pt.label == "future-120GB").unwrap();
-        let f100 = p.points.iter().find(|pt| pt.label == "future-100GB").unwrap();
+        let f120 = p
+            .points
+            .iter()
+            .find(|pt| pt.label == "future-120GB")
+            .unwrap();
+        let f100 = p
+            .points
+            .iter()
+            .find(|pt| pt.label == "future-100GB")
+            .unwrap();
         assert!(f120.predicted > f100.predicted);
         assert!(f100.ground_truth.is_none());
     }

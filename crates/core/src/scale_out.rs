@@ -124,9 +124,21 @@ mod tests {
     #[test]
     fn qlora_scales_nearly_linearly() {
         // 0.9 GB of gradients over NVLink is negligible next to a 2 s step.
-        let pts = scale_out(2.0, 4, QLORA_TRAINABLE, 4.0, Interconnect::nvlink3(), &[2, 4, 8]);
+        let pts = scale_out(
+            2.0,
+            4,
+            QLORA_TRAINABLE,
+            4.0,
+            Interconnect::nvlink3(),
+            &[2, 4, 8],
+        );
         for p in pts {
-            assert!(p.efficiency > 0.99, "{} GPUs: eff {:.3}", p.gpus, p.efficiency);
+            assert!(
+                p.efficiency > 0.99,
+                "{} GPUs: eff {:.3}",
+                p.gpus,
+                p.efficiency
+            );
         }
     }
 
@@ -147,7 +159,14 @@ mod tests {
 
     #[test]
     fn throughput_still_grows_with_gpus() {
-        let pts = scale_out(0.3, 12, FULL_TRAINABLE, 2.0, Interconnect::pcie4(), &[1, 2, 4, 8]);
+        let pts = scale_out(
+            0.3,
+            12,
+            FULL_TRAINABLE,
+            2.0,
+            Interconnect::pcie4(),
+            &[1, 2, 4, 8],
+        );
         for w in pts.windows(2) {
             assert!(w[1].queries_per_second > w[0].queries_per_second);
         }

@@ -54,7 +54,11 @@ impl ThroughputModel {
     /// Panics if fewer than 3 samples are given (the model has 3 degrees of
     /// freedom).
     pub fn fit(samples: &[ThroughputSample]) -> (Self, f64) {
-        assert!(samples.len() >= 3, "need at least 3 samples, got {}", samples.len());
+        assert!(
+            samples.len() >= 3,
+            "need at least 3 samples, got {}",
+            samples.len()
+        );
         let objective = |p: &[f64]| -> f64 {
             let model = ThroughputModel {
                 c2: p[0],
@@ -129,13 +133,22 @@ mod tests {
         // coefficients (C₃ and C₄ trade off through the log).
         for s in &samples {
             let p = fitted.predict(s.batch, s.sparsity);
-            assert!((p - s.qps).abs() < 0.02, "batch {}: {p} vs {}", s.batch, s.qps);
+            assert!(
+                (p - s.qps).abs() < 0.02,
+                "batch {}: {p} vs {}",
+                s.batch,
+                s.qps
+            );
         }
     }
 
     #[test]
     fn throughput_increases_with_batch() {
-        let m = ThroughputModel { c2: 0.6, c3: 0.8, c4: 0.4 };
+        let m = ThroughputModel {
+            c2: 0.6,
+            c3: 0.8,
+            c4: 0.4,
+        };
         let mut prev = 0.0;
         for b in 1..=20 {
             let q = m.predict(b as f64, 0.25);
@@ -147,7 +160,11 @@ mod tests {
     #[test]
     fn log_saturation_shape() {
         // Marginal gain shrinks with batch: q(2)-q(1) > q(10)-q(9).
-        let m = ThroughputModel { c2: 0.6, c3: 0.8, c4: 0.4 };
+        let m = ThroughputModel {
+            c2: 0.6,
+            c3: 0.8,
+            c4: 0.4,
+        };
         let g_low = m.predict(2.0, 1.0) - m.predict(1.0, 1.0);
         let g_high = m.predict(10.0, 1.0) - m.predict(9.0, 1.0);
         assert!(g_low > g_high);
@@ -157,20 +174,32 @@ mod tests {
     fn sparsity_shifts_curve_up() {
         // At equal batch, lower sparsity ratio (fewer active experts) gives
         // higher predicted throughput — matching Fig. 8.
-        let m = ThroughputModel { c2: 0.6, c3: 0.8, c4: 0.4 };
+        let m = ThroughputModel {
+            c2: 0.6,
+            c3: 0.8,
+            c4: 0.4,
+        };
         assert!(m.predict(2.0, 0.25) > m.predict(2.0, 1.0));
     }
 
     #[test]
     fn intercept_is_dense_batch1_throughput() {
         // With C₃ = 1, sparsity 1 and batch 1 the log term vanishes.
-        let m = ThroughputModel { c2: 0.9, c3: 1.0, c4: 0.37 };
+        let m = ThroughputModel {
+            c2: 0.9,
+            c3: 1.0,
+            c4: 0.37,
+        };
         assert!((m.predict(1.0, 1.0) - 0.37).abs() < 1e-12);
     }
 
     #[test]
     fn predictions_never_negative() {
-        let m = ThroughputModel { c2: 0.6, c3: 5.0, c4: -2.0 };
+        let m = ThroughputModel {
+            c2: 0.6,
+            c3: 5.0,
+            c4: -2.0,
+        };
         assert!(m.predict(1.0, 1.0) > 0.0);
     }
 
@@ -178,8 +207,16 @@ mod tests {
     #[should_panic(expected = "at least 3 samples")]
     fn fit_rejects_underdetermined() {
         ThroughputModel::fit(&[
-            ThroughputSample { batch: 1.0, sparsity: 1.0, qps: 0.5 },
-            ThroughputSample { batch: 2.0, sparsity: 1.0, qps: 0.8 },
+            ThroughputSample {
+                batch: 1.0,
+                sparsity: 1.0,
+                qps: 0.5,
+            },
+            ThroughputSample {
+                batch: 2.0,
+                sparsity: 1.0,
+                qps: 0.8,
+            },
         ]);
     }
 

@@ -78,16 +78,21 @@ pub fn validate_combo(
         format!("{label} dense"),
         seq_len,
         &batches(dense_max),
-    );
+    )
+    .expect("valid batch list");
     let sparse = ThroughputSweep::run(
         &sparse_sim,
         format!("{label} sparse"),
         seq_len,
         &batches(sparse_max),
-    );
+    )
+    .expect("valid batch list");
 
     let mut samples = Vec::new();
-    for (sweep, sparsity) in [(&dense, 1.0), (&sparse, sparse_ft.sparsity.ratio(model.moe.num_experts))] {
+    for (sweep, sparsity) in [
+        (&dense, 1.0),
+        (&sparse, sparse_ft.sparsity.ratio(model.moe.num_experts)),
+    ] {
         for (batch, qps) in sweep.samples() {
             samples.push(ThroughputSample {
                 batch,
@@ -136,7 +141,11 @@ mod tests {
             79,
             2,
         );
-        assert!(v.relative_rmse() < 0.20, "relative RMSE {:.3}", v.relative_rmse());
+        assert!(
+            v.relative_rmse() < 0.20,
+            "relative RMSE {:.3}",
+            v.relative_rmse()
+        );
     }
 
     #[test]

@@ -35,10 +35,33 @@ pub struct ExperimentResult {
 /// All experiment ids in paper order.
 pub fn experiment_ids() -> Vec<&'static str> {
     vec![
-        "table1", "table2", "fig2", "fig3", "table3", "fig4", "fig5", "fig6", "fig8", "fig9",
-        "fig10", "fig11", "fig13", "fig14", "fig15", "table4", "sensitivity", "ablation",
+        "table1",
+        "table2",
+        "fig2",
+        "fig3",
+        "table3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig13",
+        "fig14",
+        "fig15",
+        "table4",
+        "sensitivity",
+        "ablation",
         "scaleout",
     ]
+}
+
+/// Extra experiment ids that `repro` accepts but `repro all` skips: these
+/// measure the simulator itself (wall-clock timings), not the paper, so
+/// they would make the default artifact set nondeterministic.
+pub fn extra_experiment_ids() -> Vec<&'static str> {
+    vec!["bench_engine"]
 }
 
 /// Runs one experiment by id.
@@ -67,6 +90,7 @@ pub fn run(id: &str) -> ExperimentResult {
         "sensitivity" => sensitivity(),
         "ablation" => ablation(),
         "scaleout" => scaleout(),
+        "bench_engine" => bench_engine(),
         other => panic!("unknown experiment id {other:?}"),
     }
 }
@@ -76,12 +100,20 @@ fn a40() -> CostModel {
 }
 
 fn paper_recipe(model: &ModelConfig, sparse: bool) -> FineTuneConfig {
-    let s = if sparse { Sparsity::TopK(2) } else { Sparsity::Dense };
+    let s = if sparse {
+        Sparsity::TopK(2)
+    } else {
+        Sparsity::Dense
+    };
     FineTuneConfig::for_model(model, s)
 }
 
 fn sim_for(model: &ModelConfig, sparse: bool, gpu: GpuSpec) -> StepSimulator {
-    StepSimulator::new(model.clone(), paper_recipe(model, sparse), CostModel::new(gpu))
+    StepSimulator::new(
+        model.clone(),
+        paper_recipe(model, sparse),
+        CostModel::new(gpu),
+    )
 }
 
 /// The four (model, sparsity) combinations of the paper's runtime studies.
@@ -104,7 +136,11 @@ fn max_batch(model: &ModelConfig, sparse: bool, gpu: &GpuSpec, seq: usize) -> us
 fn table1() -> ExperimentResult {
     let mut text = String::new();
     let mut rows = Vec::new();
-    let _ = writeln!(text, "{:<16} {:>9} {:>12} {:>8} {:>9}", "model", "#params", "mem", "#layers", "#experts");
+    let _ = writeln!(
+        text,
+        "{:<16} {:>9} {:>12} {:>8} {:>9}",
+        "model", "#params", "mem", "#layers", "#experts"
+    );
     for m in models::all() {
         let ft = FineTuneConfig::for_model(&m, Sparsity::TopK(2));
         let mem = MemoryModel::new(&m, &ft);
@@ -126,7 +162,10 @@ fn table1() -> ExperimentResult {
             "experts": m.moe.num_experts,
         }));
     }
-    let _ = writeln!(text, "paper: Mixtral 47B / 23.35GB / 32 layers; BlackMamba 2.8B / 5.6GB / 18 layers");
+    let _ = writeln!(
+        text,
+        "paper: Mixtral 47B / 23.35GB / 32 layers; BlackMamba 2.8B / 5.6GB / 18 layers"
+    );
     ExperimentResult {
         id: "table1",
         title: "Table I: LLM models",
@@ -139,14 +178,21 @@ fn table1() -> ExperimentResult {
 
 fn table2() -> ExperimentResult {
     let mut text = String::new();
-    let _ = writeln!(text, "{:<18} {:>9} {:>11} {:>14}", "dataset", "#queries", "median len", "type");
+    let _ = writeln!(
+        text,
+        "{:<18} {:>9} {:>11} {:>14}",
+        "dataset", "#queries", "median len", "type"
+    );
     let rows: Vec<Value> = data::table_ii()
         .into_iter()
         .map(|d| {
             let _ = writeln!(
                 text,
                 "{:<18} {:>9} {:>11} {:>14}",
-                d.name, d.num_queries, d.median_seq_len, d.domain.to_string()
+                d.name,
+                d.num_queries,
+                d.median_seq_len,
+                d.domain.to_string()
             );
             json!({
                 "name": d.name, "code": d.code, "queries": d.num_queries,
@@ -174,7 +220,11 @@ fn fig2() -> ExperimentResult {
         let hist = SeqLenDistribution::histogram(&samples, 16);
         let median = SeqLenDistribution::percentile(&samples, 50.0);
         let p95 = SeqLenDistribution::percentile(&samples, 95.0);
-        let _ = writeln!(text, "{} — sampled median {median} (nominal {}), p95 {p95}", ds.name, ds.median_seq_len);
+        let _ = writeln!(
+            text,
+            "{} — sampled median {median} (nominal {}), p95 {p95}",
+            ds.name, ds.median_seq_len
+        );
         let peak = hist.iter().map(|&(_, c)| c).max().unwrap_or(1);
         for &(edge, count) in &hist {
             let bar = "#".repeat(40 * count / peak.max(1));
@@ -204,7 +254,10 @@ fn fig3() -> ExperimentResult {
         let _ = writeln!(text, "{:<16} {}", c.label, accs.join(" "));
     }
 
-    let _ = writeln!(text, "\n[emergent: genuinely trained CPU-scale MoE (10 epochs)]");
+    let _ = writeln!(
+        text,
+        "\n[emergent: genuinely trained CPU-scale MoE (10 epochs)]"
+    );
     let cs = ftsim_workload::SyntheticTask::commonsense(16, 4, 42);
     let math = ftsim_workload::SyntheticTask::math(16, 4, 42);
     let mut emergent = Vec::new();
@@ -246,13 +299,21 @@ fn table3() -> ExperimentResult {
     let gpu = GpuSpec::a40();
     // Paper ground truth (A40, CS median 79 / MATH median 174).
     let paper: Vec<(&str, &str, usize)> = vec![
-        ("Mixtral-D", "CS", 2), ("Mixtral-S", "CS", 8),
-        ("Mixtral-D", "MATH", 1), ("Mixtral-S", "MATH", 3),
-        ("BlackMamba-D", "CS", 6), ("BlackMamba-S", "CS", 20),
-        ("BlackMamba-D", "MATH", 2), ("BlackMamba-S", "MATH", 8),
+        ("Mixtral-D", "CS", 2),
+        ("Mixtral-S", "CS", 8),
+        ("Mixtral-D", "MATH", 1),
+        ("Mixtral-S", "MATH", 3),
+        ("BlackMamba-D", "CS", 6),
+        ("BlackMamba-S", "CS", 20),
+        ("BlackMamba-D", "MATH", 2),
+        ("BlackMamba-S", "MATH", 8),
     ];
     let mut text = String::new();
-    let _ = writeln!(text, "{:<14} {:>6} {:>6} {:>6}", "combo", "data", "ours", "paper");
+    let _ = writeln!(
+        text,
+        "{:<14} {:>6} {:>6} {:>6}",
+        "combo", "data", "ours", "paper"
+    );
     let mut rows = Vec::new();
     let mut exact = 0;
     for (combo, ds, truth) in &paper {
@@ -367,7 +428,11 @@ fn fig5() -> ExperimentResult {
             let b = trace.section_breakdown();
             let moe = b.percent("moe");
             moe_shares.push(moe);
-            let mixer = if model.is_attention() { "attention" } else { "mamba" };
+            let mixer = if model.is_attention() {
+                "attention"
+            } else {
+                "mamba"
+            };
             let _ = writeln!(
                 text,
                 "{label:<14} bs={batch:<3} moe {moe:>5.1}%  {mixer} {:>5.1}%  norm {:>5.1}%  other {:>5.1}%",
@@ -441,7 +506,13 @@ fn fig8() -> ExperimentResult {
     for (label, model, sparse, seq) in cases {
         let mb = max_batch(&model, sparse, &GpuSpec::a40(), seq).max(1);
         let batches: Vec<usize> = (1..=mb).collect();
-        let sweep = ThroughputSweep::run(&sim_for(&model, sparse, GpuSpec::a40()), label, seq, &batches);
+        let sweep = ThroughputSweep::run(
+            &sim_for(&model, sparse, GpuSpec::a40()),
+            label,
+            seq,
+            &batches,
+        )
+        .expect("valid batch list");
         let pts: Vec<String> = sweep
             .points
             .iter()
@@ -495,8 +566,17 @@ fn utilization_fig(id: &'static str, title: &'static str, sm: bool) -> Experimen
                 })
                 .collect();
             let overall = trace.moe_overall_utilization();
-            let o = if sm { overall.sm_util } else { overall.dram_util };
-            let _ = writeln!(text, "{label:<14} bs={batch:<3} overall {:.0}%  [{}]", o * 100.0, parts.join(" "));
+            let o = if sm {
+                overall.sm_util
+            } else {
+                overall.dram_util
+            };
+            let _ = writeln!(
+                text,
+                "{label:<14} bs={batch:<3} overall {:.0}%  [{}]",
+                o * 100.0,
+                parts.join(" ")
+            );
             rows.push(json!({
                 "combo": label, "batch": batch, "overall": o,
                 "kernels": table.iter().map(|r| json!({
@@ -519,7 +599,11 @@ fn fig9() -> ExperimentResult {
 }
 
 fn fig10() -> ExperimentResult {
-    utilization_fig("fig10", "Fig. 10: GPU DRAM bandwidth utilization of MoE kernels", false)
+    utilization_fig(
+        "fig10",
+        "Fig. 10: GPU DRAM bandwidth utilization of MoE kernels",
+        false,
+    )
 }
 
 // ---------------------------------------------------------------- Fig. 11
@@ -530,7 +614,11 @@ fn fig11() -> ExperimentResult {
     let mut cal = Vec::new();
     for case in routing::paper_cases() {
         let fmt = |d: &routing::TokenDistribution| {
-            d.pct.iter().map(|p| format!("{p:.0}")).collect::<Vec<_>>().join("/")
+            d.pct
+                .iter()
+                .map(|p| format!("{p:.0}"))
+                .collect::<Vec<_>>()
+                .join("/")
         };
         let _ = writeln!(
             text,
@@ -553,7 +641,10 @@ fn fig11() -> ExperimentResult {
     let _ = writeln!(text, "\n[emergent from genuinely trained MoE]");
     let mut emergent = Vec::new();
     for (label, task) in [
-        ("CS-task", ftsim_workload::SyntheticTask::commonsense(16, 4, 42)),
+        (
+            "CS-task",
+            ftsim_workload::SyntheticTask::commonsense(16, 4, 42),
+        ),
         ("MATH-task", ftsim_workload::SyntheticTask::math(16, 4, 42)),
     ] {
         let out = moetrain::train(&task, &MoeTrainConfig::mixtral_like(2), label);
@@ -585,8 +676,8 @@ fn fig13() -> ExperimentResult {
     let ft = paper_recipe(&model, true);
     let mem = MemoryModel::new(&model, &ft);
     let seq = 148; // GS
-    // Fit over both sparse and dense ground truth across the catalog so C₁
-    // is identifiable; project the sparse curve to future capacities.
+                   // Fit over both sparse and dense ground truth across the catalog so C₁
+                   // is identifiable; project the sparse curve to future capacities.
     let mut measured: Vec<(String, BatchSample)> = Vec::new();
     for gpu in GpuSpec::catalog() {
         for (tag, sparse, sparsity) in [("S", true, 0.25), ("D", false, 1.0)] {
@@ -608,13 +699,21 @@ fn fig13() -> ExperimentResult {
     }
     let proj = MemoryProjection::build(&measured, &[100.0, 120.0], mem.weights_gb(), seq, 0.25);
     let mut text = String::new();
-    let _ = writeln!(text, "Eq.1 fit: C0={:.2} C1={:.3} (rmse {:.2})", proj.model.c0, proj.model.c1, proj.fit_rmse);
+    let _ = writeln!(
+        text,
+        "Eq.1 fit: C0={:.2} C1={:.3} (rmse {:.2})",
+        proj.model.c0, proj.model.c1, proj.fit_rmse
+    );
     for p in &proj.points {
         let truth = p
             .ground_truth
             .map(|t| format!("{t}"))
             .unwrap_or_else(|| "-".into());
-        let _ = writeln!(text, "{:<14} {:>5.0}GB  predicted {:>3}  measured {truth}", p.label, p.mem_gb, p.predicted);
+        let _ = writeln!(
+            text,
+            "{:<14} {:>5.0}GB  predicted {:>3}  measured {truth}",
+            p.label, p.mem_gb, p.predicted
+        );
     }
     let _ = writeln!(text, "paper projects 28 (100GB) and 35 (120GB) with its unit convention; shape (linear growth in memory) matches");
     ExperimentResult {
@@ -647,7 +746,11 @@ fn fig14() -> ExperimentResult {
         let _ = writeln!(
             text,
             "{label:<16} C2={:>6.2} C3={:>6.3} C4={:>6.2}  RMSE {:.3} (relative {:.3})",
-            v.model.c2, v.model.c3, v.model.c4, v.rmse, v.relative_rmse()
+            v.model.c2,
+            v.model.c3,
+            v.model.c4,
+            v.rmse,
+            v.relative_rmse()
         );
         rows.push(json!({
             "label": label, "c2": v.model.c2, "c3": v.model.c3, "c4": v.model.c4,
@@ -679,7 +782,11 @@ fn fig15() -> ExperimentResult {
         let _ = writeln!(
             text,
             "{name:<12} C2={:>6.2} C3={:>6.3} C4={:>6.2}  RMSE {:.3} (relative {:.3})",
-            v.model.c2, v.model.c3, v.model.c4, v.rmse, v.relative_rmse()
+            v.model.c2,
+            v.model.c3,
+            v.model.c4,
+            v.rmse,
+            v.relative_rmse()
         );
         rows.push(json!({
             "gpu": name, "c2": v.model.c2, "c3": v.model.c3, "c4": v.model.c4,
@@ -764,9 +871,21 @@ fn sensitivity() -> ExperimentResult {
         let pts: Vec<String> = study
             .points
             .iter()
-            .map(|p| format!("L{}:bs{} {:.0}ms", p.seq_len, p.max_batch, p.step_seconds * 1e3))
+            .map(|p| {
+                format!(
+                    "L{}:bs{} {:.0}ms",
+                    p.seq_len,
+                    p.max_batch,
+                    p.step_seconds * 1e3
+                )
+            })
             .collect();
-        let _ = writeln!(text, "{label:<14} {}  (latency ratio {:.2})", pts.join(" "), study.latency_ratio());
+        let _ = writeln!(
+            text,
+            "{label:<14} {}  (latency ratio {:.2})",
+            pts.join(" "),
+            study.latency_ratio()
+        );
         series.push(json!({
             "label": label,
             "latency_ratio": study.latency_ratio(),
@@ -793,7 +912,11 @@ fn ablation() -> ExperimentResult {
     let mut rows = Vec::new();
     let cost = a40();
     for (model, ft, batch) in [
-        (models::mixtral_8x7b(), FineTuneConfig::qlora_sparse(), 2usize),
+        (
+            models::mixtral_8x7b(),
+            FineTuneConfig::qlora_sparse(),
+            2usize,
+        ),
         (models::blackmamba_2p8b(), FineTuneConfig::full_sparse(), 4),
     ] {
         let ck = ablate_checkpointing(&model, ft, &cost, batch, 128);
@@ -808,7 +931,13 @@ fn ablation() -> ExperimentResult {
         );
         rows.push(json!({ "model": model.name, "ablation": ck.name, "slowdown": ck.slowdown() }));
     }
-    let q = ablate_quantization(&models::mixtral_8x7b(), FineTuneConfig::qlora_sparse(), &cost, 1, 128);
+    let q = ablate_quantization(
+        &models::mixtral_8x7b(),
+        FineTuneConfig::qlora_sparse(),
+        &cost,
+        1,
+        128,
+    );
     let _ = writeln!(
         text,
         "Mixtral {}: bf16-LoRA static {:.0} GB vs NF4 {:.0} GB; bf16 max batch {} (does not fit the A40) vs NF4 {}",
@@ -833,8 +962,20 @@ fn scaleout() -> ExperimentResult {
     let mut rows = Vec::new();
     let gpus = [1usize, 2, 4, 8];
     let cases = [
-        ("Mixtral QLoRA (fp32 grads)", models::mixtral_8x7b(), FineTuneConfig::qlora_sparse(), 4usize, 4.0),
-        ("BlackMamba full (bf16 grads)", models::blackmamba_2p8b(), FineTuneConfig::full_sparse(), 12, 2.0),
+        (
+            "Mixtral QLoRA (fp32 grads)",
+            models::mixtral_8x7b(),
+            FineTuneConfig::qlora_sparse(),
+            4usize,
+            4.0,
+        ),
+        (
+            "BlackMamba full (bf16 grads)",
+            models::blackmamba_2p8b(),
+            FineTuneConfig::full_sparse(),
+            12,
+            2.0,
+        ),
     ];
     for (label, model, ft, batch, grad_bytes) in cases {
         let step = StepSimulator::new(model.clone(), ft, a40())
@@ -845,7 +986,14 @@ fn scaleout() -> ExperimentResult {
             let pts = scale_out(step, batch, trainable, grad_bytes, link, &gpus);
             let series: Vec<String> = pts
                 .iter()
-                .map(|p| format!("{}x{:.1}q/s({:.0}%)", p.gpus, p.queries_per_second, p.efficiency * 100.0))
+                .map(|p| {
+                    format!(
+                        "{}x{:.1}q/s({:.0}%)",
+                        p.gpus,
+                        p.queries_per_second,
+                        p.efficiency * 100.0
+                    )
+                })
                 .collect();
             let _ = writeln!(text, "{label:<30} {:<9} {}", link.name, series.join("  "));
             rows.push(json!({
@@ -856,12 +1004,130 @@ fn scaleout() -> ExperimentResult {
             }));
         }
     }
-    let _ = writeln!(text, "extension of §VII future work: data-parallel scaling with ring all-reduce");
+    let _ = writeln!(
+        text,
+        "extension of §VII future work: data-parallel scaling with ring all-reduce"
+    );
     ExperimentResult {
         id: "scaleout",
         title: "Extension: multi-GPU data-parallel scaling estimate",
         text,
         json: json!({ "rows": rows }),
+    }
+}
+
+// ------------------------------------------------- Performance engine bench
+
+/// Benchmarks the simulator itself on a Fig. 8-style sweep: serial naive
+/// emission vs. serial memoized traces vs. the multi-threaded engine.
+/// Excluded from `repro all` because its output is wall-clock timings.
+fn bench_engine() -> ExperimentResult {
+    use std::time::Instant;
+
+    let sim = sim_for(&models::mixtral_8x7b(), true, GpuSpec::a40());
+    let seq = 79;
+    let batches: Vec<usize> = (1..=16).collect();
+    let threads = ftsim_sim::thread_count();
+
+    // Serial, naive per-layer emission (no trace cache).
+    let t = Instant::now();
+    let naive: Vec<f64> = batches
+        .iter()
+        .map(|&b| sim.simulate_step_naive(b, seq).total_seconds())
+        .collect();
+    let naive_s = t.elapsed().as_secs_f64();
+
+    // Serial, memoized layer traces (fresh cache via clone).
+    let memo_sim = sim.clone();
+    let t = Instant::now();
+    let memo: Vec<f64> = batches
+        .iter()
+        .map(|&b| memo_sim.simulate_step(b, seq).total_seconds())
+        .collect();
+    let memo_s = t.elapsed().as_secs_f64();
+    let stats = memo_sim.cache_stats();
+
+    // Memoized + fanned across the engine's worker threads.
+    let par_sim = sim.clone();
+    let t = Instant::now();
+    let par: Vec<f64> =
+        ftsim_sim::parallel_map(&batches, |&b| par_sim.simulate_step(b, seq).total_seconds());
+    let par_s = t.elapsed().as_secs_f64();
+
+    let identical = naive
+        .iter()
+        .zip(&memo)
+        .all(|(a, b)| a.to_bits() == b.to_bits())
+        && naive
+            .iter()
+            .zip(&par)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        identical,
+        "memoized/parallel results diverged from naive emission"
+    );
+
+    let probe = sim.simulate_step(8, seq);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "sweep: Mixtral-S/CS on A40, {} steps (bs 1..={}), seq {seq}, {threads} thread(s)",
+        batches.len(),
+        batches.len()
+    );
+    let _ = writeln!(
+        text,
+        "kernels per step (bs8): {} emitted from {} unique ({:.0}x run-length compression)",
+        probe.kernel_count(),
+        probe.unique_kernel_count(),
+        probe.kernel_count() as f64 / probe.unique_kernel_count() as f64
+    );
+    let _ = writeln!(text, "serial naive      {:>9.2} ms", naive_s * 1e3);
+    let _ = writeln!(
+        text,
+        "serial memoized   {:>9.2} ms  ({:.1}x vs naive)",
+        memo_s * 1e3,
+        naive_s / memo_s
+    );
+    let _ = writeln!(
+        text,
+        "parallel memoized {:>9.2} ms  ({:.1}x vs naive, {threads} threads)",
+        par_s * 1e3,
+        naive_s / par_s
+    );
+    let _ = writeln!(
+        text,
+        "trace cache: {} entries, {} misses, {} hits; all variants bit-identical",
+        stats.entries, stats.misses, stats.hits
+    );
+
+    ExperimentResult {
+        id: "bench_engine",
+        title: "Engine benchmark: memoized traces + multi-threaded sweep",
+        text,
+        json: json!({
+            "sweep": json!({ "label": "Mixtral-S/CS", "gpu": "A40", "seq_len": seq, "steps": batches.len() }),
+            "threads": threads,
+            "kernels_per_step_bs8": json!({
+                "emitted": probe.kernel_count(),
+                "unique": probe.unique_kernel_count(),
+            }),
+            "wall_seconds": json!({
+                "serial_naive": naive_s,
+                "serial_memoized": memo_s,
+                "parallel_memoized": par_s,
+            }),
+            "speedup_vs_serial_naive": json!({
+                "serial_memoized": naive_s / memo_s,
+                "parallel_memoized": naive_s / par_s,
+            }),
+            "trace_cache": json!({
+                "entries": stats.entries,
+                "misses": stats.misses,
+                "hits": stats.hits,
+            }),
+            "bit_identical": identical,
+        }),
     }
 }
 
@@ -887,15 +1153,32 @@ mod tests {
     }
 
     #[test]
+    fn bench_engine_runs_and_results_stay_identical() {
+        // Also asserts internally that naive/memoized/parallel agree bit-for-bit.
+        let r = run("bench_engine");
+        assert_eq!(r.id, "bench_engine");
+        assert!(r.text.contains("bit-identical"), "{}", r.text);
+        assert!(!experiment_ids().contains(&"bench_engine"));
+        assert!(extra_experiment_ids().contains(&"bench_engine"));
+    }
+
+    #[test]
     fn table3_reports_exact_matches() {
         let r = run("table3");
-        assert!(r.text.contains("exact matches: 7/8") || r.text.contains("exact matches: 8/8"),
-            "{}", r.text);
+        assert!(
+            r.text.contains("exact matches: 7/8") || r.text.contains("exact matches: 8/8"),
+            "{}",
+            r.text
+        );
     }
 
     #[test]
     fn table4_ranks_h100_cheapest() {
         let r = run("table4");
-        assert!(r.text.contains("most cost-effective: H100-80GB"), "{}", r.text);
+        assert!(
+            r.text.contains("most cost-effective: H100-80GB"),
+            "{}",
+            r.text
+        );
     }
 }

@@ -6,8 +6,13 @@
 //! repro fig8 table4    # run selected experiments
 //! repro --list         # list experiment ids
 //! ```
+//!
+//! Experiments are independent, so they fan out across the engine's worker
+//! threads (`FTSIM_THREADS`); reports and artifacts are emitted in input
+//! order, byte-identical to a serial run.
 
-use ftsim_experiments::{experiment_ids, run};
+use ftsim_experiments::{experiment_ids, extra_experiment_ids, run};
+use ftsim_sim::parallel_map;
 use std::path::Path;
 
 fn main() {
@@ -15,10 +20,11 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: repro [--list] [--out DIR] <all | id...>");
         eprintln!("ids: {}", experiment_ids().join(" "));
+        eprintln!("extra (not in `all`): {}", extra_experiment_ids().join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     if args.iter().any(|a| a == "--list") {
-        for id in experiment_ids() {
+        for id in experiment_ids().into_iter().chain(extra_experiment_ids()) {
             println!("{id}");
         }
         return;
@@ -41,8 +47,9 @@ fn main() {
     }
 
     let valid = experiment_ids();
+    let extra = extra_experiment_ids();
     for id in &ids {
-        if !valid.contains(&id.as_str()) {
+        if !valid.contains(&id.as_str()) && !extra.contains(&id.as_str()) {
             eprintln!("unknown experiment id {id:?}; use --list");
             std::process::exit(2);
         }
@@ -53,11 +60,12 @@ fn main() {
         std::process::exit(1);
     }
 
-    for id in &ids {
-        let result = run(id);
+    // Run the experiments in parallel, then report serially in input order.
+    let results = parallel_map(&ids, |id| run(id));
+    for result in &results {
         println!("== {} ==", result.title);
         println!("{}", result.text);
-        let path = Path::new(&out_dir).join(format!("{id}.json"));
+        let path = Path::new(&out_dir).join(format!("{}.json", result.id));
         match serde_json::to_string_pretty(&result.json) {
             Ok(body) => {
                 if let Err(e) = std::fs::write(&path, body) {
@@ -66,7 +74,7 @@ fn main() {
                     println!("[artifact: {}]\n", path.display());
                 }
             }
-            Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
+            Err(e) => eprintln!("warning: cannot serialize {}: {e}", result.id),
         }
     }
 }

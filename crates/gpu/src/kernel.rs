@@ -38,8 +38,17 @@ impl KernelKind {
     pub fn all() -> [KernelKind; 11] {
         use KernelKind::*;
         [
-            MatMul, Dequant, Router, Softmax, TopK, Attention, MambaScan, Norm, Elementwise,
-            IndexAdd, Optimizer,
+            MatMul,
+            Dequant,
+            Router,
+            Softmax,
+            TopK,
+            Attention,
+            MambaScan,
+            Norm,
+            Elementwise,
+            IndexAdd,
+            Optimizer,
         ]
     }
 
@@ -109,8 +118,18 @@ impl KernelDesc {
 
     /// An elementwise kernel over `elems` elements with `flops_per_elem`
     /// operations and `bytes_per_elem` of traffic each.
-    pub fn elementwise(kind: KernelKind, elems: f64, flops_per_elem: f64, bytes_per_elem: f64) -> Self {
-        KernelDesc::new(kind, elems * flops_per_elem, elems * bytes_per_elem, (elems / 4096.0).ceil())
+    pub fn elementwise(
+        kind: KernelKind,
+        elems: f64,
+        flops_per_elem: f64,
+        bytes_per_elem: f64,
+    ) -> Self {
+        KernelDesc::new(
+            kind,
+            elems * flops_per_elem,
+            elems * bytes_per_elem,
+            (elems / 4096.0).ceil(),
+        )
     }
 
     /// A de-quantization kernel expanding `elems` 4-bit weights to bf16:

@@ -46,11 +46,7 @@ impl Breakdown {
 
     /// `(key, seconds)` pairs sorted by descending time.
     pub fn sorted(&self) -> Vec<(String, f64)> {
-        let mut v: Vec<(String, f64)> = self
-            .entries
-            .iter()
-            .map(|(k, &s)| (k.clone(), s))
-            .collect();
+        let mut v: Vec<(String, f64)> = self.entries.iter().map(|(k, &s)| (k.clone(), s)).collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         v
     }
@@ -75,7 +71,11 @@ impl fmt::Display for Breakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let total = self.total();
         for (key, secs) in self.sorted() {
-            let pct = if total > 0.0 { 100.0 * secs / total } else { 0.0 };
+            let pct = if total > 0.0 {
+                100.0 * secs / total
+            } else {
+                0.0
+            };
             writeln!(f, "  {key:<16} {:>10.3} ms  {pct:>5.1}%", secs * 1e3)?;
         }
         writeln!(f, "  {:<16} {:>10.3} ms  100.0%", "TOTAL", total * 1e3)
@@ -186,7 +186,9 @@ mod tests {
 
     #[test]
     fn breakdown_from_iterator() {
-        let b: Breakdown = vec![("a", 1.0), ("b", 2.0), ("a", 3.0)].into_iter().collect();
+        let b: Breakdown = vec![("a", 1.0), ("b", 2.0), ("a", 3.0)]
+            .into_iter()
+            .collect();
         assert_eq!(b.seconds("a"), 4.0);
         assert_eq!(b.seconds("b"), 2.0);
     }

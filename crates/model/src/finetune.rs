@@ -232,7 +232,10 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        assert_eq!(FineTuneConfig::qlora_sparse().to_string(), "QLoRA(r=16)/sparse(top-2)");
+        assert_eq!(
+            FineTuneConfig::qlora_sparse().to_string(),
+            "QLoRA(r=16)/sparse(top-2)"
+        );
         assert_eq!(FineTuneConfig::full_dense().to_string(), "full/dense");
     }
 }

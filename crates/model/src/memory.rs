@@ -316,8 +316,12 @@ mod tests {
     fn breakdown_components_sum() {
         let m = blackmamba_mem(FineTuneConfig::full_sparse());
         let b = m.breakdown(4, 128);
-        let manual = b.weights_gb + b.adapters_gb + b.gradients_gb + b.optimizer_gb
-            + b.overhead_gb + b.activations_gb;
+        let manual = b.weights_gb
+            + b.adapters_gb
+            + b.gradients_gb
+            + b.optimizer_gb
+            + b.overhead_gb
+            + b.activations_gb;
         assert!((b.total_gb() - manual).abs() < 1e-12);
         assert!(b.static_gb() < b.total_gb());
     }

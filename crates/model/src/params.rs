@@ -102,7 +102,10 @@ impl ParamCounts {
             "top_k {top_k} out of range 1..={}",
             self.num_experts
         );
-        self.embedding + self.mixer + self.router + self.norms
+        self.embedding
+            + self.mixer
+            + self.router
+            + self.norms
             + self.experts * top_k as u64 / self.num_experts
     }
 

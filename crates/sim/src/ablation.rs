@@ -68,8 +68,7 @@ fn measure(
     AblationArm {
         label: label.into(),
         step_seconds: trace.total_seconds(),
-        backward_share: trace.stage_seconds(crate::trace::Stage::Backward)
-            / trace.total_seconds(),
+        backward_share: trace.stage_seconds(crate::trace::Stage::Backward) / trace.total_seconds(),
         max_batch: mem.max_batch_size(cost.spec(), seq),
         static_gb: mem.breakdown(0, 0).static_gb(),
     }
@@ -130,8 +129,10 @@ pub fn kappa_sensitivity(
     kappas
         .iter()
         .map(|&kappa| {
-            let mut calib = ftsim_gpu::CalibrationProfile::default();
-            calib.occupancy_kappa = kappa;
+            let calib = ftsim_gpu::CalibrationProfile {
+                occupancy_kappa: kappa,
+                ..Default::default()
+            };
             let cost = CostModel::with_calibration(gpu.clone(), calib);
             let sim = StepSimulator::new(model.clone(), ft, cost);
             let q1 = 1.0 / sim.simulate_step(1, seq).total_seconds();

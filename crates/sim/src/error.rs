@@ -1,0 +1,85 @@
+//! Simulation input errors.
+//!
+//! DESIGN.md's error policy: malformed *inputs* are recoverable `Error`s,
+//! not panics. Sweep entry points validate their batch lists and return
+//! [`SimError`] instead of asserting.
+
+use std::fmt;
+
+/// A rejected simulation input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A sweep needs at least one batch size.
+    EmptyBatches,
+    /// Batch sizes must be at least 1.
+    ZeroBatch,
+    /// Batch sizes must be strictly ascending; `prev` preceded `next`.
+    UnsortedBatches {
+        /// The earlier entry.
+        prev: usize,
+        /// The offending entry that does not exceed it.
+        next: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyBatches => write!(f, "need at least one batch size"),
+            SimError::ZeroBatch => write!(f, "batch sizes must be at least 1"),
+            SimError::UnsortedBatches { prev, next } => write!(
+                f,
+                "batch sizes must be strictly ascending: {prev} followed by {next}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Validates a sweep's batch list: non-empty, no zero, strictly ascending.
+pub(crate) fn validate_batches(batches: &[usize]) -> Result<(), SimError> {
+    if batches.is_empty() {
+        return Err(SimError::EmptyBatches);
+    }
+    if batches[0] == 0 {
+        return Err(SimError::ZeroBatch);
+    }
+    if let Some(w) = batches.windows(2).find(|w| w[0] >= w[1]) {
+        return Err(SimError::UnsortedBatches {
+            prev: w[0],
+            next: w[1],
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_bad_batch_lists() {
+        assert_eq!(validate_batches(&[]), Err(SimError::EmptyBatches));
+        assert_eq!(validate_batches(&[0, 1]), Err(SimError::ZeroBatch));
+        assert_eq!(
+            validate_batches(&[4, 2]),
+            Err(SimError::UnsortedBatches { prev: 4, next: 2 })
+        );
+        assert_eq!(
+            validate_batches(&[1, 1]),
+            Err(SimError::UnsortedBatches { prev: 1, next: 1 })
+        );
+        assert_eq!(validate_batches(&[1, 2, 4, 8]), Ok(()));
+        assert_eq!(validate_batches(&[3]), Ok(()));
+    }
+
+    #[test]
+    fn errors_render_messages() {
+        assert!(SimError::EmptyBatches.to_string().contains("at least one"));
+        assert!(SimError::UnsortedBatches { prev: 4, next: 2 }
+            .to_string()
+            .contains("ascending"));
+        assert!(SimError::ZeroBatch.to_string().contains("at least 1"));
+    }
+}

@@ -85,38 +85,78 @@ impl TrainabilityMatrix {
         let spec: [(&str, CurveParams); 8] = [
             (
                 "Mixtral-D/HE",
-                CurveParams { base: 0.24, peak: 0.85, tau: 1.2, dip: None },
+                CurveParams {
+                    base: 0.24,
+                    peak: 0.85,
+                    tau: 1.2,
+                    dip: None,
+                },
             ),
             (
                 // The paper's outlier: sparse Mixtral on the easy task dips
                 // between epochs 4 and 5 (overfitting) but recovers to a
                 // similar peak.
                 "Mixtral-S/HE",
-                CurveParams { base: 0.24, peak: 0.84, tau: 1.3, dip: Some((4.5, 0.7, 0.14)) },
+                CurveParams {
+                    base: 0.24,
+                    peak: 0.84,
+                    tau: 1.3,
+                    dip: Some((4.5, 0.7, 0.14)),
+                },
             ),
             (
                 "Mixtral-D/GS",
-                CurveParams { base: 0.14, peak: 0.47, tau: 0.5, dip: None },
+                CurveParams {
+                    base: 0.14,
+                    peak: 0.47,
+                    tau: 0.5,
+                    dip: None,
+                },
             ),
             (
                 "Mixtral-S/GS",
-                CurveParams { base: 0.14, peak: 0.46, tau: 0.55, dip: None },
+                CurveParams {
+                    base: 0.14,
+                    peak: 0.46,
+                    tau: 0.55,
+                    dip: None,
+                },
             ),
             (
                 "BlackMamba-D/HE",
-                CurveParams { base: 0.08, peak: 0.63, tau: 2.2, dip: None },
+                CurveParams {
+                    base: 0.08,
+                    peak: 0.63,
+                    tau: 2.2,
+                    dip: None,
+                },
             ),
             (
                 "BlackMamba-S/HE",
-                CurveParams { base: 0.08, peak: 0.61, tau: 2.4, dip: None },
+                CurveParams {
+                    base: 0.08,
+                    peak: 0.61,
+                    tau: 2.4,
+                    dip: None,
+                },
             ),
             (
                 "BlackMamba-D/GS",
-                CurveParams { base: 0.03, peak: 0.09, tau: 0.5, dip: None },
+                CurveParams {
+                    base: 0.03,
+                    peak: 0.09,
+                    tau: 0.5,
+                    dip: None,
+                },
             ),
             (
                 "BlackMamba-S/GS",
-                CurveParams { base: 0.03, peak: 0.08, tau: 0.55, dip: None },
+                CurveParams {
+                    base: 0.03,
+                    peak: 0.08,
+                    tau: 0.55,
+                    dip: None,
+                },
             ),
         ];
         TrainabilityMatrix {

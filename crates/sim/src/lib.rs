@@ -26,6 +26,8 @@
 //! ```
 
 pub mod ablation;
+pub mod engine;
+pub mod error;
 pub mod learning;
 pub mod moetrain;
 pub mod report;
@@ -36,10 +38,12 @@ pub mod throughput;
 pub mod trace;
 
 pub use ablation::{Ablation, AblationArm};
+pub use engine::{parallel_map, parallel_map_with, thread_count};
+pub use error::SimError;
 pub use learning::{LearningCurve, TrainabilityMatrix};
 pub use moetrain::{MoeTrainConfig, MoeTrainOutcome};
 pub use routing::{RouterDrift, TokenDistribution};
 pub use sensitivity::{SensitivityPoint, SensitivityStudy};
-pub use step::StepSimulator;
+pub use step::{CacheStats, StepSimulator, TraceCache};
 pub use throughput::{ThroughputPoint, ThroughputSweep};
-pub use trace::{KernelRecord, Section, Stage, StepTrace};
+pub use trace::{KernelRecord, Section, Stage, StepTrace, TraceSegment};

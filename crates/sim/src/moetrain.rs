@@ -179,7 +179,11 @@ impl Classifier {
 
 /// Trains the classifier on `task` and measures everything the paper's
 /// Fig. 3 / Fig. 11 report.
-pub fn train(task: &SyntheticTask, cfg: &MoeTrainConfig, label: impl Into<String>) -> MoeTrainOutcome {
+pub fn train(
+    task: &SyntheticTask,
+    cfg: &MoeTrainConfig,
+    label: impl Into<String>,
+) -> MoeTrainOutcome {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let model = Classifier::new(task.dim(), task.classes(), cfg, &mut rng);
     let params = model.parameters();
@@ -263,7 +267,10 @@ mod tests {
             "sparse accuracy only {:.3}",
             out.peak_accuracy()
         );
-        assert!(out.initial_accuracy < 0.5, "untrained should be near chance");
+        assert!(
+            out.initial_accuracy < 0.5,
+            "untrained should be near chance"
+        );
     }
 
     #[test]
@@ -285,8 +292,14 @@ mod tests {
     fn math_like_task_is_harder() {
         // Paper observation: math is harder — lower accuracy at equal
         // budget.
-        let cs = quick(small(MoeTrainConfig::mixtral_like(2)), &SyntheticTask::commonsense(16, 4, 7));
-        let math = quick(small(MoeTrainConfig::mixtral_like(2)), &SyntheticTask::math(16, 4, 7));
+        let cs = quick(
+            small(MoeTrainConfig::mixtral_like(2)),
+            &SyntheticTask::commonsense(16, 4, 7),
+        );
+        let math = quick(
+            small(MoeTrainConfig::mixtral_like(2)),
+            &SyntheticTask::math(16, 4, 7),
+        );
         assert!(
             math.peak_accuracy() < cs.peak_accuracy(),
             "math {:.3} should trail commonsense {:.3}",

@@ -131,7 +131,10 @@ impl RouterDrift {
             let mean = 100.0 / n;
             ((100.0 - mean).powi(2) + (n - 1.0) * mean * mean) / n
         };
-        assert!(target < max_var, "target {target} exceeds maximum {max_var:.1}");
+        assert!(
+            target < max_var,
+            "target {target} exceeds maximum {max_var:.1}"
+        );
         let (mut lo, mut hi) = (0.0f64, 1.0f64);
         while self.distribution(hi).variance() < target {
             hi *= 2.0;
@@ -266,8 +269,14 @@ mod tests {
         let cases = paper_cases();
         assert!(cases[0].variance_delta() > 0.0, "Mixtral CS should grow");
         assert!(cases[1].variance_delta() > 0.0, "Mixtral GS should grow");
-        assert!(cases[2].variance_delta() < 0.0, "BlackMamba CS should shrink");
-        assert!(cases[3].variance_delta().abs() < 10.0, "BlackMamba GS ~unchanged");
+        assert!(
+            cases[2].variance_delta() < 0.0,
+            "BlackMamba CS should shrink"
+        );
+        assert!(
+            cases[3].variance_delta().abs() < 10.0,
+            "BlackMamba GS ~unchanged"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! almost flat; BlackMamba latency drops slightly (~19–25%) at longer
 //! sequences; throughput is higher for shorter sequences.
 
+use crate::engine;
 use crate::step::StepSimulator;
 use ftsim_model::MemoryModel;
 use serde::{Deserialize, Serialize};
@@ -39,32 +40,33 @@ pub struct SensitivityStudy {
 }
 
 impl SensitivityStudy {
-    /// Runs the study over `seq_lens` (each at its own max batch size).
-    /// Lengths whose max batch is zero are skipped.
+    /// Runs the study over `seq_lens` (each at its own max batch size),
+    /// fanning the lengths across the [`engine`]'s worker threads. Lengths
+    /// whose max batch is zero are skipped.
     pub fn run(sim: &StepSimulator, label: impl Into<String>, seq_lens: &[usize]) -> Self {
         let mem = MemoryModel::new(sim.model(), sim.finetune());
         let gpu = sim.cost_model().spec().clone();
-        let points = seq_lens
-            .iter()
-            .filter_map(|&seq_len| {
-                let max_batch = mem.max_batch_size(&gpu, seq_len);
-                if max_batch == 0 {
-                    return None;
-                }
-                let trace = sim.simulate_step(max_batch, seq_len);
-                let secs = trace.total_seconds();
-                let util = trace.moe_overall_utilization();
-                Some(SensitivityPoint {
-                    seq_len,
-                    max_batch,
-                    tokens: max_batch * seq_len,
-                    step_seconds: secs,
-                    queries_per_second: max_batch as f64 / secs,
-                    moe_sm_util: util.sm_util,
-                    moe_dram_util: util.dram_util,
-                })
+        let points = engine::parallel_map(seq_lens, |&seq_len| {
+            let max_batch = mem.max_batch_size(&gpu, seq_len);
+            if max_batch == 0 {
+                return None;
+            }
+            let trace = sim.simulate_step(max_batch, seq_len);
+            let secs = trace.total_seconds();
+            let util = trace.moe_overall_utilization();
+            Some(SensitivityPoint {
+                seq_len,
+                max_batch,
+                tokens: max_batch * seq_len,
+                step_seconds: secs,
+                queries_per_second: max_batch as f64 / secs,
+                moe_sm_util: util.sm_util,
+                moe_dram_util: util.dram_util,
             })
-            .collect();
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         SensitivityStudy {
             label: label.into(),
             points,

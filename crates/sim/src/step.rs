@@ -7,20 +7,75 @@
 //! backward mirror of all of it (including gradient-checkpointing
 //! re-computation), and the optimizer sweep.
 
-use crate::trace::{KernelRecord, Section, Stage, StepTrace};
+use crate::trace::{KernelRecord, Section, Stage, StepTrace, TraceSegment};
 use ftsim_gpu::{CostModel, KernelDesc, KernelKind};
 use ftsim_model::{FineTuneConfig, FineTuneMethod, ModelConfig, SequenceMixer};
 use ftsim_tensor::nn::ExpertKind;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Which half of a transformer layer a cached trace covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum LayerKind {
+    /// The layer's forward emission (also used for gradient-checkpointing
+    /// re-computation, keyed under `Stage::Backward`).
+    Forward,
+    /// The layer's backward emission.
+    Backward,
+}
+
+/// Cache key: a layer trace is fully determined by the stage it is emitted
+/// in, which half of the layer it covers, and the (batch, seq_len) shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TraceKey {
+    stage: Stage,
+    kind: LayerKind,
+    batch: usize,
+    seq_len: usize,
+}
+
+/// Memoizes priced per-layer kernel traces.
+///
+/// All `num_layers` transformer layers of a step launch an identical kernel
+/// sequence, so each distinct (stage, layer-kind, batch, seq_len) trace is
+/// computed and priced once and shared via [`Arc`]; [`StepTrace`] replays it
+/// with a repeat count. This turns `simulate_step` from O(layers × kernels)
+/// into O(kernels).
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    entries: HashMap<TraceKey, Arc<Vec<KernelRecord>>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Counters describing how effective a simulator's [`TraceCache`] has been.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and price) a layer trace.
+    pub misses: u64,
+    /// Distinct layer traces currently stored.
+    pub entries: usize,
+}
 
 /// Simulates training steps for one (model, recipe, GPU) combination.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct StepSimulator {
     model: ModelConfig,
     ft: FineTuneConfig,
     cost: CostModel,
+    cache: Mutex<TraceCache>,
 }
 
-/// Internal builder accumulating the kernels of one step.
+impl Clone for StepSimulator {
+    /// Clones the configuration with a fresh (empty) trace cache.
+    fn clone(&self) -> Self {
+        StepSimulator::new(self.model.clone(), self.ft, self.cost.clone())
+    }
+}
+
+/// Internal builder accumulating the kernels of one step or layer.
 struct TraceBuilder<'a> {
     cost: &'a CostModel,
     records: Vec<KernelRecord>,
@@ -28,10 +83,12 @@ struct TraceBuilder<'a> {
 }
 
 impl<'a> TraceBuilder<'a> {
-    fn new(cost: &'a CostModel) -> Self {
+    /// Pre-sizes the record vector; hot sweep paths pass the exact kernel
+    /// count (see the `*_kernels` estimators) so emission never reallocates.
+    fn with_capacity(cost: &'a CostModel, kernels: usize) -> Self {
         TraceBuilder {
             cost,
-            records: Vec::new(),
+            records: Vec::with_capacity(kernels),
             stage: Stage::Forward,
         }
     }
@@ -50,7 +107,12 @@ impl<'a> TraceBuilder<'a> {
 impl StepSimulator {
     /// Creates a simulator.
     pub fn new(model: ModelConfig, ft: FineTuneConfig, cost: CostModel) -> Self {
-        StepSimulator { model, ft, cost }
+        StepSimulator {
+            model,
+            ft,
+            cost,
+            cache: Mutex::new(TraceCache::default()),
+        }
     }
 
     /// The model being simulated.
@@ -71,13 +133,78 @@ impl StepSimulator {
     /// Simulates one full training step (forward + backward + optimizer)
     /// over `batch` queries padded to `seq_len` tokens.
     ///
+    /// The per-layer traces are memoized in the simulator's [`TraceCache`]
+    /// and replayed with repeat counts, so only one layer-trace computation
+    /// happens per distinct (stage, layer-kind) — O(kernels), not
+    /// O(layers × kernels). The result is bit-identical to
+    /// [`StepSimulator::simulate_step_naive`].
+    ///
     /// # Panics
     ///
     /// Panics if `batch` or `seq_len` is zero.
     pub fn simulate_step(&self, batch: usize, seq_len: usize) -> StepTrace {
         assert!(batch >= 1, "batch must be at least 1");
         assert!(seq_len >= 1, "seq_len must be at least 1");
-        let mut b = TraceBuilder::new(&self.cost);
+        let layers = self.model.num_layers;
+
+        // ---- Forward ----
+        let mut prologue = TraceBuilder::with_capacity(&self.cost, self.embedding_kernels());
+        self.emit_embedding(&mut prologue, batch, seq_len);
+        let fwd_layer = self.layer_records(Stage::Forward, LayerKind::Forward, batch, seq_len);
+        let mut head = TraceBuilder::with_capacity(&self.cost, self.head_kernels());
+        self.emit_head(&mut head, batch, seq_len);
+
+        // ---- Backward ----
+        // LM head backward first (loss gradient), then the layers.
+        let mut head_bwd = TraceBuilder::with_capacity(&self.cost, self.head_backward_kernels());
+        head_bwd.stage = Stage::Backward;
+        self.emit_head_backward(&mut head_bwd, batch, seq_len);
+        let bwd_layer = self.layer_records(Stage::Backward, LayerKind::Backward, batch, seq_len);
+        let bwd_block = if self.ft.gradient_checkpointing {
+            // Recompute the layer's forward before differentiating it: the
+            // repeated block is [recompute ++ backward]. Concatenating two
+            // cached traces copies records but prices nothing.
+            let recompute = self.layer_records(Stage::Backward, LayerKind::Forward, batch, seq_len);
+            let mut combined = Vec::with_capacity(recompute.len() + bwd_layer.len());
+            combined.extend_from_slice(&recompute);
+            combined.extend_from_slice(&bwd_layer);
+            Arc::new(combined)
+        } else {
+            bwd_layer
+        };
+
+        // ---- Optimizer ----
+        let mut opt = TraceBuilder::with_capacity(&self.cost, self.optimizer_kernels());
+        opt.stage = Stage::Optimizer;
+        self.emit_optimizer(&mut opt);
+
+        StepTrace::from_segments(
+            vec![
+                TraceSegment::once(prologue.records),
+                TraceSegment::repeated(fwd_layer, layers),
+                TraceSegment::once(head.records),
+                TraceSegment::once(head_bwd.records),
+                TraceSegment::repeated(bwd_block, layers),
+                TraceSegment::once(opt.records),
+            ],
+            batch,
+            seq_len,
+            self.model.is_attention(),
+        )
+    }
+
+    /// Reference path: emits every layer's kernels individually, with no
+    /// memoization or segment compression — O(layers × kernels). Kept for
+    /// equivalence testing and as the baseline the perf benches compare
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` or `seq_len` is zero.
+    pub fn simulate_step_naive(&self, batch: usize, seq_len: usize) -> StepTrace {
+        assert!(batch >= 1, "batch must be at least 1");
+        assert!(seq_len >= 1, "seq_len must be at least 1");
+        let mut b = TraceBuilder::with_capacity(&self.cost, self.step_kernels());
 
         // ---- Forward ----
         b.stage = Stage::Forward;
@@ -89,11 +216,9 @@ impl StepSimulator {
 
         // ---- Backward ----
         b.stage = Stage::Backward;
-        // LM head backward first (loss gradient), then the layers.
         self.emit_head_backward(&mut b, batch, seq_len);
         for _ in 0..self.model.num_layers {
             if self.ft.gradient_checkpointing {
-                // Recompute the layer's forward before differentiating it.
                 self.emit_layer_forward(&mut b, batch, seq_len);
             }
             self.emit_layer_backward(&mut b, batch, seq_len);
@@ -103,12 +228,67 @@ impl StepSimulator {
         b.stage = Stage::Optimizer;
         self.emit_optimizer(&mut b);
 
-        StepTrace {
-            records: b.records,
+        StepTrace::from_records(b.records, batch, seq_len, self.model.is_attention())
+    }
+
+    /// Snapshot of the trace cache's hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.lock().expect("trace cache poisoned");
+        CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            entries: cache.entries.len(),
+        }
+    }
+
+    /// Looks up (or computes once) the priced trace of one layer half.
+    fn layer_records(
+        &self,
+        stage: Stage,
+        kind: LayerKind,
+        batch: usize,
+        seq_len: usize,
+    ) -> Arc<Vec<KernelRecord>> {
+        let key = TraceKey {
+            stage,
+            kind,
             batch,
             seq_len,
-            attention_mixer: self.model.is_attention(),
+        };
+        {
+            let mut cache = self.cache.lock().expect("trace cache poisoned");
+            if let Some(records) = cache.entries.get(&key).cloned() {
+                cache.hits += 1;
+                return records;
+            }
         }
+        // Price outside the lock so concurrent sweeps over different shapes
+        // never serialize on each other; a racing duplicate computation is
+        // deterministic and the first insert wins.
+        let built = Arc::new(self.build_layer_records(stage, kind, batch, seq_len));
+        let mut cache = self.cache.lock().expect("trace cache poisoned");
+        cache.misses += 1;
+        cache.entries.entry(key).or_insert(built).clone()
+    }
+
+    fn build_layer_records(
+        &self,
+        stage: Stage,
+        kind: LayerKind,
+        batch: usize,
+        seq_len: usize,
+    ) -> Vec<KernelRecord> {
+        let capacity = match kind {
+            LayerKind::Forward => self.layer_forward_kernels(),
+            LayerKind::Backward => self.layer_backward_kernels(),
+        };
+        let mut b = TraceBuilder::with_capacity(&self.cost, capacity);
+        b.stage = stage;
+        match kind {
+            LayerKind::Forward => self.emit_layer_forward(&mut b, batch, seq_len),
+            LayerKind::Backward => self.emit_layer_backward(&mut b, batch, seq_len),
+        }
+        b.records
     }
 
     /// Tokens routed to each expert under the configured sparsity, assuming
@@ -122,6 +302,92 @@ impl StepSimulator {
     /// `true` when base weights are NF4 and must be de-quantized per use.
     fn quantized(&self) -> bool {
         self.ft.method.is_quantized()
+    }
+
+    // ---- Kernel-count estimators ----
+    //
+    // Each mirrors the matching `emit_*` method exactly (a unit test pins
+    // them together) so `TraceBuilder::with_capacity` can pre-size record
+    // vectors and emission never reallocates in hot sweep loops.
+
+    fn expert_mats(&self) -> usize {
+        match self.model.moe.expert_kind {
+            ExpertKind::SwiGlu => 3,
+            ExpertKind::GeluFfn => 2,
+        }
+    }
+
+    fn embedding_kernels(&self) -> usize {
+        1
+    }
+
+    fn mixer_forward_kernels(&self) -> usize {
+        match self.model.mixer {
+            SequenceMixer::Attention { .. } => usize::from(self.quantized()) + 4,
+            SequenceMixer::Mamba { .. } => 8,
+        }
+    }
+
+    fn moe_forward_kernels(&self) -> usize {
+        let mats = self.expert_mats();
+        let lora = if self.ft.method.lora_rank().is_some() {
+            2 * mats
+        } else {
+            0
+        };
+        let per_expert = usize::from(self.quantized()) + (mats - 1) + 3 + lora;
+        3 + self.model.moe.num_experts * per_expert
+    }
+
+    fn layer_forward_kernels(&self) -> usize {
+        2 + self.mixer_forward_kernels() + self.moe_forward_kernels()
+    }
+
+    fn mixer_backward_kernels(&self) -> usize {
+        let full = usize::from(matches!(self.ft.method, FineTuneMethod::Full));
+        3 + 2 * full
+    }
+
+    fn layer_backward_kernels(&self) -> usize {
+        let mats = self.expert_mats();
+        let full = matches!(self.ft.method, FineTuneMethod::Full);
+        // dX matmuls through W2, W1 (and W3) + the activation backward.
+        let mut per_expert = mats + 1;
+        if full {
+            per_expert += mats;
+        }
+        if self.ft.method.lora_rank().is_some() {
+            per_expert += 4 * mats;
+        }
+        self.model.moe.num_experts * per_expert + 1 + self.mixer_backward_kernels() + 1
+    }
+
+    fn head_kernels(&self) -> usize {
+        3
+    }
+
+    fn head_backward_kernels(&self) -> usize {
+        2 + usize::from(matches!(self.ft.method, FineTuneMethod::Full))
+    }
+
+    fn optimizer_kernels(&self) -> usize {
+        1
+    }
+
+    /// Exact kernel launches in one (uncompressed) step trace.
+    fn step_kernels(&self) -> usize {
+        let layers = self.model.num_layers;
+        let recompute = if self.ft.gradient_checkpointing {
+            self.layer_forward_kernels()
+        } else {
+            0
+        };
+        self.embedding_kernels()
+            + layers * self.layer_forward_kernels()
+            + self.head_kernels()
+            + self.head_backward_kernels()
+            + layers * (recompute + self.layer_backward_kernels())
+            + self.optimizer_kernels()
     }
 
     fn emit_embedding(&self, b: &mut TraceBuilder, batch: usize, seq_len: usize) {
@@ -192,7 +458,10 @@ impl StepSimulator {
             } => {
                 let d_inner = expand * h;
                 // Input projection for the x and gate paths.
-                b.emit(Section::Mixer, KernelDesc::matmul(tokens, 2 * d_inner, h, 2));
+                b.emit(
+                    Section::Mixer,
+                    KernelDesc::matmul(tokens, 2 * d_inner, h, 2),
+                );
                 // Depthwise conv (elementwise-ish) + selective scan.
                 b.emit(
                     Section::Mixer,
@@ -203,8 +472,14 @@ impl StepSimulator {
                         6.0,
                     ),
                 );
-                b.emit(Section::Mixer, KernelDesc::matmul(tokens, dt_rank + 2 * state_dim, d_inner, 2));
-                b.emit(Section::Mixer, KernelDesc::matmul(tokens, d_inner, dt_rank, 2));
+                b.emit(
+                    Section::Mixer,
+                    KernelDesc::matmul(tokens, dt_rank + 2 * state_dim, d_inner, 2),
+                );
+                b.emit(
+                    Section::Mixer,
+                    KernelDesc::matmul(tokens, d_inner, dt_rank, 2),
+                );
                 // Selective scan: ~9 FLOPs per (token, channel, state) with
                 // parallelism over batch × channels only (sequential in L).
                 let scan_flops = 9.0 * (tokens * d_inner * state_dim) as f64;
@@ -217,7 +492,12 @@ impl StepSimulator {
                 // Gate multiply + output projection + residual.
                 b.emit(
                     Section::Mixer,
-                    KernelDesc::elementwise(KernelKind::Elementwise, (tokens * d_inner) as f64, 4.0, 6.0),
+                    KernelDesc::elementwise(
+                        KernelKind::Elementwise,
+                        (tokens * d_inner) as f64,
+                        4.0,
+                        6.0,
+                    ),
                 );
                 b.emit(Section::Mixer, KernelDesc::matmul(tokens, h, d_inner, 2));
                 b.emit(
@@ -375,12 +655,19 @@ impl StepSimulator {
 
         // --- Mixer backward ---
         match self.model.mixer {
-            SequenceMixer::Attention { heads, kv_heads, head_dim } => {
+            SequenceMixer::Attention {
+                heads,
+                kv_heads,
+                head_dim,
+            } => {
                 let q_dim = heads * head_dim;
                 let kv_dim = kv_heads * head_dim;
                 // dX through output and QKV projections.
                 b.emit(Section::Mixer, KernelDesc::matmul(tokens, q_dim, h, 2));
-                b.emit(Section::Mixer, KernelDesc::matmul(tokens, h, q_dim + 2 * kv_dim, 2));
+                b.emit(
+                    Section::Mixer,
+                    KernelDesc::matmul(tokens, h, q_dim + 2 * kv_dim, 2),
+                );
                 // Attention backward ≈ 2× forward.
                 let flops = 8.0 * tokens as f64 * seq_len as f64 * q_dim as f64;
                 let bytes = 6.0 * tokens as f64 * q_dim as f64 * 2.0;
@@ -390,13 +677,21 @@ impl StepSimulator {
                     KernelDesc::new(KernelKind::Attention, flops, bytes, tiles),
                 );
                 if full {
-                    b.emit(Section::Mixer, KernelDesc::matmul(q_dim + 2 * kv_dim, h, tokens, 2));
+                    b.emit(
+                        Section::Mixer,
+                        KernelDesc::matmul(q_dim + 2 * kv_dim, h, tokens, 2),
+                    );
                     b.emit(Section::Mixer, KernelDesc::matmul(h, q_dim, tokens, 2));
                 }
             }
-            SequenceMixer::Mamba { expand, state_dim, .. } => {
+            SequenceMixer::Mamba {
+                expand, state_dim, ..
+            } => {
                 let d_inner = expand * h;
-                b.emit(Section::Mixer, KernelDesc::matmul(tokens, h, 2 * d_inner, 2));
+                b.emit(
+                    Section::Mixer,
+                    KernelDesc::matmul(tokens, h, 2 * d_inner, 2),
+                );
                 b.emit(Section::Mixer, KernelDesc::matmul(tokens, d_inner, h, 2));
                 // Scan backward ≈ 2× forward.
                 let scan_flops = 18.0 * (tokens * d_inner * state_dim) as f64;
@@ -407,7 +702,10 @@ impl StepSimulator {
                     KernelDesc::new(KernelKind::MambaScan, scan_flops, scan_bytes, scan_tiles),
                 );
                 if full {
-                    b.emit(Section::Mixer, KernelDesc::matmul(2 * d_inner, h, tokens, 2));
+                    b.emit(
+                        Section::Mixer,
+                        KernelDesc::matmul(2 * d_inner, h, tokens, 2),
+                    );
                     b.emit(Section::Mixer, KernelDesc::matmul(h, d_inner, tokens, 2));
                 }
             }
@@ -450,13 +748,10 @@ mod tests {
     use crate::trace::Stage;
     use ftsim_gpu::GpuSpec;
     use ftsim_model::presets;
+    use proptest::prelude::*;
 
     fn mixtral_sim(ft: FineTuneConfig) -> StepSimulator {
-        StepSimulator::new(
-            presets::mixtral_8x7b(),
-            ft,
-            CostModel::new(GpuSpec::a40()),
-        )
+        StepSimulator::new(presets::mixtral_8x7b(), ft, CostModel::new(GpuSpec::a40()))
     }
 
     fn blackmamba_sim(ft: FineTuneConfig) -> StepSimulator {
@@ -532,7 +827,10 @@ mod tests {
         let t1 = sim.simulate_step(1, 128).total_seconds();
         let t8 = sim.simulate_step(8, 128).total_seconds();
         assert!(t8 > t1);
-        assert!(t8 < 8.0 * t1, "step time should grow sublinearly: {t1} -> {t8}");
+        assert!(
+            t8 < 8.0 * t1,
+            "step time should grow sublinearly: {t1} -> {t8}"
+        );
     }
 
     #[test]
@@ -562,9 +860,7 @@ mod tests {
         let with = mixtral_sim(ft).simulate_step(2, 128);
         ft.gradient_checkpointing = false;
         let without = mixtral_sim(ft).simulate_step(2, 128);
-        assert!(
-            with.stage_seconds(Stage::Backward) > 1.3 * without.stage_seconds(Stage::Backward)
-        );
+        assert!(with.stage_seconds(Stage::Backward) > 1.3 * without.stage_seconds(Stage::Backward));
         // Forward is unaffected.
         let fw = with.stage_seconds(Stage::Forward);
         let fwo = without.stage_seconds(Stage::Forward);
@@ -577,8 +873,7 @@ mod tests {
         let sim = mixtral_sim(FineTuneConfig::qlora_sparse());
         let t = sim.simulate_step(1, 128);
         let fwd_flops: f64 = t
-            .records
-            .iter()
+            .records()
             .filter(|r| r.stage == Stage::Forward)
             .map(|r| r.desc.flops)
             .sum();
@@ -595,5 +890,143 @@ mod tests {
     #[should_panic(expected = "batch must be at least 1")]
     fn zero_batch_rejected() {
         mixtral_sim(FineTuneConfig::qlora_sparse()).simulate_step(0, 128);
+    }
+
+    /// All (model, recipe) combinations the equivalence tests sweep.
+    fn preset_sims() -> Vec<StepSimulator> {
+        let mut sims = vec![
+            mixtral_sim(FineTuneConfig::qlora_sparse()),
+            mixtral_sim(FineTuneConfig::qlora_dense()),
+            blackmamba_sim(FineTuneConfig::full_sparse()),
+            blackmamba_sim(FineTuneConfig::full_dense()),
+        ];
+        // Cover the no-checkpointing segment layout too.
+        let mut no_ckpt = FineTuneConfig::qlora_sparse();
+        no_ckpt.gradient_checkpointing = false;
+        sims.push(mixtral_sim(no_ckpt));
+        sims
+    }
+
+    /// The memoized path must match the naive per-layer emission to the
+    /// last bit: same expanded record sequence implies the same f64
+    /// summation order in every aggregation.
+    fn assert_traces_identical(memo: &StepTrace, naive: &StepTrace) {
+        assert_eq!(memo.kernel_count(), naive.kernel_count());
+        assert_eq!(
+            memo.total_seconds().to_bits(),
+            naive.total_seconds().to_bits(),
+            "total_seconds diverged"
+        );
+        for stage in [Stage::Forward, Stage::Backward, Stage::Optimizer] {
+            assert_eq!(
+                memo.stage_seconds(stage).to_bits(),
+                naive.stage_seconds(stage).to_bits(),
+                "stage_seconds({stage}) diverged"
+            );
+        }
+        let (mu, nu) = (
+            memo.moe_overall_utilization(),
+            naive.moe_overall_utilization(),
+        );
+        assert_eq!(mu.seconds.to_bits(), nu.seconds.to_bits());
+        assert_eq!(mu.sm_util.to_bits(), nu.sm_util.to_bits());
+        assert_eq!(mu.dram_util.to_bits(), nu.dram_util.to_bits());
+        assert_eq!(memo.total_flops().to_bits(), naive.total_flops().to_bits());
+        // Record-by-record identity (covers desc, cost, stage, section).
+        assert!(
+            memo.records().eq(naive.records()),
+            "record sequences diverged"
+        );
+    }
+
+    #[test]
+    fn memoized_step_matches_naive_bit_for_bit() {
+        for sim in preset_sims() {
+            for (batch, seq_len) in [(1, 64), (3, 128), (8, 517)] {
+                let memo = sim.simulate_step(batch, seq_len);
+                let naive = sim.simulate_step_naive(batch, seq_len);
+                assert_traces_identical(&memo, &naive);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_computes_each_layer_trace_once() {
+        // Mixtral has 32 layers; with gradient checkpointing a step needs
+        // exactly 3 distinct layer traces (forward, backward, recompute) —
+        // not 32 × those.
+        let sim = mixtral_sim(FineTuneConfig::qlora_sparse());
+        assert!(sim.finetune().gradient_checkpointing);
+        assert!(sim.model().num_layers >= 32);
+        let t = sim.simulate_step(2, 128);
+        let stats = sim.cache_stats();
+        assert_eq!(stats.misses, 3, "{stats:?}");
+        assert_eq!(stats.entries, 3, "{stats:?}");
+        assert!(
+            t.unique_kernel_count() < t.kernel_count() / 10,
+            "compression too weak: {} unique of {}",
+            t.unique_kernel_count(),
+            t.kernel_count()
+        );
+
+        // A second step at the same shape is answered entirely from cache.
+        sim.simulate_step(2, 128);
+        let stats = sim.cache_stats();
+        assert_eq!(stats.misses, 3, "{stats:?}");
+        assert_eq!(stats.hits, 3, "{stats:?}");
+
+        // A new shape adds exactly three more computations.
+        sim.simulate_step(4, 128);
+        assert_eq!(sim.cache_stats().misses, 6);
+    }
+
+    #[test]
+    fn kernel_count_estimators_match_emission() {
+        for sim in preset_sims() {
+            let naive = sim.simulate_step_naive(2, 96);
+            assert_eq!(
+                sim.step_kernels(),
+                naive.kernel_count(),
+                "step_kernels drifted from emission for {:?}/{:?}",
+                sim.model().name,
+                sim.finetune().method,
+            );
+            let fwd = sim.build_layer_records(Stage::Forward, LayerKind::Forward, 2, 96);
+            assert_eq!(sim.layer_forward_kernels(), fwd.len());
+            let bwd = sim.build_layer_records(Stage::Backward, LayerKind::Backward, 2, 96);
+            assert_eq!(sim.layer_backward_kernels(), bwd.len());
+        }
+    }
+
+    proptest! {
+        /// Property: across random shapes and every preset, the memoized
+        /// trace matches the naive emission exactly — `total_seconds`,
+        /// `stage_breakdown`, and `moe_overall_utilization` are compared at
+        /// the bit level.
+        fn prop_memoized_equals_naive(
+            batch in 1usize..=16,
+            seq_len in 16usize..512,
+            which in 0usize..5,
+        ) {
+            let sim = &preset_sims()[which];
+            let memo = sim.simulate_step(batch, seq_len);
+            let naive = sim.simulate_step_naive(batch, seq_len);
+            prop_assert_eq!(memo.kernel_count(), naive.kernel_count());
+            prop_assert_eq!(
+                memo.total_seconds().to_bits(),
+                naive.total_seconds().to_bits()
+            );
+            let (mb, nb) = (memo.stage_breakdown(), naive.stage_breakdown());
+            for stage in [Stage::Forward, Stage::Backward, Stage::Optimizer] {
+                prop_assert_eq!(
+                    mb.seconds(stage.label()).to_bits(),
+                    nb.seconds(stage.label()).to_bits()
+                );
+            }
+            let (mu, nu) = (memo.moe_overall_utilization(), naive.moe_overall_utilization());
+            prop_assert_eq!(mu.seconds.to_bits(), nu.seconds.to_bits());
+            prop_assert_eq!(mu.sm_util.to_bits(), nu.sm_util.to_bits());
+            prop_assert_eq!(mu.dram_util.to_bits(), nu.dram_util.to_bits());
+        }
     }
 }

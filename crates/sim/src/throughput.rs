@@ -1,6 +1,8 @@
 //! Fine-tuning throughput sweeps (paper Fig. 8 and the ground truth behind
 //! the Eq. 2 throughput model of Figs. 14–15).
 
+use crate::engine;
+use crate::error::{validate_batches, SimError};
 use crate::step::StepSimulator;
 use serde::{Deserialize, Serialize};
 
@@ -34,46 +36,55 @@ pub struct ThroughputSweep {
 }
 
 impl ThroughputSweep {
-    /// Runs the simulator at every batch size in `batches`.
+    /// Runs the simulator at every batch size in `batches`, fanning the
+    /// points across the [`engine`]'s worker threads. Points come back in
+    /// input order, so results are identical at any thread count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `batches` is empty or unsorted.
+    /// Returns [`SimError`] if `batches` is empty, contains zero, or is not
+    /// strictly ascending.
     pub fn run(
         sim: &StepSimulator,
         label: impl Into<String>,
         seq_len: usize,
         batches: &[usize],
-    ) -> Self {
-        assert!(!batches.is_empty(), "need at least one batch size");
-        assert!(
-            batches.windows(2).all(|w| w[0] < w[1]),
-            "batch sizes must be strictly ascending"
-        );
-        let points = batches
-            .iter()
-            .map(|&batch| {
-                let trace = sim.simulate_step(batch, seq_len);
-                let secs = trace.total_seconds();
-                let util = trace.moe_overall_utilization();
-                ThroughputPoint {
-                    batch,
-                    step_seconds: secs,
-                    queries_per_second: batch as f64 / secs,
-                    moe_sm_util: util.sm_util,
-                    moe_dram_util: util.dram_util,
-                }
-            })
-            .collect();
-        ThroughputSweep {
+    ) -> Result<Self, SimError> {
+        Self::run_with_threads(sim, label, seq_len, batches, engine::thread_count())
+    }
+
+    /// [`ThroughputSweep::run`] with an explicit worker count (`1` forces
+    /// the serial path; used by the determinism tests and perf benches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on an invalid batch list.
+    pub fn run_with_threads(
+        sim: &StepSimulator,
+        label: impl Into<String>,
+        seq_len: usize,
+        batches: &[usize],
+        threads: usize,
+    ) -> Result<Self, SimError> {
+        validate_batches(batches)?;
+        let points = engine::parallel_map_with(threads, batches, |&batch| {
+            let trace = sim.simulate_step(batch, seq_len);
+            let secs = trace.total_seconds();
+            let util = trace.moe_overall_utilization();
+            ThroughputPoint {
+                batch,
+                step_seconds: secs,
+                queries_per_second: batch as f64 / secs,
+                moe_sm_util: util.sm_util,
+                moe_dram_util: util.dram_util,
+            }
+        });
+        Ok(ThroughputSweep {
             label: label.into(),
             seq_len,
-            sparsity_ratio: sim
-                .finetune()
-                .sparsity
-                .ratio(sim.model().moe.num_experts),
+            sparsity_ratio: sim.finetune().sparsity.ratio(sim.model().moe.num_experts),
             points,
-        }
+        })
     }
 
     /// Throughput at the largest batch size.
@@ -108,12 +119,8 @@ mod tests {
     use ftsim_model::{presets, FineTuneConfig};
 
     fn sweep(ft: FineTuneConfig, batches: &[usize]) -> ThroughputSweep {
-        let sim = StepSimulator::new(
-            presets::mixtral_8x7b(),
-            ft,
-            CostModel::new(GpuSpec::a40()),
-        );
-        ThroughputSweep::run(&sim, "test", 79, batches)
+        let sim = StepSimulator::new(presets::mixtral_8x7b(), ft, CostModel::new(GpuSpec::a40()));
+        ThroughputSweep::run(&sim, "test", 79, batches).expect("valid batches")
     }
 
     #[test]
@@ -178,8 +185,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ascending")]
-    fn unsorted_batches_rejected() {
-        sweep(FineTuneConfig::qlora_sparse(), &[4, 2]);
+    fn invalid_batch_lists_are_errors_not_panics() {
+        let sim = StepSimulator::new(
+            presets::mixtral_8x7b(),
+            FineTuneConfig::qlora_sparse(),
+            CostModel::new(GpuSpec::a40()),
+        );
+        assert_eq!(
+            ThroughputSweep::run(&sim, "t", 79, &[4, 2]).unwrap_err(),
+            crate::SimError::UnsortedBatches { prev: 4, next: 2 }
+        );
+        assert_eq!(
+            ThroughputSweep::run(&sim, "t", 79, &[]).unwrap_err(),
+            crate::SimError::EmptyBatches
+        );
+        assert_eq!(
+            ThroughputSweep::run(&sim, "t", 79, &[0, 1]).unwrap_err(),
+            crate::SimError::ZeroBatch
+        );
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let sim = StepSimulator::new(
+            presets::mixtral_8x7b(),
+            FineTuneConfig::qlora_sparse(),
+            CostModel::new(GpuSpec::a40()),
+        );
+        let batches: Vec<usize> = (1..=10).collect();
+        let serial = ThroughputSweep::run_with_threads(&sim, "t", 79, &batches, 1).expect("valid");
+        let parallel =
+            ThroughputSweep::run_with_threads(&sim, "t", 79, &batches, 8).expect("valid");
+        assert_eq!(serial, parallel);
     }
 }

@@ -3,6 +3,7 @@
 use ftsim_gpu::{Breakdown, KernelCost, KernelDesc, KernelKind, UtilizationSummary};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// The three stages of a training step (paper Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -83,11 +84,59 @@ pub struct KernelRecord {
     pub cost: KernelCost,
 }
 
+/// A run of consecutive kernels that repeats `repeat` times back-to-back.
+///
+/// Transformer steps launch an identical per-layer trace `num_layers` times;
+/// storing the trace once with an explicit repeat count makes [`StepTrace`]
+/// construction O(kernels) instead of O(layers × kernels). The records are
+/// behind an [`Arc`] so the memoizing [`crate::step::TraceCache`] can share
+/// one priced layer trace across segments, steps, and threads without
+/// copying it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSegment {
+    records: Arc<Vec<KernelRecord>>,
+    repeat: usize,
+}
+
+impl TraceSegment {
+    /// A segment that plays its records once.
+    pub fn once(records: impl Into<Arc<Vec<KernelRecord>>>) -> Self {
+        TraceSegment::repeated(records, 1)
+    }
+
+    /// A segment that plays its records `repeat` times.
+    pub fn repeated(records: impl Into<Arc<Vec<KernelRecord>>>, repeat: usize) -> Self {
+        TraceSegment {
+            records: records.into(),
+            repeat,
+        }
+    }
+
+    /// The distinct records stored (one repetition's worth).
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// How many times the records repeat.
+    pub fn repeat(&self) -> usize {
+        self.repeat
+    }
+
+    /// Kernel launches this segment expands to.
+    pub fn kernel_count(&self) -> usize {
+        self.records.len() * self.repeat
+    }
+}
+
 /// The complete priced trace of one training step.
+///
+/// Stored as run-length-compressed [`TraceSegment`]s; [`StepTrace::records`]
+/// iterates the expanded launch sequence in exact emission order, so every
+/// aggregation below sums floats in the same order as a naively emitted
+/// trace and stays bit-identical to it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StepTrace {
-    /// All kernels, in launch order.
-    pub records: Vec<KernelRecord>,
+    segments: Vec<TraceSegment>,
     /// Batch size simulated.
     pub batch: usize,
     /// (Padded) sequence length simulated.
@@ -97,20 +146,68 @@ pub struct StepTrace {
 }
 
 impl StepTrace {
-    /// Total step latency in seconds.
-    pub fn total_seconds(&self) -> f64 {
-        self.records.iter().map(|r| r.cost.latency_s).sum()
+    /// Builds a trace from pre-compressed segments.
+    pub fn from_segments(
+        segments: Vec<TraceSegment>,
+        batch: usize,
+        seq_len: usize,
+        attention_mixer: bool,
+    ) -> Self {
+        StepTrace {
+            segments,
+            batch,
+            seq_len,
+            attention_mixer,
+        }
     }
 
-    /// Number of kernel launches.
+    /// Builds a trace from a flat record list (single segment, repeat 1).
+    pub fn from_records(
+        records: Vec<KernelRecord>,
+        batch: usize,
+        seq_len: usize,
+        attention_mixer: bool,
+    ) -> Self {
+        StepTrace::from_segments(
+            vec![TraceSegment::once(records)],
+            batch,
+            seq_len,
+            attention_mixer,
+        )
+    }
+
+    /// The compressed segments, in launch order.
+    pub fn segments(&self) -> &[TraceSegment] {
+        &self.segments
+    }
+
+    /// All kernel launches in emission order, with repeated segments
+    /// expanded in place.
+    pub fn records(&self) -> impl Iterator<Item = &KernelRecord> + '_ {
+        self.segments
+            .iter()
+            .flat_map(|s| std::iter::repeat_n(s.records.as_slice(), s.repeat).flatten())
+    }
+
+    /// Total step latency in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.records().map(|r| r.cost.latency_s).sum()
+    }
+
+    /// Number of kernel launches (after segment expansion).
     pub fn kernel_count(&self) -> usize {
-        self.records.len()
+        self.segments.iter().map(TraceSegment::kernel_count).sum()
+    }
+
+    /// Number of distinct records actually stored (and therefore priced);
+    /// `kernel_count / unique_kernel_count` is the memoization ratio.
+    pub fn unique_kernel_count(&self) -> usize {
+        self.segments.iter().map(|s| s.records.len()).sum()
     }
 
     /// Latency breakdown by stage (paper Fig. 4).
     pub fn stage_breakdown(&self) -> Breakdown {
-        self.records
-            .iter()
+        self.records()
             .map(|r| (r.stage.label(), r.cost.latency_s))
             .collect()
     }
@@ -119,8 +216,7 @@ impl StepTrace {
     /// stage is excluded, matching the paper's layer-level figure, which
     /// covers forward + backward of the model layers.
     pub fn section_breakdown(&self) -> Breakdown {
-        self.records
-            .iter()
+        self.records()
             .filter(|r| r.stage != Stage::Optimizer)
             .map(|r| (r.section.label(self.attention_mixer), r.cost.latency_s))
             .collect()
@@ -128,8 +224,7 @@ impl StepTrace {
 
     /// Latency breakdown of the MoE section by kernel family (paper Fig. 6).
     pub fn moe_kernel_breakdown(&self) -> Breakdown {
-        self.records
-            .iter()
+        self.records()
             .filter(|r| r.section == Section::Moe)
             .map(|r| (r.desc.kind.label(), r.cost.latency_s))
             .collect()
@@ -139,8 +234,7 @@ impl StepTrace {
     /// (paper Figs. 9–10 plot these per family and batch size).
     pub fn moe_utilization(&self, kind: KernelKind) -> UtilizationSummary {
         UtilizationSummary::from_costs(
-            self.records
-                .iter()
+            self.records()
                 .filter(|r| r.section == Section::Moe && r.desc.kind == kind)
                 .map(|r| &r.cost),
         )
@@ -149,8 +243,7 @@ impl StepTrace {
     /// Time-weighted utilization over the whole MoE section.
     pub fn moe_overall_utilization(&self) -> UtilizationSummary {
         UtilizationSummary::from_costs(
-            self.records
-                .iter()
+            self.records()
                 .filter(|r| r.section == Section::Moe)
                 .map(|r| &r.cost),
         )
@@ -158,18 +251,17 @@ impl StepTrace {
 
     /// Total FLOPs executed in the step.
     pub fn total_flops(&self) -> f64 {
-        self.records.iter().map(|r| r.desc.flops).sum()
+        self.records().map(|r| r.desc.flops).sum()
     }
 
     /// Total DRAM traffic in bytes.
     pub fn total_bytes(&self) -> f64 {
-        self.records.iter().map(|r| r.desc.bytes).sum()
+        self.records().map(|r| r.desc.bytes).sum()
     }
 
     /// Seconds spent in `stage`.
     pub fn stage_seconds(&self, stage: Stage) -> f64 {
-        self.records
-            .iter()
+        self.records()
             .filter(|r| r.stage == stage)
             .map(|r| r.cost.latency_s)
             .sum()
@@ -196,17 +288,22 @@ mod tests {
     }
 
     fn sample_trace() -> StepTrace {
-        StepTrace {
-            records: vec![
+        StepTrace::from_records(
+            vec![
                 record(Stage::Forward, Section::Moe, KernelKind::MatMul, 0.6),
                 record(Stage::Forward, Section::Mixer, KernelKind::Attention, 0.1),
                 record(Stage::Backward, Section::Moe, KernelKind::Dequant, 0.2),
-                record(Stage::Optimizer, Section::Optimizer, KernelKind::Optimizer, 0.1),
+                record(
+                    Stage::Optimizer,
+                    Section::Optimizer,
+                    KernelKind::Optimizer,
+                    0.1,
+                ),
             ],
-            batch: 2,
-            seq_len: 128,
-            attention_mixer: true,
-        }
+            2,
+            128,
+            true,
+        )
     }
 
     #[test]
@@ -247,6 +344,42 @@ mod tests {
         assert!((b.seconds("matmul") - 0.6).abs() < 1e-12);
         assert!((b.seconds("dequant") - 0.2).abs() < 1e-12);
         assert_eq!(b.seconds("attention"), 0.0);
+    }
+
+    #[test]
+    fn repeated_segment_expands_in_order() {
+        let layer = vec![
+            record(Stage::Forward, Section::Norm, KernelKind::Norm, 0.1),
+            record(Stage::Forward, Section::Moe, KernelKind::MatMul, 0.2),
+        ];
+        let t = StepTrace::from_segments(
+            vec![
+                TraceSegment::once(vec![record(
+                    Stage::Forward,
+                    Section::Embedding,
+                    KernelKind::Elementwise,
+                    0.05,
+                )]),
+                TraceSegment::repeated(layer.clone(), 3),
+            ],
+            1,
+            64,
+            true,
+        );
+        assert_eq!(t.kernel_count(), 7);
+        assert_eq!(t.unique_kernel_count(), 3);
+        let expanded: Vec<&KernelRecord> = t.records().collect();
+        assert_eq!(expanded.len(), 7);
+        // Expansion preserves launch order: embedding, then (norm, matmul) ×3.
+        assert_eq!(expanded[0].section, Section::Embedding);
+        for rep in 0..3 {
+            assert_eq!(expanded[1 + 2 * rep], &layer[0]);
+            assert_eq!(expanded[2 + 2 * rep], &layer[1]);
+        }
+        assert!((t.total_seconds() - (0.05 + 3.0 * 0.3)).abs() < 1e-12);
+        // Aggregations see the expanded sequence, not the compressed one.
+        assert!((t.stage_breakdown().seconds("forward") - 0.95).abs() < 1e-12);
+        assert!((t.moe_kernel_breakdown().seconds("matmul") - 0.6).abs() < 1e-12);
     }
 
     #[test]

@@ -131,17 +131,15 @@ impl Var {
         }
         match &mut n.grad {
             Some(existing) => {
-                *existing = existing.add(g).expect("gradient shape must match value shape");
+                *existing = existing
+                    .add(g)
+                    .expect("gradient shape must match value shape");
             }
             None => n.grad = Some(g.clone()),
         }
     }
 
-    fn unary(
-        &self,
-        value: Tensor,
-        backward: impl Fn(&Var, &Tensor) + 'static,
-    ) -> Var {
+    fn unary(&self, value: Tensor, backward: impl Fn(&Var, &Tensor) + 'static) -> Var {
         let parent = self.clone();
         let requires = parent.requires_grad();
         let p2 = parent.clone();
@@ -189,11 +187,17 @@ impl Var {
         let (av, bv) = (self.value(), rhs.value());
         Ok(Var::binary(self, rhs, value, move |a, b, up| {
             if a.requires_grad() {
-                let da = up.matmul(&bv.transpose().expect("matrix")).expect("conforming");
+                let da = up
+                    .matmul(&bv.transpose().expect("matrix"))
+                    .expect("conforming");
                 a.accumulate_grad(&da);
             }
             if b.requires_grad() {
-                let db = av.transpose().expect("matrix").matmul(up).expect("conforming");
+                let db = av
+                    .transpose()
+                    .expect("matrix")
+                    .matmul(up)
+                    .expect("conforming");
                 b.accumulate_grad(&db);
             }
         }))
@@ -220,12 +224,14 @@ impl Var {
     pub fn add_row(&self, bias: &Var) -> Result<Var, TensorError> {
         let x = self.value();
         let b = bias.value();
-        let (m, n) = x.shape().as_matrix().ok_or_else(|| {
-            TensorError::InvalidArgument("add_row requires a matrix".into())
-        })?;
-        let (br, bn) = b.shape().as_matrix().ok_or_else(|| {
-            TensorError::InvalidArgument("add_row bias must be [1, n]".into())
-        })?;
+        let (m, n) = x
+            .shape()
+            .as_matrix()
+            .ok_or_else(|| TensorError::InvalidArgument("add_row requires a matrix".into()))?;
+        let (br, bn) = b
+            .shape()
+            .as_matrix()
+            .ok_or_else(|| TensorError::InvalidArgument("add_row bias must be [1, n]".into()))?;
         if br != 1 || bn != n {
             return Err(TensorError::ShapeMismatch {
                 op: "add_row",
@@ -282,9 +288,10 @@ impl Var {
     pub fn mul_col(&self, col: &Var) -> Result<Var, TensorError> {
         let x = self.value();
         let c = col.value();
-        let (m, n) = x.shape().as_matrix().ok_or_else(|| {
-            TensorError::InvalidArgument("mul_col requires a matrix".into())
-        })?;
+        let (m, n) = x
+            .shape()
+            .as_matrix()
+            .ok_or_else(|| TensorError::InvalidArgument("mul_col requires a matrix".into()))?;
         if c.shape().as_matrix() != Some((m, 1)) {
             return Err(TensorError::ShapeMismatch {
                 op: "mul_col",
@@ -332,11 +339,7 @@ impl Var {
         self.unary(value, move |a, up| a.accumulate_grad(&up.scale(s)))
     }
 
-    fn activation(
-        &self,
-        f: impl Fn(f32) -> f32,
-        df: impl Fn(f32) -> f32 + 'static,
-    ) -> Var {
+    fn activation(&self, f: impl Fn(f32) -> f32, df: impl Fn(f32) -> f32 + 'static) -> Var {
         let x = self.value();
         let value = x.map(&f);
         self.unary(value, move |a, up| {
@@ -400,11 +403,10 @@ impl Var {
             )));
         }
         let mut out = Tensor::zeros(Shape::matrix(m, n));
-        for r in 0..m {
-            let mask = &allowed[r];
+        for (r, mask) in allowed.iter().enumerate() {
             let mut mx = f32::NEG_INFINITY;
-            for c in 0..n {
-                if mask[c] {
+            for (c, &on) in mask.iter().enumerate() {
+                if on {
                     mx = mx.max(x.get2(r, c));
                 }
             }
@@ -414,13 +416,13 @@ impl Var {
                 )));
             }
             let mut denom = 0.0;
-            for c in 0..n {
-                if mask[c] {
+            for (c, &on) in mask.iter().enumerate() {
+                if on {
                     denom += (x.get2(r, c) - mx).exp();
                 }
             }
-            for c in 0..n {
-                if mask[c] {
+            for (c, &on) in mask.iter().enumerate() {
+                if on {
                     out.set2(r, c, (x.get2(r, c) - mx).exp() / denom);
                 }
             }
@@ -450,9 +452,10 @@ impl Var {
     ///
     /// Returns an error if `self` is not a matrix.
     pub fn softmax_rows(&self) -> Result<Var, TensorError> {
-        let (m, n) = self.shape().as_matrix().ok_or_else(|| {
-            TensorError::InvalidArgument("softmax_rows requires a matrix".into())
-        })?;
+        let (m, n) = self
+            .shape()
+            .as_matrix()
+            .ok_or_else(|| TensorError::InvalidArgument("softmax_rows requires a matrix".into()))?;
         self.masked_softmax_rows(&vec![vec![true; n]; m])
     }
 
@@ -539,14 +542,13 @@ impl Var {
             n.grad = Some(Tensor::ones(shape));
         }
         for var in order.into_iter().rev() {
-            let (grad, backward) = {
+            let grad = {
                 let n = var.node.borrow();
                 if n.backward.is_none() || n.grad.is_none() {
                     continue;
                 }
-                (n.grad.clone().expect("checked"), ())
+                n.grad.clone().expect("checked")
             };
-            let _ = backward;
             // Call outside the borrow so the closure can mutate parents
             // (which may alias `var` only in degenerate graphs we don't build).
             let node = var.node.borrow();
@@ -667,7 +669,11 @@ mod tests {
         check_grad(
             move |b| {
                 let xv = Var::constant(x.clone());
-                xv.add_row(b).unwrap().mul(&xv.add_row(b).unwrap()).unwrap().mean()
+                xv.add_row(b)
+                    .unwrap()
+                    .mul(&xv.add_row(b).unwrap())
+                    .unwrap()
+                    .mean()
             },
             Tensor::from_rows(&[&[0.5, -0.5]]).unwrap(),
             2e-2,

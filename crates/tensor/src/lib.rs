@@ -28,6 +28,7 @@
 pub mod autograd;
 pub mod nn;
 pub mod ops;
+pub mod parallel;
 pub mod quant;
 pub mod shape;
 pub mod tensor;

@@ -173,7 +173,9 @@ impl MoeLayer {
         rng: &mut impl Rng,
     ) -> Result<Self, TensorError> {
         if num_experts == 0 {
-            return Err(TensorError::InvalidArgument("num_experts must be > 0".into()));
+            return Err(TensorError::InvalidArgument(
+                "num_experts must be > 0".into(),
+            ));
         }
         if top_k == 0 || top_k > num_experts {
             return Err(TensorError::InvalidArgument(format!(
@@ -236,9 +238,9 @@ impl MoeLayer {
         let mut stats = RoutingStats {
             tokens_per_expert: vec![0; e],
         };
-        for t in 0..tokens {
+        for (t, mask) in masks.iter_mut().enumerate() {
             for (idx, _) in ops::topk(logits_val.row(t), self.top_k) {
-                masks[t][idx] = true;
+                mask[idx] = true;
                 stats.tokens_per_expert[idx] += 1;
             }
         }
@@ -302,9 +304,10 @@ impl MoeLayer {
 
 /// Differentiable extraction of column `col` of `weights` as an `[m, 1]` Var.
 fn extract_column(weights: &Var, value: &Tensor, col: usize) -> Result<Var, TensorError> {
-    let (m, n) = value.shape().as_matrix().ok_or_else(|| {
-        TensorError::InvalidArgument("extract_column requires a matrix".into())
-    })?;
+    let (m, n) = value
+        .shape()
+        .as_matrix()
+        .ok_or_else(|| TensorError::InvalidArgument("extract_column requires a matrix".into()))?;
     if col >= n {
         return Err(TensorError::InvalidArgument(format!(
             "column {col} out of range for {n} columns"
@@ -408,7 +411,8 @@ impl AdamW {
                 m.resize(g.numel(), 0.0);
                 v.resize(g.numel(), 0.0);
             }
-            let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+            let (lr, b1, b2, eps, wd) =
+                (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
             p.update_value(|val| {
                 for i in 0..val.numel() {
                     let gi = g.data()[i];
@@ -516,7 +520,7 @@ mod tests {
         for _ in 0..100 {
             let loss = w.mul(&w).unwrap().mean();
             loss.backward();
-            opt.step(&[w.clone()]);
+            opt.step(std::slice::from_ref(&w));
         }
         assert!(w.value().item().abs() < 1e-3);
     }
@@ -529,7 +533,7 @@ mod tests {
         for _ in 0..200 {
             let loss = w.mul(&w).unwrap().mean();
             loss.backward();
-            opt.step(&[w.clone()]);
+            opt.step(std::slice::from_ref(&w));
         }
         assert!(w.value().item().abs() < 1e-2, "w = {}", w.value().item());
     }
@@ -559,9 +563,6 @@ mod tests {
             opt.step(&params);
         }
         let first = first.unwrap();
-        assert!(
-            last < first * 0.5,
-            "loss did not halve: {first} -> {last}"
-        );
+        assert!(last < first * 0.5, "loss did not halve: {first} -> {last}");
     }
 }

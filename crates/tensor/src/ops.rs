@@ -8,13 +8,13 @@ use crate::tensor::{Tensor, TensorError};
 /// Gaussian Error Linear Unit (tanh approximation), as used by the
 /// BlackMamba expert FFN (Fig. 7 of the paper).
 pub fn gelu(x: f32) -> f32 {
-    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
 }
 
 /// Derivative of [`gelu`] with respect to its input.
 pub fn gelu_grad(x: f32) -> f32 {
-    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     let u = SQRT_2_OVER_PI * (x + 0.044_715 * x.powi(3));
     let t = u.tanh();
     let du = SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044_715 * x * x);
@@ -45,7 +45,10 @@ pub fn sigmoid(x: f32) -> f32 {
 /// Returns [`TensorError::InvalidArgument`] if `logits` is not rank-2.
 pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
     let (rows, cols) = logits.shape().as_matrix().ok_or_else(|| {
-        TensorError::InvalidArgument(format!("softmax_rows requires a matrix, got {}", logits.shape()))
+        TensorError::InvalidArgument(format!(
+            "softmax_rows requires a matrix, got {}",
+            logits.shape()
+        ))
     })?;
     let mut out = Tensor::zeros(Shape::matrix(rows, cols));
     for r in 0..rows {
@@ -72,9 +75,17 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
 ///
 /// Panics if `k == 0` or `k > row.len()`.
 pub fn topk(row: &[f32], k: usize) -> Vec<(usize, f32)> {
-    assert!(k >= 1 && k <= row.len(), "topk k={k} out of range for len {}", row.len());
+    assert!(
+        k >= 1 && k <= row.len(),
+        "topk k={k} out of range for len {}",
+        row.len()
+    );
     let mut indexed: Vec<(usize, f32)> = row.iter().copied().enumerate().collect();
-    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    indexed.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     indexed.truncate(k);
     indexed
 }
@@ -104,7 +115,10 @@ pub fn argmax(row: &[f32]) -> usize {
 /// from the column count.
 pub fn rms_norm_rows(x: &Tensor, weight: &[f32], eps: f32) -> Result<Tensor, TensorError> {
     let (rows, cols) = x.shape().as_matrix().ok_or_else(|| {
-        TensorError::InvalidArgument(format!("rms_norm_rows requires a matrix, got {}", x.shape()))
+        TensorError::InvalidArgument(format!(
+            "rms_norm_rows requires a matrix, got {}",
+            x.shape()
+        ))
     })?;
     if weight.len() != cols {
         return Err(TensorError::ShapeMismatch {
@@ -132,7 +146,10 @@ pub fn rms_norm_rows(x: &Tensor, weight: &[f32], eps: f32) -> Result<Tensor, Ten
 /// Returns an error if shapes disagree or any label is out of range.
 pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<f32, TensorError> {
     let (rows, cols) = logits.shape().as_matrix().ok_or_else(|| {
-        TensorError::InvalidArgument(format!("cross_entropy requires a matrix, got {}", logits.shape()))
+        TensorError::InvalidArgument(format!(
+            "cross_entropy requires a matrix, got {}",
+            logits.shape()
+        ))
     })?;
     if labels.len() != rows {
         return Err(TensorError::InvalidArgument(format!(
@@ -161,7 +178,10 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<f32, TensorErr
 ///
 /// Panics if `logits` is not a matrix or label count differs from row count.
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
-    let (rows, _) = logits.shape().as_matrix().expect("accuracy requires a matrix");
+    let (rows, _) = logits
+        .shape()
+        .as_matrix()
+        .expect("accuracy requires a matrix");
     assert_eq!(labels.len(), rows, "label count must equal row count");
     if rows == 0 {
         return 0.0;
@@ -207,7 +227,11 @@ mod tests {
     fn gelu_grad_matches_finite_difference() {
         for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
             let fd = finite_diff(gelu, x);
-            assert!((gelu_grad(x) - fd).abs() < 1e-2, "x={x}: {} vs {fd}", gelu_grad(x));
+            assert!(
+                (gelu_grad(x) - fd).abs() < 1e-2,
+                "x={x}: {} vs {fd}",
+                gelu_grad(x)
+            );
         }
     }
 
@@ -235,7 +259,9 @@ mod tests {
     fn softmax_is_shift_invariant() {
         let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
         let b = a.map(|x| x + 100.0);
-        assert!(softmax_rows(&a).unwrap().allclose(&softmax_rows(&b).unwrap(), 1e-5));
+        assert!(softmax_rows(&a)
+            .unwrap()
+            .allclose(&softmax_rows(&b).unwrap(), 1e-5));
     }
 
     #[test]

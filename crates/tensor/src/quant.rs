@@ -81,7 +81,7 @@ impl Quantized4Bit {
     /// Returns [`QuantError::InvalidBlockSize`] for zero or odd block sizes
     /// and [`QuantError::EmptyInput`] for an empty slice.
     pub fn quantize(values: &[f32], block: usize) -> Result<Self, QuantError> {
-        if block == 0 || block % 2 != 0 {
+        if block == 0 || !block.is_multiple_of(2) {
             return Err(QuantError::InvalidBlockSize(block));
         }
         if values.is_empty() {

@@ -134,8 +134,7 @@ mod tests {
         let cs = SeqLenDistribution::for_dataset(&presets::commonsense_15k());
         let math = SeqLenDistribution::for_dataset(&presets::math_14k());
         let cs_mean: f64 = cs.sample_many(5000, &mut rng).iter().sum::<usize>() as f64 / 5000.0;
-        let math_mean: f64 =
-            math.sample_many(5000, &mut rng).iter().sum::<usize>() as f64 / 5000.0;
+        let math_mean: f64 = math.sample_many(5000, &mut rng).iter().sum::<usize>() as f64 / 5000.0;
         assert!(math_mean > 1.5 * cs_mean);
     }
 
@@ -146,7 +145,10 @@ mod tests {
         let samples = dist.sample_many(20_000, &mut rng);
         let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
         let med = SeqLenDistribution::percentile(&samples, 50.0) as f64;
-        assert!(mean > med, "log-normal mean {mean} should exceed median {med}");
+        assert!(
+            mean > med,
+            "log-normal mean {mean} should exceed median {med}"
+        );
     }
 
     #[test]

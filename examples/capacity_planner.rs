@@ -26,7 +26,11 @@ fn main() {
         println!(
             "static footprint: weights {:.2} GB + adapters {:.2} GB + grads {:.2} GB \
              + optimizer {:.2} GB + overhead {:.2} GB = {:.2} GB",
-            b.weights_gb, b.adapters_gb, b.gradients_gb, b.optimizer_gb, b.overhead_gb,
+            b.weights_gb,
+            b.adapters_gb,
+            b.gradients_gb,
+            b.optimizer_gb,
+            b.overhead_gb,
             b.static_gb()
         );
         println!(
@@ -49,7 +53,11 @@ fn main() {
             for (s, is_sparse) in [(0.25, true), (1.0, false)] {
                 let ft = FineTuneConfig::for_model(
                     &model,
-                    if is_sparse { Sparsity::TopK(2) } else { Sparsity::Dense },
+                    if is_sparse {
+                        Sparsity::TopK(2)
+                    } else {
+                        Sparsity::Dense
+                    },
                 );
                 let m = MemoryModel::new(&model, &ft);
                 let mb = m.max_batch_size(&gpu, seq_len);

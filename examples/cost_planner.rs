@@ -59,7 +59,11 @@ fn main() {
         fitted.push((gpu, v.model));
     }
 
-    for provider in [CloudProvider::Cudo, CloudProvider::Lambda, CloudProvider::Aws] {
+    for provider in [
+        CloudProvider::Cudo,
+        CloudProvider::Lambda,
+        CloudProvider::Aws,
+    ] {
         let prices = PriceTable::for_provider(provider);
         let table = CostTable::build(&fitted, &mem, 0.25, seq_len, job, &prices);
         println!("\n=== {provider} ===");

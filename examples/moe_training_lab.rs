@@ -26,11 +26,31 @@ fn main() {
 
     println!("10 epochs of real AdamW training; accuracy per epoch:\n");
     let runs = vec![
-        ("dense  top-8 / commonsense", MoeTrainConfig::mixtral_like(8), &cs),
-        ("sparse top-2 / commonsense", MoeTrainConfig::mixtral_like(2), &cs),
-        ("dense  top-8 / math       ", MoeTrainConfig::mixtral_like(8), &math),
-        ("sparse top-2 / math       ", MoeTrainConfig::mixtral_like(2), &math),
-        ("small  top-2 / commonsense", MoeTrainConfig::blackmamba_like(2), &cs),
+        (
+            "dense  top-8 / commonsense",
+            MoeTrainConfig::mixtral_like(8),
+            &cs,
+        ),
+        (
+            "sparse top-2 / commonsense",
+            MoeTrainConfig::mixtral_like(2),
+            &cs,
+        ),
+        (
+            "dense  top-8 / math       ",
+            MoeTrainConfig::mixtral_like(8),
+            &math,
+        ),
+        (
+            "sparse top-2 / math       ",
+            MoeTrainConfig::mixtral_like(2),
+            &math,
+        ),
+        (
+            "small  top-2 / commonsense",
+            MoeTrainConfig::blackmamba_like(2),
+            &cs,
+        ),
     ];
     for (label, cfg, task) in runs {
         let out = train(task, &cfg, label);

@@ -26,12 +26,16 @@ fn main() {
     let ft = FineTuneConfig::for_model(&model, sparsity);
     let gpu = GpuSpec::a40();
     let seq: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(128);
-    let batch: usize = args
-        .get(2)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or_else(|| MemoryModel::new(&model, &ft).max_batch_size(&gpu, seq).max(1));
+    let batch: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        MemoryModel::new(&model, &ft)
+            .max_batch_size(&gpu, seq)
+            .max(1)
+    });
 
-    println!("{} | {} | batch {} | seq {} | {}\n", model.name, ft, batch, seq, gpu);
+    println!(
+        "{} | {} | batch {} | seq {} | {}\n",
+        model.name, ft, batch, seq, gpu
+    );
 
     let quantized = ft.method.is_quantized();
     let sim = StepSimulator::new(model, ft, CostModel::new(gpu));

@@ -30,7 +30,11 @@ fn step_traces_are_deterministic() {
 fn params_and_flops_agree_across_crates() {
     use ftsim::sim::Stage;
     for (model, ft, topk) in [
-        (presets::mixtral_8x7b(), FineTuneConfig::qlora_sparse(), 2usize),
+        (
+            presets::mixtral_8x7b(),
+            FineTuneConfig::qlora_sparse(),
+            2usize,
+        ),
         (presets::blackmamba_2p8b(), FineTuneConfig::full_dense(), 8),
     ] {
         let active = model.param_counts().active_total(topk) as f64;
@@ -38,13 +42,16 @@ fn params_and_flops_agree_across_crates() {
         let trace = StepSimulator::new(model.clone(), ft, CostModel::new(GpuSpec::a40()))
             .simulate_step(2, 128);
         let fwd: f64 = trace
-            .records
-            .iter()
+            .records()
             .filter(|r| r.stage == Stage::Forward)
             .map(|r| r.desc.flops)
             .sum();
         let ratio = fwd / (2.0 * active * tokens);
-        assert!((0.7..1.8).contains(&ratio), "{}: ratio {ratio:.2}", model.name);
+        assert!(
+            (0.7..1.8).contains(&ratio),
+            "{}: ratio {ratio:.2}",
+            model.name
+        );
     }
 }
 
@@ -59,10 +66,8 @@ fn batching_and_memory_model_compose() {
     let large = BatchPlanner::new(16, dist).expected_padded_len(300, &mut rng);
     assert!(large > small);
 
-    let mem = ftsim::model::MemoryModel::new(
-        &presets::mixtral_8x7b(),
-        &FineTuneConfig::qlora_sparse(),
-    );
+    let mem =
+        ftsim::model::MemoryModel::new(&presets::mixtral_8x7b(), &FineTuneConfig::qlora_sparse());
     let bs_small = mem.max_batch_size(&GpuSpec::a40(), small.round() as usize);
     let bs_large = mem.max_batch_size(&GpuSpec::a40(), large.round() as usize);
     assert!(bs_small >= bs_large);
@@ -76,7 +81,9 @@ fn quantizer_matches_memory_accounting() {
     let dtype = ftsim::model::Dtype::Nf4.bytes_per_param();
     assert!((per_elem - dtype).abs() < 1e-9);
 
-    let weights: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.01).sin() * 0.02).collect();
+    let weights: Vec<f32> = (0..4096)
+        .map(|i| ((i as f32) * 0.01).sin() * 0.02)
+        .collect();
     let q = Quantized4Bit::quantize(&weights, 64).expect("valid block");
     let actual = q.storage_bytes() as f64 / weights.len() as f64;
     assert!((actual - per_elem).abs() < 1e-9);
@@ -90,7 +97,7 @@ fn facade_autograd_smoke() {
     for _ in 0..50 {
         let loss = w.mul(&w).expect("same shape").mean();
         loss.backward();
-        opt.step(&[w.clone()]);
+        opt.step(std::slice::from_ref(&w));
     }
     assert!(w.value().item().abs() < 0.1);
 }
@@ -99,10 +106,8 @@ fn facade_autograd_smoke() {
 /// BlackMamba recipe at CS lengths.
 #[test]
 fn every_catalog_gpu_fits_blackmamba() {
-    let mem = ftsim::model::MemoryModel::new(
-        &presets::blackmamba_2p8b(),
-        &FineTuneConfig::full_sparse(),
-    );
+    let mem =
+        ftsim::model::MemoryModel::new(&presets::blackmamba_2p8b(), &FineTuneConfig::full_sparse());
     for gpu in GpuSpec::catalog() {
         assert!(
             mem.max_batch_size(&gpu, 79) >= 1,

@@ -89,7 +89,10 @@ fn throughput_model_validates_on_a40() {
             v.relative_rmse()
         );
         // The fitted curve must preserve the sparse-beats-dense ordering.
-        assert!(v.model.predict(2.0, 0.25) > v.model.predict(2.0, 1.0), "{label}");
+        assert!(
+            v.model.predict(2.0, 0.25) > v.model.predict(2.0, 1.0),
+            "{label}"
+        );
     }
 }
 

@@ -17,7 +17,11 @@ fn takeaway1_sparse_trains_as_well_as_dense() {
     let task = SyntheticTask::commonsense(16, 4, 42);
     let sparse = train(&task, &MoeTrainConfig::mixtral_like(2), "sparse");
     let dense = train(&task, &MoeTrainConfig::mixtral_like(8), "dense");
-    assert!(sparse.peak_accuracy() > 0.8, "sparse {:.3}", sparse.peak_accuracy());
+    assert!(
+        sparse.peak_accuracy() > 0.8,
+        "sparse {:.3}",
+        sparse.peak_accuracy()
+    );
     assert!(
         (sparse.peak_accuracy() - dense.peak_accuracy()).abs() < 0.10,
         "sparse {:.3} vs dense {:.3}",
@@ -46,7 +50,11 @@ fn takeaway3_moe_is_the_costliest_layer() {
     for (model, ft, batch) in [
         (presets::mixtral_8x7b(), FineTuneConfig::qlora_sparse(), 8),
         (presets::mixtral_8x7b(), FineTuneConfig::qlora_dense(), 2),
-        (presets::blackmamba_2p8b(), FineTuneConfig::full_sparse(), 12),
+        (
+            presets::blackmamba_2p8b(),
+            FineTuneConfig::full_sparse(),
+            12,
+        ),
         (presets::blackmamba_2p8b(), FineTuneConfig::full_dense(), 3),
     ] {
         let trace = a40_sim(model, ft).simulate_step(batch, 128);
@@ -57,7 +65,10 @@ fn takeaway3_moe_is_the_costliest_layer() {
         assert_eq!(trace.moe_kernel_breakdown().sorted()[0].0, "matmul");
     }
     let avg = shares.iter().sum::<f64>() / shares.len() as f64;
-    assert!((75.0..97.0).contains(&avg), "avg MoE share {avg:.1}% (paper ~85%)");
+    assert!(
+        (75.0..97.0).contains(&avg),
+        "avg MoE share {avg:.1}% (paper ~85%)"
+    );
 }
 
 /// Takeaway 4: the sparse model's throughput advantage comes through the
@@ -78,13 +89,15 @@ fn takeaway4_sparse_improves_throughput() {
         "sparse",
         seq,
         &(1..=sparse_max).collect::<Vec<_>>(),
-    );
+    )
+    .expect("valid batch list");
     let dense = ThroughputSweep::run(
         &a40_sim(model, dense_ft),
         "dense",
         seq,
         &(1..=dense_max).collect::<Vec<_>>(),
-    );
+    )
+    .expect("valid batch list");
     // Faster at the same batch AND at peak.
     assert!(sparse.qps_at(dense_max).unwrap() > dense.qps_at(dense_max).unwrap());
     assert!(sparse.peak_qps() > 1.5 * dense.peak_qps());
@@ -101,8 +114,7 @@ fn takeaway5_memory_to_compute_bound() {
     let share_compute_bound = |batch: usize| -> f64 {
         let trace = sim.simulate_step(batch, 128);
         let matmuls: Vec<_> = trace
-            .records
-            .iter()
+            .records()
             .filter(|r| {
                 r.section == Section::Moe
                     && r.stage == Stage::Forward
@@ -147,13 +159,15 @@ fn takeaway6_load_imbalance_is_config_dependent() {
 #[test]
 fn stage_breakdown_matches_fig4() {
     use ftsim::sim::Stage;
-    let bm = a40_sim(presets::blackmamba_2p8b(), FineTuneConfig::full_sparse())
-        .simulate_step(1, 128);
+    let bm =
+        a40_sim(presets::blackmamba_2p8b(), FineTuneConfig::full_sparse()).simulate_step(1, 128);
     let share = bm.stage_seconds(Stage::Optimizer) / bm.total_seconds();
-    assert!((0.25..0.70).contains(&share), "BlackMamba optimizer share {share:.2}");
+    assert!(
+        (0.25..0.70).contains(&share),
+        "BlackMamba optimizer share {share:.2}"
+    );
 
-    let mx = a40_sim(presets::mixtral_8x7b(), FineTuneConfig::qlora_sparse())
-        .simulate_step(1, 128);
+    let mx = a40_sim(presets::mixtral_8x7b(), FineTuneConfig::qlora_sparse()).simulate_step(1, 128);
     assert!(mx.stage_seconds(Stage::Optimizer) / mx.total_seconds() < 0.05);
 
     for t in [&bm, &mx] {
@@ -176,7 +190,11 @@ fn table_iii_reproduction() {
         (presets::blackmamba_2p8b(), false, 174, 2),
     ];
     for (model, sparse, seq, expect) in grid {
-        let s = if sparse { Sparsity::TopK(2) } else { Sparsity::Dense };
+        let s = if sparse {
+            Sparsity::TopK(2)
+        } else {
+            Sparsity::Dense
+        };
         let ft = FineTuneConfig::for_model(&model, s);
         let got = MemoryModel::new(&model, &ft).max_batch_size(&gpu, seq);
         assert_eq!(got, expect, "{} sparse={sparse} seq={seq}", model.name);

@@ -1,0 +1,145 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface the workspace benches use —
+//! `Criterion::default().sample_size(..)`, `bench_function`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros — with a simple
+//! mean-of-samples timer instead of criterion's full statistical pipeline.
+//! Sample counts are scaled down (capped at [`MAX_SAMPLES`]) so `cargo
+//! bench` stays fast in CI while still printing comparable numbers.
+
+use std::time::Instant;
+
+/// Upper bound on timed samples per benchmark.
+pub const MAX_SAMPLES: usize = 10;
+
+/// Benchmark driver; collects nothing, prints per-bench mean latency.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: MAX_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Requested sample count (capped at [`MAX_SAMPLES`] in this stub).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n.min(MAX_SAMPLES);
+        self
+    }
+
+    /// Times `f` and prints `name ... mean <time> (<n> samples)`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        // One untimed warm-up pass, then the timed samples.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mean = if bencher.samples.is_empty() {
+            0.0
+        } else {
+            bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64
+        };
+        println!(
+            "{name:<48} mean {} ({} samples)",
+            format_seconds(mean),
+            bencher.samples.len()
+        );
+        self
+    }
+}
+
+/// Passed to the bench closure; [`Bencher::iter`] times one routine call.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `routine` once under a timer and records the elapsed time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(2 + 2));
+            runs += 1;
+        });
+        assert_eq!(runs, 4); // 1 warm-up + 3 samples
+    }
+
+    #[test]
+    fn units_format_sanely() {
+        assert!(format_seconds(2.5).ends_with(" s"));
+        assert!(format_seconds(2.5e-3).ends_with(" ms"));
+        assert!(format_seconds(2.5e-6).ends_with(" us"));
+        assert!(format_seconds(2.5e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro over `pattern in strategy` arguments, numeric range strategies
+//! (`Range` / `RangeInclusive`), tuple strategies, `collection::vec`, and
+//! `prop_assert!` / `prop_assert_eq!`. Each test runs [`CASES`] cases drawn
+//! from a SplitMix64 stream seeded by the test's module path, so runs are
+//! fully deterministic (no shrinking, no persistence files).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of random cases each `proptest!` test executes.
+pub const CASES: usize = 64;
+
+/// Per-test deterministic random source.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// Seeds the stream from a test name (FNV-1a hash).
+    pub fn new(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner { state: h }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values for one `pattern in strategy` binding.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (runner.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (runner.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (runner.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                start + (runner.unit_f64() as $t) * (end - start)
+            }
+        }
+    )+};
+}
+
+impl_float_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(runner),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` whose length is drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+            let len = self.size.clone().sample(runner);
+            (0..len).map(|_| self.element.sample(runner)).collect()
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Defines `#[test]` functions that run their body over random strategy
+/// draws. Assertion failures report the failing case index.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let mut runner =
+                    $crate::TestRunner::new(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..$crate::CASES {
+                    let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $(let $arg = $crate::Strategy::sample(&($strat), &mut runner);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = result {
+                        panic!("proptest case {case} failed: {msg}");
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), lhs, rhs
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if lhs == rhs {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        fn ranges_stay_in_bounds(x in 1usize..10, y in -2.0f64..2.0, k in 1usize..=4) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..=4).contains(&k));
+        }
+
+        fn tuples_and_vecs_sample(t in (1usize..5, 0.0f32..1.0), v in crate::collection::vec(1usize..500, 1..20)) {
+            prop_assert!(t.0 >= 1 && t.0 < 5);
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| (1..500).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = crate::TestRunner::new("alpha");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::TestRunner::new("alpha");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so `Serialize` and
+//! `Deserialize` are plain marker traits here and the derives (re-exported
+//! from the vendored `serde_derive`) emit empty impls. Actual JSON
+//! rendering for experiment artifacts lives in the vendored `serde_json`,
+//! which converts primitives and `Value` trees directly rather than going
+//! through a serializer.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type opts into serialization. No-op in the offline stub.
+pub trait Serialize {}
+
+/// Marker: the type opts into deserialization. No-op in the offline stub.
+pub trait Deserialize: Sized {}

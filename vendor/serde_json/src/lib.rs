@@ -1,0 +1,306 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the subset ftsim uses to emit experiment artifacts: a [`Value`]
+//! tree, the [`json!`] macro, and `to_string` / `to_string_pretty`
+//! rendering. Conversion into `Value` goes through the [`ToJson`] trait
+//! (implemented for primitives, strings, options, vectors, and `Value`
+//! itself) instead of serde's `Serialize`, because the vendored serde is a
+//! marker-trait stub. Object key order is preserved as written, which keeps
+//! artifact output deterministic.
+
+use std::fmt;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Integers are kept exact (rendered without a decimal point).
+    Int(i64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up a key in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, pretty: bool, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => out.push_str(&format_float(*f)),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, pretty, indent + 1);
+                    item.write(out, pretty, indent + 1);
+                }
+                newline_indent(out, pretty, indent);
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, pretty, indent + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    value.write(out, pretty, indent + 1);
+                }
+                newline_indent(out, pretty, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, pretty: bool, indent: usize) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn format_float(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".to_string(); // JSON has no NaN/Inf, same as serde_json
+    }
+    let mut s = format!("{f}");
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        s.push_str(".0");
+    }
+    s
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, false, 0);
+        f.write_str(&s)
+    }
+}
+
+/// Conversion into a [`Value`]; stands in for `Serialize` in the `json!`
+/// macro. Takes `&self` so `json!` never moves fields out of borrowed data.
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )+};
+}
+
+impl_tojson_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Keys must be string literals;
+/// values are arbitrary expressions convertible via [`ToJson`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::ToJson::to_json(&$elem) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::ToJson::to_json(&$value)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+/// Rendering/parsing error (the offline stub never fails to render).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders compact JSON.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    value.write(&mut s, false, 0);
+    Ok(s)
+}
+
+/// Renders pretty-printed JSON (two-space indent, like serde_json).
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    value.write(&mut s, true, 0);
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_documents() {
+        let rows: Vec<Value> = (0..2).map(|i| json!([i, i * 10])).collect();
+        let doc = json!({
+            "name": "fig8",
+            "batch": 16usize,
+            "qps": 123.5,
+            "ok": true,
+            "missing": Option::<usize>::None,
+            "rows": rows,
+            "nested": json!({ "a": 1 }),
+        });
+        assert_eq!(doc.get("name"), Some(&Value::String("fig8".into())));
+        assert_eq!(doc.get("batch"), Some(&Value::Int(16)));
+        assert_eq!(doc.get("missing"), Some(&Value::Null));
+        assert!(doc.get("nested").unwrap().get("a").is_some());
+        assert!(!doc.is_null());
+        assert!(json!(null).is_null());
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable_and_valid() {
+        let doc = json!({ "a": 1, "b": json!([1.5, "x\n"]), "c": json!({}) });
+        let pretty = to_string_pretty(&doc).unwrap();
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": 1,\n  \"b\": [\n    1.5,\n    \"x\\n\"\n  ],\n  \"c\": {}\n}"
+        );
+        let compact = to_string(&doc).unwrap();
+        assert_eq!(compact, "{\"a\":1,\"b\":[1.5,\"x\\n\"],\"c\":{}}");
+    }
+
+    #[test]
+    fn floats_render_with_decimal_point() {
+        assert_eq!(format_float(2.0), "2.0");
+        assert_eq!(format_float(0.125), "0.125");
+        assert_eq!(format_float(f64::NAN), "null");
+    }
+}
