@@ -1,0 +1,126 @@
+//! Benchmarks the tensor runtime: composed naive ops with buffer pooling
+//! disabled vs. the fused matmul+bias+activation and softmax kernels backed
+//! by the thread-local pool, plus one full MoE training step on both paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftsim_tensor::nn::{AdamW, ExpertKind, Linear, MoeLayer};
+use ftsim_tensor::{ops, pool, Activation, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const M: usize = 256;
+const K: usize = 64;
+const N: usize = 256;
+
+fn kernel_inputs() -> (Tensor, Tensor, Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(11);
+    (
+        Tensor::rand_normal([M, K], 1.0, &mut rng),
+        Tensor::rand_normal([K, N], 0.5, &mut rng),
+        Tensor::rand_normal([1, N], 0.5, &mut rng),
+        Tensor::rand_normal([2048, 64], 1.0, &mut rng),
+    )
+}
+
+fn kernels(c: &mut Criterion) {
+    let (x, w, b, logits) = kernel_inputs();
+
+    pool::set_enabled(false);
+    c.bench_function("tensor/linear_naive_unpooled", |bch| {
+        bch.iter(|| {
+            let y = x.matmul(&w).expect("conforming shapes");
+            let mut biased = Tensor::zeros(y.shape().clone());
+            for r in 0..M {
+                for col in 0..N {
+                    biased.set2(r, col, y.get2(r, col) + b.get2(0, col));
+                }
+            }
+            black_box(biased.map(|v| Activation::Silu.apply(v)))
+        })
+    });
+    c.bench_function("tensor/softmax_naive_unpooled", |bch| {
+        bch.iter(|| black_box(ops::softmax_rows_naive(&logits).expect("matrix")))
+    });
+
+    pool::set_enabled(true);
+    c.bench_function("tensor/linear_fused_pooled", |bch| {
+        bch.iter(|| {
+            black_box(ops::matmul_bias_act(&x, &w, Some(&b), Activation::Silu).expect("shapes"))
+        })
+    });
+    c.bench_function("tensor/softmax_fused_pooled", |bch| {
+        bch.iter(|| black_box(ops::softmax_rows(&logits).expect("matrix")))
+    });
+    pool::clear();
+}
+
+struct TrainFixture {
+    moe: MoeLayer,
+    head: Linear,
+    params: Vec<Var>,
+    opt: AdamW,
+    x: Tensor,
+    labels: Vec<usize>,
+}
+
+fn fixture() -> TrainFixture {
+    let (hidden, ffn, experts, classes, batch) = (32, 64, 8, 8, 64);
+    let mut rng = StdRng::seed_from_u64(7);
+    let moe = MoeLayer::new(ExpertKind::SwiGlu, hidden, ffn, experts, experts, &mut rng)
+        .expect("valid MoE configuration");
+    let head = Linear::new(hidden, classes, &mut rng);
+    let mut params = moe.parameters();
+    params.extend(head.parameters());
+    let opt = AdamW::new(1e-2, params.len());
+    let x = Tensor::rand_normal([batch, hidden], 1.0, &mut rng);
+    let labels = (0..batch).map(|_| rng.gen_range(0..classes)).collect();
+    TrainFixture {
+        moe,
+        head,
+        params,
+        opt,
+        x,
+        labels,
+    }
+}
+
+fn train_step(f: &mut TrainFixture, fused: bool) -> f32 {
+    let x = Var::constant(f.x.clone());
+    let (mixed, _) = f.moe.forward_with(&x, fused).expect("moe forward");
+    let logits = if fused {
+        f.head.forward_act(&mixed, Activation::Identity)
+    } else {
+        f.head.forward_naive(&mixed, Activation::Identity)
+    }
+    .expect("head projection");
+    let loss = logits.cross_entropy(&f.labels).expect("labels in range");
+    let out = loss.with_value(Tensor::item);
+    loss.backward();
+    f.opt.step(&f.params);
+    out
+}
+
+fn train_steps(c: &mut Criterion) {
+    pool::set_enabled(false);
+    let mut naive = fixture();
+    c.bench_function("tensor/train_step_naive_unpooled", |bch| {
+        bch.iter(|| black_box(train_step(&mut naive, false)))
+    });
+    drop(naive);
+
+    pool::set_enabled(true);
+    let mut fused = fixture();
+    c.bench_function("tensor/train_step_fused_pooled", |bch| {
+        bch.iter(|| black_box(train_step(&mut fused, true)))
+    });
+    drop(fused);
+    pool::clear();
+}
+
+criterion_group! {
+    name = tensor;
+    config = Criterion::default().sample_size(10);
+    targets = kernels, train_steps
+}
+criterion_main!(tensor);

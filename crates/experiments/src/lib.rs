@@ -61,7 +61,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
 /// measure the simulator itself (wall-clock timings), not the paper, so
 /// they would make the default artifact set nondeterministic.
 pub fn extra_experiment_ids() -> Vec<&'static str> {
-    vec!["bench_engine"]
+    vec!["bench_engine", "bench_tensor"]
 }
 
 /// Runs one experiment by id.
@@ -91,6 +91,7 @@ pub fn run(id: &str) -> ExperimentResult {
         "ablation" => ablation(),
         "scaleout" => scaleout(),
         "bench_engine" => bench_engine(),
+        "bench_tensor" => bench_tensor(),
         other => panic!("unknown experiment id {other:?}"),
     }
 }
@@ -1131,6 +1132,247 @@ fn bench_engine() -> ExperimentResult {
     }
 }
 
+// -------------------------------------------------- Tensor runtime bench
+
+/// Benchmarks the tensor runtime on repeated training steps of a small MoE
+/// classifier: the retained naive op path with buffer pooling disabled
+/// (serial-naive) vs. the fused matmul+bias+activation kernels backed by the
+/// thread-local buffer pool and reusable autograd tape (pooled-fused). The
+/// two paths are bit-identical in losses — only wall-clock and allocation
+/// behavior differ — and the pool's fresh-allocation counter proves the
+/// steady state allocates no tensor storage after the warm-up step.
+/// Excluded from `repro all` because its output is wall-clock timings.
+fn bench_tensor() -> ExperimentResult {
+    use ftsim_tensor::nn::{AdamW, ExpertKind, Linear, MoeLayer};
+    use ftsim_tensor::{ops, pool, Activation, Tensor, Var};
+    use rand::Rng;
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    // Dense routing (top_k == experts) keeps the per-step op structure
+    // identical step after step, which makes zero steady-state allocation a
+    // provable property of the pool rather than a statistical one.
+    let (hidden, ffn, experts, classes, batch, steps) = (32, 64, 8, 8, 64, 30);
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    let bx = Tensor::rand_normal([batch, hidden], 1.0, &mut rng);
+    let by: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..classes)).collect();
+
+    // One full training step on the fixed batch; returns its loss.
+    let step = |moe: &MoeLayer, head: &Linear, opt: &mut AdamW, params: &[Var], fused: bool| {
+        let x = Var::constant(bx.clone());
+        let (mixed, _) = moe.forward_with(&x, fused).expect("moe forward");
+        let logits = if fused {
+            head.forward_act(&mixed, Activation::Identity)
+        } else {
+            head.forward_naive(&mixed, Activation::Identity)
+        }
+        .expect("head projection");
+        let loss = logits.cross_entropy(&by).expect("labels in range");
+        let out = loss.with_value(Tensor::item);
+        loss.backward();
+        opt.step(params);
+        out
+    };
+
+    // Trains a freshly-seeded model for `steps` steps, recording per-step
+    // loss, wall-clock, and pool fresh-allocation count.
+    let run = |fused: bool, pooled: bool| {
+        pool::set_enabled(pooled);
+        pool::clear();
+        let mut rng = StdRng::seed_from_u64(7);
+        let moe = MoeLayer::new(ExpertKind::SwiGlu, hidden, ffn, experts, experts, &mut rng)
+            .expect("valid MoE configuration");
+        let head = Linear::new(hidden, classes, &mut rng);
+        let mut params = moe.parameters();
+        params.extend(head.parameters());
+        let mut opt = AdamW::new(1e-2, params.len());
+        let mut losses = Vec::with_capacity(steps);
+        let mut seconds = Vec::with_capacity(steps);
+        let mut allocs = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let before = pool::stats();
+            let t = Instant::now();
+            losses.push(step(&moe, &head, &mut opt, &params, fused));
+            seconds.push(t.elapsed().as_secs_f64());
+            allocs.push(pool::stats().allocs_since(&before));
+        }
+        pool::set_enabled(true);
+        (losses, seconds, allocs)
+    };
+
+    fn median(xs: &[f64]) -> f64 {
+        let mut v = xs.to_vec();
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    }
+
+    let (naive_loss, naive_s, naive_allocs) = run(false, false);
+    let (fused_loss, fused_s, fused_allocs) = run(true, true);
+    let resident = pool::resident();
+    pool::clear();
+
+    let identical = naive_loss
+        .iter()
+        .zip(&fused_loss)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(identical, "pooled-fused losses diverged from serial-naive");
+    let steady_allocs: u64 = fused_allocs[1..].iter().sum();
+    assert_eq!(
+        steady_allocs, 0,
+        "pool allocated in steady state: {fused_allocs:?}"
+    );
+
+    // Exclude the warm-up step from the timing comparison: it pays the
+    // one-time pool fill that later steps are measured without.
+    let naive_step = median(&naive_s[1..]);
+    let fused_step = median(&fused_s[1..]);
+
+    // Kernel-level microbenchmark: the fusion and pooling win measured on
+    // the kernels alone, undiluted by the routing/autograd bookkeeping that
+    // the end-to-end step shares between both paths.
+    let (km, kk, kn, iters) = (256, 64, 256, 60);
+    let mut rng = StdRng::seed_from_u64(11);
+    let kx = Tensor::rand_normal([km, kk], 1.0, &mut rng);
+    let kw = Tensor::rand_normal([kk, kn], 0.5, &mut rng);
+    let kb = Tensor::rand_normal([1, kn], 0.5, &mut rng);
+    let logits = Tensor::rand_normal([2048, 64], 1.0, &mut rng);
+
+    // Composed reference: matmul, then the set2/get2 row-bias loop and the
+    // map pass exactly as the retained naive ops perform them, every output
+    // freshly allocated (pool disabled).
+    let composed_linear = |x: &Tensor, w: &Tensor, b: &Tensor| {
+        let y = x.matmul(w).expect("conforming shapes");
+        let mut biased = Tensor::zeros(y.shape().clone());
+        for r in 0..km {
+            for c in 0..kn {
+                biased.set2(r, c, y.get2(r, c) + b.get2(0, c));
+            }
+        }
+        biased.map(|v| Activation::Silu.apply(v))
+    };
+
+    pool::set_enabled(false);
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(composed_linear(&kx, &kw, &kb));
+    }
+    let naive_linear = t.elapsed().as_secs_f64() / f64::from(iters);
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(ops::softmax_rows_naive(&logits).expect("matrix"));
+    }
+    let naive_softmax = t.elapsed().as_secs_f64() / f64::from(iters);
+
+    pool::set_enabled(true);
+    let fused_once = ops::matmul_bias_act(&kx, &kw, Some(&kb), Activation::Silu).expect("shapes");
+    let kernels_identical = fused_once.data() == composed_linear(&kx, &kw, &kb).data();
+    assert!(kernels_identical, "fused kernel diverged from composed ops");
+    drop(fused_once);
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(ops::matmul_bias_act(&kx, &kw, Some(&kb), Activation::Silu).expect("shapes"));
+    }
+    let fused_linear = t.elapsed().as_secs_f64() / f64::from(iters);
+    drop(black_box(ops::softmax_rows(&logits).expect("matrix")));
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(ops::softmax_rows(&logits).expect("matrix"));
+    }
+    let fused_softmax = t.elapsed().as_secs_f64() / f64::from(iters);
+    pool::clear();
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "model: SwiGLU MoE, {experts} experts (dense routing), hidden {hidden}, ffn {ffn}; batch {batch}, {steps} steps"
+    );
+    let _ = writeln!(
+        text,
+        "serial naive  {:>9.3} ms/step  (pool disabled, per-op kernels)",
+        naive_step * 1e3
+    );
+    let _ = writeln!(
+        text,
+        "pooled fused  {:>9.3} ms/step  ({:.2}x vs naive)",
+        fused_step * 1e3,
+        naive_step / fused_step
+    );
+    let _ = writeln!(
+        text,
+        "pool fresh allocs per step (fused): step 1 = {}, steps 2..{steps} = {} total",
+        fused_allocs[0], steady_allocs
+    );
+    let _ = writeln!(
+        text,
+        "pool resident buffers after run: {resident}; losses bit-identical across paths"
+    );
+    let _ = writeln!(
+        text,
+        "kernel microbench ({km}x{kk}x{kn} linear, 2048x64 softmax, {iters} iters):"
+    );
+    let _ = writeln!(
+        text,
+        "  linear   naive {:>8.3} ms  fused {:>8.3} ms  ({:.2}x)",
+        naive_linear * 1e3,
+        fused_linear * 1e3,
+        naive_linear / fused_linear
+    );
+    let _ = writeln!(
+        text,
+        "  softmax  naive {:>8.3} ms  fused {:>8.3} ms  ({:.2}x)",
+        naive_softmax * 1e3,
+        fused_softmax * 1e3,
+        naive_softmax / fused_softmax
+    );
+
+    ExperimentResult {
+        id: "bench_tensor",
+        title: "Tensor runtime benchmark: buffer pool + fused kernels + reusable tape",
+        text,
+        json: json!({
+            "config": json!({
+                "expert_kind": "swiglu", "hidden": hidden, "ffn": ffn,
+                "experts": experts, "top_k": experts, "classes": classes,
+                "batch": batch, "steps": steps,
+            }),
+            "median_step_seconds": json!({
+                "serial_naive": naive_step,
+                "pooled_fused": fused_step,
+            }),
+            "speedup_pooled_fused_vs_naive": naive_step / fused_step,
+            "per_step_seconds": json!({
+                "serial_naive": naive_s,
+                "pooled_fused": fused_s,
+            }),
+            "pool_fresh_allocs_per_step": json!({
+                "serial_naive": naive_allocs,
+                "pooled_fused": fused_allocs,
+            }),
+            "steady_state_fresh_allocs": steady_allocs,
+            "resident_buffers_after_run": resident,
+            "bit_identical_losses": identical,
+            "losses": fused_loss,
+            "kernel_microbench": json!({
+                "linear_shape": json!({ "m": km, "k": kk, "n": kn }),
+                "softmax_shape": json!({ "rows": 2048, "cols": 64 }),
+                "iters": iters,
+                "seconds_per_call": json!({
+                    "linear_naive": naive_linear,
+                    "linear_fused": fused_linear,
+                    "softmax_naive": naive_softmax,
+                    "softmax_fused": fused_softmax,
+                }),
+                "speedup": json!({
+                    "linear_fused": naive_linear / fused_linear,
+                    "softmax_fused": naive_softmax / fused_softmax,
+                }),
+                "bit_identical": kernels_identical,
+            }),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1160,6 +1402,23 @@ mod tests {
         assert!(r.text.contains("bit-identical"), "{}", r.text);
         assert!(!experiment_ids().contains(&"bench_engine"));
         assert!(extra_experiment_ids().contains(&"bench_engine"));
+    }
+
+    #[test]
+    fn bench_tensor_runs_zero_alloc_and_bit_identical() {
+        // Asserts internally that pooled-fused losses match serial-naive
+        // bit-for-bit and that steady-state steps allocate nothing.
+        let r = run("bench_tensor");
+        assert_eq!(r.id, "bench_tensor");
+        assert!(r.text.contains("bit-identical"), "{}", r.text);
+        assert_eq!(
+            r.json
+                .get("steady_state_fresh_allocs")
+                .map(Value::to_string),
+            Some("0".to_string())
+        );
+        assert!(!experiment_ids().contains(&"bench_tensor"));
+        assert!(extra_experiment_ids().contains(&"bench_tensor"));
     }
 
     #[test]

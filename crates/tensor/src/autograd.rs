@@ -7,6 +7,7 @@
 //! trainability (Fig. 3) and load-imbalance (Fig. 11) experiments.
 
 use crate::ops;
+use crate::ops::Activation;
 use crate::shape::Shape;
 use crate::tensor::{Tensor, TensorError};
 use std::cell::RefCell;
@@ -80,8 +81,21 @@ impl Var {
     }
 
     /// A clone of the current value.
+    ///
+    /// Prefer [`Var::with_value`] when a borrow suffices — it avoids copying
+    /// the tensor.
     pub fn value(&self) -> Tensor {
         self.node.borrow().value.clone()
+    }
+
+    /// Calls `f` with a borrow of the current value, without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` re-enters this variable mutably (e.g. via
+    /// [`Var::update_value`] on the same node).
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.node.borrow().value)
     }
 
     /// The shape of the current value.
@@ -90,8 +104,19 @@ impl Var {
     }
 
     /// A clone of the accumulated gradient, if any.
+    ///
+    /// Prefer [`Var::with_grad`] when a borrow suffices.
     pub fn grad(&self) -> Option<Tensor> {
         self.node.borrow().grad.clone()
+    }
+
+    /// Calls `f` with a borrow of the accumulated gradient, without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` re-enters this variable mutably.
+    pub fn with_grad<R>(&self, f: impl FnOnce(Option<&Tensor>) -> R) -> R {
+        f(self.node.borrow().grad.as_ref())
     }
 
     /// Whether this variable participates in gradient computation.
@@ -124,17 +149,32 @@ impl Var {
         f(&mut self.node.borrow_mut().value);
     }
 
+    /// If a gradient is present, calls `f` with the value (mutable) and the
+    /// gradient under a single borrow, then clears the gradient. Returns
+    /// whether a gradient was present.
+    ///
+    /// This is the optimizer entry point: unlike `grad()` + `update_value()`
+    /// it neither clones the gradient nor borrows the node twice.
+    pub fn update_with_grad(&self, f: impl FnOnce(&mut Tensor, &Tensor)) -> bool {
+        let mut n = self.node.borrow_mut();
+        let Some(g) = n.grad.take() else {
+            return false;
+        };
+        f(&mut n.value, &g);
+        true
+    }
+
     fn accumulate_grad(&self, g: &Tensor) {
         let mut n = self.node.borrow_mut();
         if !n.requires_grad {
             return;
         }
         match &mut n.grad {
-            Some(existing) => {
-                *existing = existing
-                    .add(g)
-                    .expect("gradient shape must match value shape");
-            }
+            // In place: bit-identical to allocate-and-add (`existing.add(g)`)
+            // without materializing the sum in a fresh buffer.
+            Some(existing) => existing
+                .add_assign(g)
+                .expect("gradient shape must match value shape"),
             None => n.grad = Some(g.clone()),
         }
     }
@@ -183,21 +223,25 @@ impl Var {
     ///
     /// Returns a shape error if the operands are not conforming matrices.
     pub fn matmul(&self, rhs: &Var) -> Result<Var, TensorError> {
-        let value = self.value().matmul(&rhs.node.borrow().value)?;
-        let (av, bv) = (self.value(), rhs.value());
+        let value = self.node.borrow().value.matmul(&rhs.node.borrow().value)?;
         Ok(Var::binary(self, rhs, value, move |a, b, up| {
+            // Operand values are borrowed at backward time instead of cloned
+            // at record time; gradients are materialized before the borrow
+            // on the other operand is released, then accumulated.
             if a.requires_grad() {
-                let da = up
-                    .matmul(&bv.transpose().expect("matrix"))
-                    .expect("conforming");
+                let da = b.with_value(|bv| {
+                    up.matmul(&bv.transpose().expect("matrix"))
+                        .expect("conforming")
+                });
                 a.accumulate_grad(&da);
             }
             if b.requires_grad() {
-                let db = av
-                    .transpose()
-                    .expect("matrix")
-                    .matmul(up)
-                    .expect("conforming");
+                let db = a.with_value(|av| {
+                    av.transpose()
+                        .expect("matrix")
+                        .matmul(up)
+                        .expect("conforming")
+                });
                 b.accumulate_grad(&db);
             }
         }))
@@ -267,13 +311,14 @@ impl Var {
     /// Returns a shape error when shapes differ.
     pub fn mul(&self, rhs: &Var) -> Result<Var, TensorError> {
         let value = self.node.borrow().value.mul(&rhs.node.borrow().value)?;
-        let (av, bv) = (self.value(), rhs.value());
         Ok(Var::binary(self, rhs, value, move |a, b, up| {
             if a.requires_grad() {
-                a.accumulate_grad(&up.mul(&bv).expect("same shape"));
+                let da = b.with_value(|bv| up.mul(bv).expect("same shape"));
+                a.accumulate_grad(&da);
             }
             if b.requires_grad() {
-                b.accumulate_grad(&up.mul(&av).expect("same shape"));
+                let db = a.with_value(|av| up.mul(av).expect("same shape"));
+                b.accumulate_grad(&db);
             }
         }))
     }
@@ -306,28 +351,33 @@ impl Var {
                 out.set2(r, j, x.get2(r, j) * w);
             }
         }
-        let (xv, cv) = (x, c);
         Ok(Var::binary(self, col, out, move |a, b, up| {
             let (m, n) = up.shape().as_matrix().expect("matrix");
             if a.requires_grad() {
-                let mut da = Tensor::zeros(Shape::matrix(m, n));
-                for r in 0..m {
-                    let w = cv.get2(r, 0);
-                    for j in 0..n {
-                        da.set2(r, j, up.get2(r, j) * w);
+                let da = b.with_value(|cv| {
+                    let mut da = Tensor::zeros(Shape::matrix(m, n));
+                    for r in 0..m {
+                        let w = cv.get2(r, 0);
+                        for j in 0..n {
+                            da.set2(r, j, up.get2(r, j) * w);
+                        }
                     }
-                }
+                    da
+                });
                 a.accumulate_grad(&da);
             }
             if b.requires_grad() {
-                let mut db = Tensor::zeros(Shape::matrix(m, 1));
-                for r in 0..m {
-                    let mut s = 0.0;
-                    for j in 0..n {
-                        s += up.get2(r, j) * xv.get2(r, j);
+                let db = a.with_value(|xv| {
+                    let mut db = Tensor::zeros(Shape::matrix(m, 1));
+                    for r in 0..m {
+                        let mut s = 0.0;
+                        for j in 0..n {
+                            s += up.get2(r, j) * xv.get2(r, j);
+                        }
+                        db.set2(r, 0, s);
                     }
-                    db.set2(r, 0, s);
-                }
+                    db
+                });
                 b.accumulate_grad(&db);
             }
         }))
@@ -339,47 +389,152 @@ impl Var {
         self.unary(value, move |a, up| a.accumulate_grad(&up.scale(s)))
     }
 
-    fn activation(&self, f: impl Fn(f32) -> f32, df: impl Fn(f32) -> f32 + 'static) -> Var {
-        let x = self.value();
-        let value = x.map(&f);
+    /// Applies `act` elementwise as its own graph node.
+    ///
+    /// This is the *composed* (naive) activation path; the fused alternative
+    /// is [`Var::linear_act`], which folds the activation into the matmul
+    /// epilogue.
+    pub fn activate(&self, act: Activation) -> Var {
+        let value = self.node.borrow().value.map(|x| act.apply(x));
         self.unary(value, move |a, up| {
-            let dx = Tensor::new(
-                up.shape().clone(),
-                up.data()
-                    .iter()
-                    .zip(x.data())
-                    .map(|(&g, &xi)| g * df(xi))
-                    .collect(),
-            )
-            .expect("same shape");
+            let dx = a
+                .with_value(|xv| up.zip(xv, "activate", |g, xi| g * act.grad(xi)))
+                .expect("same shape");
             a.accumulate_grad(&dx);
         })
     }
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Var {
-        self.activation(|x| x.max(0.0), |x| if x > 0.0 { 1.0 } else { 0.0 })
+        self.activate(Activation::Relu)
     }
 
     /// GELU activation (tanh approximation) — BlackMamba expert FFNs.
     pub fn gelu(&self) -> Var {
-        self.activation(ops::gelu, ops::gelu_grad)
+        self.activate(Activation::Gelu)
     }
 
     /// SiLU / Swish activation — Mixtral SwiGLU experts.
     pub fn silu(&self) -> Var {
-        self.activation(ops::silu, ops::silu_grad)
+        self.activate(Activation::Silu)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Var {
-        self.activation(
-            |x| x.tanh(),
-            |x| {
-                let t = x.tanh();
-                1.0 - t * t
+        self.activate(Activation::Tanh)
+    }
+
+    /// Fused linear layer `act(self @ weight + bias)` as a **single** graph
+    /// node (bias shape `[1, n]`), computed by the fused matmul kernel whose
+    /// epilogue applies the bias and activation while each output tile is
+    /// cache-hot, saving the pre-activation values for the backward pass.
+    ///
+    /// Bit-identical — values and accumulated gradients — to the composed
+    /// chain `self.matmul(weight)?.add_row(bias)?.activate(act)`: the kernel
+    /// keeps the matmul accumulation order, the epilogue performs the same
+    /// per-element `+ bias` / `act(·)`, and the backward pass delivers
+    /// `d bias → d self → d weight` in the reverse topological order the
+    /// composed chain would (add_row node first, then the matmul node).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the operands are not conforming matrices or
+    /// `bias` is not `[1, n]`.
+    pub fn linear_act(
+        &self,
+        weight: &Var,
+        bias: &Var,
+        act: Activation,
+    ) -> Result<Var, TensorError> {
+        let xb = self.node.borrow();
+        let wb = weight.node.borrow();
+        let bb = bias.node.borrow();
+        let (xv, wv, bv) = (&xb.value, &wb.value, &bb.value);
+        let Some(out_shape) = xv.shape().matmul(wv.shape()) else {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear_act",
+                lhs: xv.shape().clone(),
+                rhs: wv.shape().clone(),
+            });
+        };
+        let (m, k) = xv.shape().as_matrix().expect("checked above");
+        let (_, n) = wv.shape().as_matrix().expect("checked above");
+        if bv.shape().as_matrix() != Some((1, n)) {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear_act",
+                lhs: xv.shape().clone(),
+                rhs: bv.shape().clone(),
+            });
+        }
+        let mut value = Tensor::zeros(out_shape);
+        // The identity epilogue needs no saved pre-activation: act' ≡ 1 and
+        // the upstream gradient passes through untouched.
+        let mut pre = (act != Activation::Identity).then(|| Tensor::zeros(Shape::matrix(m, n)));
+        crate::parallel::matmul_bias_act_into(
+            xv.data(),
+            wv.data(),
+            Some(bv.data()),
+            act,
+            value.data_mut(),
+            pre.as_mut().map(Tensor::data_mut),
+            m,
+            k,
+            n,
+        );
+        drop(xb);
+        drop(wb);
+        drop(bb);
+        let requires = self.requires_grad() || weight.requires_grad() || bias.requires_grad();
+        let (x2, w2, b2) = (self.clone(), weight.clone(), bias.clone());
+        Ok(Var::from_node(Node {
+            value,
+            grad: None,
+            requires_grad: requires,
+            parents: vec![self.clone(), weight.clone(), bias.clone()],
+            backward: if requires {
+                Some(Box::new(move |up| {
+                    // dpre = up ⊙ act'(pre); for Identity, up itself.
+                    let owned;
+                    let dpre: &Tensor = match &pre {
+                        Some(pre_t) => {
+                            owned = up
+                                .zip(pre_t, "linear_act", |g, p| g * act.grad(p))
+                                .expect("same shape");
+                            &owned
+                        }
+                        None => up,
+                    };
+                    let (m, n) = dpre.shape().as_matrix().expect("matrix");
+                    if b2.requires_grad() {
+                        let mut db = Tensor::zeros(Shape::matrix(1, n));
+                        for r in 0..m {
+                            for c in 0..n {
+                                db.set2(0, c, db.get2(0, c) + dpre.get2(r, c));
+                            }
+                        }
+                        b2.accumulate_grad(&db);
+                    }
+                    if x2.requires_grad() {
+                        let dx = w2.with_value(|wv| {
+                            dpre.matmul(&wv.transpose().expect("matrix"))
+                                .expect("conforming")
+                        });
+                        x2.accumulate_grad(&dx);
+                    }
+                    if w2.requires_grad() {
+                        let dw = x2.with_value(|xv| {
+                            xv.transpose()
+                                .expect("matrix")
+                                .matmul(dpre)
+                                .expect("conforming")
+                        });
+                        w2.accumulate_grad(&dw);
+                    }
+                }))
+            } else {
+                None
             },
-        )
+        }))
     }
 
     /// Row-wise softmax restricted to `allowed` entries per row; the rest of
@@ -506,56 +661,111 @@ impl Var {
 
     /// Runs reverse-mode differentiation from this scalar variable.
     ///
+    /// Delegates to a thread-local step-scoped [`Tape`] whose traversal
+    /// workspace (topological order, DFS stack, visited set) is cleared and
+    /// reused across calls, so repeated training steps rebuild no workspace.
+    ///
     /// # Panics
     ///
     /// Panics if the variable does not hold exactly one element.
     pub fn backward(&self) {
+        STEP_TAPE
+            .try_with(|t| match t.try_borrow_mut() {
+                Ok(mut tape) => tape.backward(self),
+                // Re-entrant call (a backward closure invoking backward):
+                // fall back to a throwaway tape rather than panicking.
+                Err(_) => Tape::new().backward(self),
+            })
+            .unwrap_or_else(|_| Tape::new().backward(self));
+    }
+}
+
+thread_local! {
+    /// The step-scoped tape reused by every [`Var::backward`] on this thread.
+    static STEP_TAPE: RefCell<Tape> = RefCell::new(Tape::new());
+}
+
+/// Reusable reverse-pass workspace.
+///
+/// [`Var::backward`] needs a topological ordering of the graph, which the
+/// original implementation rebuilt from freshly-allocated collections on
+/// every call. A `Tape` keeps those collections between calls — cleared but
+/// with their capacity intact — so the traversal of step *N* runs entirely
+/// in the workspace warmed by step *N − 1*. Recorded `Var` handles are
+/// released at the end of each pass (their node storage returns to the
+/// buffer pool when the caller drops the graph); only the empty collections
+/// persist.
+#[derive(Default)]
+pub struct Tape {
+    order: Vec<Var>,
+    stack: Vec<(Var, bool)>,
+    visited: HashSet<*const RefCell<Node>>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Workspace capacity currently retained (graph nodes the tape can order
+    /// without growing) — observable evidence of cross-step reuse.
+    pub fn retained_capacity(&self) -> usize {
+        self.order.capacity()
+    }
+
+    /// Runs reverse-mode differentiation from `root`, reusing this tape's
+    /// workspace. Equivalent to [`Var::backward`] (which uses the
+    /// thread-local tape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` does not hold exactly one element.
+    pub fn backward(&mut self, root: &Var) {
         assert_eq!(
-            self.node.borrow().value.numel(),
+            root.node.borrow().value.numel(),
             1,
             "backward() must start from a scalar"
         );
         // Topological order via iterative post-order DFS.
-        let mut order: Vec<Var> = Vec::new();
-        let mut visited: HashSet<*const RefCell<Node>> = HashSet::new();
-        let mut stack: Vec<(Var, bool)> = vec![(self.clone(), false)];
-        while let Some((var, expanded)) = stack.pop() {
+        self.order.clear();
+        self.stack.clear();
+        self.visited.clear();
+        self.stack.push((root.clone(), false));
+        while let Some((var, expanded)) = self.stack.pop() {
             let key = Rc::as_ptr(&var.node);
             if expanded {
-                order.push(var);
+                self.order.push(var);
                 continue;
             }
-            if !visited.insert(key) {
+            if !self.visited.insert(key) {
                 continue;
             }
-            stack.push((var.clone(), true));
+            self.stack.push((var.clone(), true));
             for p in var.node.borrow().parents.iter() {
-                if !visited.contains(&Rc::as_ptr(&p.node)) {
-                    stack.push((p.clone(), false));
+                if !self.visited.contains(&Rc::as_ptr(&p.node)) {
+                    self.stack.push((p.clone(), false));
                 }
             }
         }
         // Seed and propagate in reverse topological order.
         {
-            let mut n = self.node.borrow_mut();
+            let mut n = root.node.borrow_mut();
             let shape = n.value.shape().clone();
             n.grad = Some(Tensor::ones(shape));
         }
-        for var in order.into_iter().rev() {
-            let grad = {
-                let n = var.node.borrow();
-                if n.backward.is_none() || n.grad.is_none() {
-                    continue;
-                }
-                n.grad.clone().expect("checked")
-            };
-            // Call outside the borrow so the closure can mutate parents
-            // (which may alias `var` only in degenerate graphs we don't build).
-            let node = var.node.borrow();
-            if let Some(bw) = node.backward.as_ref() {
-                bw(&grad);
+        for var in self.order.iter().rev() {
+            // The closure only ever borrows *other* nodes (parents), so
+            // holding this node's borrow while it runs is safe, and passing
+            // the gradient by reference avoids the old per-node clone.
+            let n = var.node.borrow();
+            if let (Some(bw), Some(grad)) = (n.backward.as_ref(), n.grad.as_ref()) {
+                bw(grad);
             }
         }
+        // Release the recorded handles (dropping the graph's Rc references)
+        // but keep the collections' capacity for the next step.
+        self.order.clear();
     }
 }
 
@@ -691,6 +901,139 @@ mod tests {
             Tensor::from_rows(&[&[2.0], &[-1.0]]).unwrap(),
             1e-2,
         );
+    }
+
+    fn composed_linear(x: &Var, w: &Var, b: &Var, act: Activation) -> Var {
+        x.matmul(w).unwrap().add_row(b).unwrap().activate(act)
+    }
+
+    #[test]
+    fn linear_act_bit_identical_to_composed_chain() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Gelu,
+            Activation::Silu,
+            Activation::Tanh,
+        ] {
+            let xt = Tensor::rand_uniform([5, 4], 1.0, &mut rng);
+            let wt = Tensor::rand_uniform([4, 3], 1.0, &mut rng);
+            let bt = Tensor::rand_uniform([1, 3], 1.0, &mut rng);
+
+            let (x1, w1, b1) = (
+                Var::constant(xt.clone()),
+                Var::parameter(wt.clone()),
+                Var::parameter(bt.clone()),
+            );
+            let fused = x1.linear_act(&w1, &b1, act).unwrap();
+            fused.mean().backward();
+
+            let (x2, w2, b2) = (Var::constant(xt), Var::parameter(wt), Var::parameter(bt));
+            let naive = composed_linear(&x2, &w2, &b2, act);
+            naive.mean().backward();
+
+            assert_eq!(fused.value(), naive.value(), "{act:?} values diverged");
+            assert_eq!(
+                w1.grad().unwrap(),
+                w2.grad().unwrap(),
+                "{act:?} weight grads diverged"
+            );
+            assert_eq!(
+                b1.grad().unwrap(),
+                b2.grad().unwrap(),
+                "{act:?} bias grads diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_act_gradcheck_weight_and_bias() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Tensor::rand_uniform([3, 4], 1.0, &mut rng);
+        let b = Tensor::rand_uniform([1, 2], 0.5, &mut rng);
+        let x2 = x.clone();
+        check_grad(
+            move |w| {
+                let xv = Var::constant(x.clone());
+                let bv = Var::constant(b.clone());
+                xv.linear_act(w, &bv, Activation::Gelu).unwrap().mean()
+            },
+            Tensor::rand_uniform([4, 2], 0.5, &mut rng),
+            2e-2,
+        );
+        let w = Tensor::rand_uniform([4, 2], 0.5, &mut rng);
+        check_grad(
+            move |b| {
+                let xv = Var::constant(x2.clone());
+                let wv = Var::constant(w.clone());
+                xv.linear_act(&wv, b, Activation::Silu).unwrap().mean()
+            },
+            Tensor::rand_uniform([1, 2], 0.5, &mut rng),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn linear_act_rejects_bad_shapes() {
+        let x = Var::constant(Tensor::zeros([2, 3]));
+        let w = Var::parameter(Tensor::zeros([3, 4]));
+        let bad_w = Var::parameter(Tensor::zeros([5, 4]));
+        let b = Var::parameter(Tensor::zeros([1, 4]));
+        let bad_b = Var::parameter(Tensor::zeros([1, 3]));
+        assert!(x.linear_act(&w, &b, Activation::Relu).is_ok());
+        assert!(x.linear_act(&bad_w, &b, Activation::Relu).is_err());
+        assert!(x.linear_act(&w, &bad_b, Activation::Relu).is_err());
+    }
+
+    #[test]
+    fn tape_reuses_workspace_across_steps() {
+        let mut tape = Tape::new();
+        let w = Var::parameter(Tensor::from_rows(&[&[1.0, 2.0]]).unwrap());
+        let mut grads = Vec::new();
+        for _ in 0..3 {
+            let loss = w.mul(&w).unwrap().mean();
+            tape.backward(&loss);
+            grads.push(w.grad().unwrap());
+            w.zero_grad();
+        }
+        assert!(tape.retained_capacity() > 0, "workspace was not retained");
+        assert_eq!(grads[0], grads[1]);
+        assert_eq!(grads[1], grads[2]);
+    }
+
+    #[test]
+    fn explicit_tape_matches_var_backward() {
+        let build = |w: &Var| w.mul(w).unwrap().mean();
+        let w1 = Var::parameter(Tensor::from_rows(&[&[1.5, -2.0]]).unwrap());
+        build(&w1).backward();
+        let w2 = Var::parameter(Tensor::from_rows(&[&[1.5, -2.0]]).unwrap());
+        Tape::new().backward(&build(&w2));
+        assert_eq!(w1.grad().unwrap(), w2.grad().unwrap());
+    }
+
+    #[test]
+    fn update_with_grad_applies_and_clears() {
+        let w = Var::parameter(Tensor::scalar(3.0));
+        assert!(!w.update_with_grad(|_, _| panic!("no grad yet")));
+        w.mul(&w).unwrap().mean().backward();
+        let stepped = w.update_with_grad(|v, g| {
+            for (vi, gi) in v.data_mut().iter_mut().zip(g.data()) {
+                *vi -= 0.5 * gi;
+            }
+        });
+        assert!(stepped);
+        assert!(w.grad().is_none(), "update_with_grad must clear the grad");
+        assert!((w.value().item() - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn with_value_and_with_grad_borrow_without_cloning() {
+        let w = Var::parameter(Tensor::from_rows(&[&[2.0, 4.0]]).unwrap());
+        assert_eq!(w.with_value(|t| t.sum()), 6.0);
+        assert!(w.with_grad(|g| g.is_none()));
+        w.sum().backward();
+        assert_eq!(w.with_grad(|g| g.unwrap().sum()), 2.0);
     }
 
     #[test]

@@ -29,11 +29,14 @@ pub mod autograd;
 pub mod nn;
 pub mod ops;
 pub mod parallel;
+pub mod pool;
 pub mod quant;
 pub mod shape;
 pub mod tensor;
 
 pub use autograd::Var;
+pub use ops::Activation;
+pub use pool::{BufferPool, PoolStats};
 pub use quant::{QuantError, Quantized4Bit};
 pub use shape::Shape;
 pub use tensor::{Tensor, TensorError};

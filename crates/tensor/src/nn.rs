@@ -8,6 +8,7 @@
 
 use crate::autograd::Var;
 use crate::ops;
+use crate::ops::Activation;
 use crate::tensor::{Tensor, TensorError};
 use rand::Rng;
 
@@ -28,13 +29,39 @@ impl Linear {
         }
     }
 
-    /// Applies the layer to a `[tokens, in_dim]` batch.
+    /// Applies the layer to a `[tokens, in_dim]` batch via the fused
+    /// matmul+bias kernel (bit-identical to the composed
+    /// matmul-then-add_row path).
     ///
     /// # Errors
     ///
     /// Returns a shape error if `x` has the wrong inner dimension.
     pub fn forward(&self, x: &Var) -> Result<Var, TensorError> {
-        x.matmul(&self.weight)?.add_row(&self.bias)
+        self.forward_act(x, Activation::Identity)
+    }
+
+    /// Fused `act(x @ W + b)` as a single graph node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` has the wrong inner dimension.
+    pub fn forward_act(&self, x: &Var, act: Activation) -> Result<Var, TensorError> {
+        x.linear_act(&self.weight, &self.bias, act)
+    }
+
+    /// Reference composed path — matmul, row-bias, and activation as
+    /// separate graph nodes. Retained so equivalence tests can prove the
+    /// fused path bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` has the wrong inner dimension.
+    pub fn forward_naive(&self, x: &Var, act: Activation) -> Result<Var, TensorError> {
+        let pre = x.matmul(&self.weight)?.add_row(&self.bias)?;
+        Ok(match act {
+            Activation::Identity => pre,
+            act => pre.activate(act),
+        })
     }
 
     /// The trainable parameters of this layer.
@@ -49,7 +76,7 @@ impl Linear {
 
     /// Number of scalar parameters.
     pub fn param_count(&self) -> usize {
-        self.weight.value().numel() + self.bias.value().numel()
+        self.weight.with_value(Tensor::numel) + self.bias.with_value(Tensor::numel)
     }
 }
 
@@ -85,22 +112,44 @@ impl Expert {
         }
     }
 
-    /// Applies the expert to a `[tokens, hidden]` batch.
+    /// Applies the expert to a `[tokens, hidden]` batch via the fused
+    /// linear+activation kernels.
     ///
     /// # Errors
     ///
     /// Propagates shape errors from the underlying linear layers.
     pub fn forward(&self, x: &Var) -> Result<Var, TensorError> {
+        self.forward_with(x, true)
+    }
+
+    /// Applies the expert using either the fused kernels (`fused = true`,
+    /// the production path) or the composed naive ops (`fused = false`, the
+    /// retained reference path); the two are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying linear layers.
+    pub fn forward_with(&self, x: &Var, fused: bool) -> Result<Var, TensorError> {
+        let layer = |l: &Linear, x: &Var, act: Activation| {
+            if fused {
+                l.forward_act(x, act)
+            } else {
+                l.forward_naive(x, act)
+            }
+        };
         match self.kind {
-            ExpertKind::GeluFfn => self.w2.forward(&self.w1.forward(x)?.gelu()),
+            ExpertKind::GeluFfn => {
+                let h = layer(&self.w1, x, Activation::Gelu)?;
+                layer(&self.w2, &h, Activation::Identity)
+            }
             ExpertKind::SwiGlu => {
-                let gate = self.w1.forward(x)?.silu();
-                let up = self
-                    .w3
-                    .as_ref()
-                    .expect("SwiGlu expert always has W3")
-                    .forward(x)?;
-                self.w2.forward(&gate.mul(&up)?)
+                let gate = layer(&self.w1, x, Activation::Silu)?;
+                let up = layer(
+                    self.w3.as_ref().expect("SwiGlu expert always has W3"),
+                    x,
+                    Activation::Identity,
+                )?;
+                layer(&self.w2, &gate.mul(&up)?, Activation::Identity)
             }
         }
     }
@@ -227,7 +276,23 @@ impl MoeLayer {
     ///
     /// Propagates shape errors from the gate or experts.
     pub fn forward(&self, x: &Var) -> Result<(Var, RoutingStats), TensorError> {
-        let logits = self.gate.forward(x)?;
+        self.forward_with(x, true)
+    }
+
+    /// [`MoeLayer::forward`] with an explicit kernel choice: `fused = true`
+    /// routes every linear layer through the fused matmul+bias+activation
+    /// kernel, `fused = false` uses the composed naive ops. Both paths are
+    /// bit-identical in values and gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the gate or experts.
+    pub fn forward_with(&self, x: &Var, fused: bool) -> Result<(Var, RoutingStats), TensorError> {
+        let logits = if fused {
+            self.gate.forward_act(x, Activation::Identity)?
+        } else {
+            self.gate.forward_naive(x, Activation::Identity)?
+        };
         let logits_val = logits.value();
         let (tokens, e) = logits_val
             .shape()
@@ -258,7 +323,7 @@ impl MoeLayer {
                 continue;
             }
             let col = extract_column(&weights, &weights_val, ei)?;
-            let contribution = expert.forward(x)?.mul_col(&col)?;
+            let contribution = expert.forward_with(x, fused)?.mul_col(&col)?;
             out = Some(match out {
                 Some(acc) => acc.add(&contribution)?,
                 None => contribution,
@@ -288,7 +353,7 @@ impl MoeLayer {
     ///
     /// Propagates shape errors from the gate.
     pub fn route_only(&self, x: &Tensor) -> Result<RoutingStats, TensorError> {
-        let logits = x.matmul(&self.gate.weight().value())?;
+        let logits = self.gate.weight().with_value(|w| x.matmul(w))?;
         let (tokens, e) = logits.shape().as_matrix().expect("matrix");
         let mut stats = RoutingStats {
             tokens_per_expert: vec![0; e],
@@ -341,17 +406,13 @@ impl Sgd {
     /// Applies one update step to every parameter with a gradient, then
     /// clears the gradients.
     pub fn step(&self, params: &[Var]) {
+        let (lr, wd) = (self.lr, self.weight_decay);
         for p in params {
-            if let Some(g) = p.grad() {
-                let lr = self.lr;
-                let wd = self.weight_decay;
-                p.update_value(|v| {
-                    for (vi, gi) in v.data_mut().iter_mut().zip(g.data()) {
-                        *vi -= lr * (gi + wd * *vi);
-                    }
-                });
-                p.zero_grad();
-            }
+            p.update_with_grad(|v, g| {
+                for (vi, gi) in v.data_mut().iter_mut().zip(g.data()) {
+                    *vi -= lr * (gi + wd * *vi);
+                }
+            });
         }
     }
 }
@@ -405,15 +466,13 @@ impl AdamW {
         let t = self.step_count as f32;
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
         for (p, (m, v)) in params.iter().zip(self.moments.iter_mut()) {
-            let Some(g) = p.grad() else { continue };
-            if m.is_empty() {
-                m.resize(g.numel(), 0.0);
-                v.resize(g.numel(), 0.0);
-            }
-            let (lr, b1, b2, eps, wd) =
-                (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
-            p.update_value(|val| {
+            p.update_with_grad(|val, g| {
+                if m.is_empty() {
+                    m.resize(g.numel(), 0.0);
+                    v.resize(g.numel(), 0.0);
+                }
                 for i in 0..val.numel() {
                     let gi = g.data()[i];
                     m[i] = b1 * m[i] + (1.0 - b1) * gi;
@@ -424,7 +483,6 @@ impl AdamW {
                     *w -= lr * (mhat / (vhat.sqrt() + eps) + wd * *w);
                 }
             });
-            p.zero_grad();
         }
     }
 }
@@ -536,6 +594,91 @@ mod tests {
             opt.step(std::slice::from_ref(&w));
         }
         assert!(w.value().item().abs() < 1e-2, "w = {}", w.value().item());
+    }
+
+    /// Trains a small MoE classifier for `steps` steps on fixed data and
+    /// returns (per-step losses, final parameter tensors).
+    fn train_moe(kind: ExpertKind, fused: bool, steps: usize) -> (Vec<f32>, Vec<Tensor>) {
+        let mut rng = StdRng::seed_from_u64(40);
+        let moe = MoeLayer::new(kind, 4, 8, 4, 2, &mut rng).unwrap();
+        let head = Linear::new(4, 3, &mut rng);
+        let x = Tensor::rand_uniform([20, 4], 1.0, &mut rng);
+        let labels: Vec<usize> = (0..20).map(|i| i % 3).collect();
+        let mut params = moe.parameters();
+        params.extend(head.parameters());
+        let mut opt = AdamW::new(0.02, params.len());
+        let mut losses = Vec::new();
+        for _ in 0..steps {
+            let xv = Var::constant(x.clone());
+            let (h, _) = moe.forward_with(&xv, fused).unwrap();
+            let logits = if fused {
+                head.forward_act(&h, Activation::Identity).unwrap()
+            } else {
+                head.forward_naive(&h, Activation::Identity).unwrap()
+            };
+            let loss = logits.cross_entropy(&labels).unwrap();
+            losses.push(loss.value().item());
+            loss.backward();
+            opt.step(&params);
+        }
+        (losses, params.iter().map(|p| p.value()).collect())
+    }
+
+    #[test]
+    fn fused_training_bit_identical_to_naive_over_steps() {
+        // The tentpole equivalence guarantee: fused kernels + reusable tape
+        // produce bit-identical losses AND parameter trajectories to the
+        // composed naive ops over multiple optimizer steps.
+        for kind in [ExpertKind::GeluFfn, ExpertKind::SwiGlu] {
+            let (fused_losses, fused_params) = train_moe(kind, true, 4);
+            let (naive_losses, naive_params) = train_moe(kind, false, 4);
+            for (s, (a, b)) in fused_losses.iter().zip(&naive_losses).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{kind:?} loss diverged at step {s}: {a} vs {b}"
+                );
+            }
+            for (i, (a, b)) in fused_params.iter().zip(&naive_params).enumerate() {
+                assert_eq!(a, b, "{kind:?} parameter {i} diverged after training");
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_training_steps_allocate_nothing() {
+        // After the warm-up step, every tensor a step needs comes back out
+        // of the buffer pool — the zero-allocation property bench_tensor
+        // reports. Thread-local pools make this counter deterministic.
+        let mut rng = StdRng::seed_from_u64(41);
+        // Dense routing (top_k == num_experts) keeps the per-step op
+        // structure exactly identical, making the counter airtight.
+        let moe = MoeLayer::new(ExpertKind::SwiGlu, 4, 8, 4, 4, &mut rng).unwrap();
+        let head = Linear::new(4, 3, &mut rng);
+        let x = Tensor::rand_uniform([16, 4], 1.0, &mut rng);
+        let labels: Vec<usize> = (0..16).map(|i| i % 3).collect();
+        let mut params = moe.parameters();
+        params.extend(head.parameters());
+        let mut opt = AdamW::new(0.02, params.len());
+        let mut step = |expect_zero: bool, tag: &str| {
+            let before = crate::pool::stats();
+            let xv = Var::constant(x.clone());
+            let (h, _) = moe.forward(&xv).unwrap();
+            let loss = head.forward(&h).unwrap().cross_entropy(&labels).unwrap();
+            loss.backward();
+            opt.step(&params);
+            drop(loss);
+            drop(h);
+            drop(xv);
+            let fresh = crate::pool::stats().allocs_since(&before);
+            if expect_zero {
+                assert_eq!(fresh, 0, "{tag}: {fresh} fresh allocations in steady state");
+            }
+        };
+        step(false, "warmup");
+        for i in 0..3 {
+            step(true, &format!("steady step {i}"));
+        }
     }
 
     #[test]

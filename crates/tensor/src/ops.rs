@@ -38,12 +38,149 @@ pub fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
-/// Row-wise numerically-stable softmax of a matrix.
+/// Elementwise activation functions, the single source of truth shared by
+/// the naive ops, the fused kernels, and the autograd engine — which is what
+/// makes the fused and composed paths bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Activation {
+    /// No activation (`y = x`).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// GELU (tanh approximation) — BlackMamba expert FFNs.
+    Gelu,
+    /// SiLU / Swish — Mixtral SwiGLU experts.
+    Silu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to one element.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Gelu => gelu(x),
+            Activation::Silu => silu(x),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative of the activation with respect to its input.
+    pub fn grad(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Gelu => gelu_grad(x),
+            Activation::Silu => silu_grad(x),
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+        }
+    }
+}
+
+/// Fused `act(x @ w + bias)` in one pass over each output tile: the matmul
+/// epilogue applies the row bias and the activation while the tile is still
+/// hot, instead of re-streaming the output through separate add/map passes.
+///
+/// Bit-identical to the composed path
+/// `x.matmul(w)` → add `bias` row-wise → `map(act)`, because the epilogue
+/// performs the same `+ bias[j]` then `act(·)` per element in the same
+/// order; see the property tests.
+///
+/// # Errors
+///
+/// Returns a shape error if the operands are not conforming matrices or the
+/// bias does not hold exactly one element per output column.
+pub fn matmul_bias_act(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    act: Activation,
+) -> Result<Tensor, TensorError> {
+    let Some(out_shape) = x.shape().matmul(w.shape()) else {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_bias_act",
+            lhs: x.shape().clone(),
+            rhs: w.shape().clone(),
+        });
+    };
+    let (m, k) = x.shape().as_matrix().expect("checked above");
+    let (_, n) = w.shape().as_matrix().expect("checked above");
+    if let Some(b) = bias {
+        if b.numel() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_bias_act",
+                lhs: x.shape().clone(),
+                rhs: b.shape().clone(),
+            });
+        }
+    }
+    let mut out = Tensor::zeros(out_shape);
+    crate::parallel::matmul_bias_act_into(
+        x.data(),
+        w.data(),
+        bias.map(Tensor::data),
+        act,
+        out.data_mut(),
+        None,
+        m,
+        k,
+        n,
+    );
+    Ok(out)
+}
+
+/// Row-wise numerically-stable softmax of a matrix, fused: one max sweep,
+/// then a single exp sweep writing straight into the output while the
+/// denominator accumulates, then an in-place normalize — no per-row scratch
+/// buffer. Bit-identical to [`softmax_rows_naive`].
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::InvalidArgument`] if `logits` is not rank-2.
 pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
+    let (rows, cols) = logits.shape().as_matrix().ok_or_else(|| {
+        TensorError::InvalidArgument(format!(
+            "softmax_rows requires a matrix, got {}",
+            logits.shape()
+        ))
+    })?;
+    let mut out = Tensor::zeros(Shape::matrix(rows, cols));
+    let out_data = out.data_mut();
+    for r in 0..rows {
+        let row = logits.row(r);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let out_row = &mut out_data[r * cols..(r + 1) * cols];
+        let mut denom = 0.0;
+        for (e, &x) in out_row.iter_mut().zip(row) {
+            *e = (x - m).exp();
+            denom += *e;
+        }
+        for e in out_row.iter_mut() {
+            *e /= denom;
+        }
+    }
+    Ok(out)
+}
+
+/// The original softmax implementation, kept as the reference path: it
+/// allocates a scratch `exps` buffer per row and writes the result via
+/// `set2`. [`softmax_rows`] must stay bit-identical to this.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if `logits` is not rank-2.
+pub fn softmax_rows_naive(logits: &Tensor) -> Result<Tensor, TensorError> {
     let (rows, cols) = logits.shape().as_matrix().ok_or_else(|| {
         TensorError::InvalidArgument(format!(
             "softmax_rows requires a matrix, got {}",
@@ -349,6 +486,79 @@ mod tests {
             let logits = Tensor::rand_uniform([rows, cols], 4.0, &mut rng);
             let labels: Vec<usize> = (0..rows).map(|_| rng.gen_range(0..cols)).collect();
             prop_assert!(cross_entropy(&logits, &labels).unwrap() >= 0.0);
+        }
+
+        #[test]
+        fn prop_fused_matmul_bias_act_bit_identical_to_composed(
+            (m, k, n) in (1usize..9, 1usize..80, 1usize..9),
+            act_id in 0usize..5,
+            bias_flag in 0usize..2,
+            seed in 0u64..500,
+        ) {
+            let with_bias = bias_flag == 1;
+            let act = [
+                Activation::Identity,
+                Activation::Relu,
+                Activation::Gelu,
+                Activation::Silu,
+                Activation::Tanh,
+            ][act_id];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = Tensor::rand_uniform([m, k], 2.0, &mut rng);
+            let w = Tensor::rand_uniform([k, n], 2.0, &mut rng);
+            let b = Tensor::rand_uniform([1, n], 2.0, &mut rng);
+            let bias = with_bias.then_some(&b);
+
+            let fused = matmul_bias_act(&x, &w, bias, act).unwrap();
+            // Composed reference: matmul, then row bias, then activation map.
+            let mut composed = x.matmul(&w).unwrap();
+            if with_bias {
+                for r in 0..m {
+                    for c in 0..n {
+                        composed.set2(r, c, composed.get2(r, c) + b.get2(0, c));
+                    }
+                }
+            }
+            let composed = composed.map(|v| act.apply(v));
+
+            prop_assert_eq!(fused.shape(), composed.shape());
+            for (a, e) in fused.data().iter().zip(composed.data()) {
+                prop_assert_eq!(a.to_bits(), e.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_fused_softmax_bit_identical_to_naive(
+            rows in 1usize..7, cols in 1usize..10, seed in 0u64..500,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let logits = Tensor::rand_uniform([rows, cols], 12.0, &mut rng);
+            let fused = softmax_rows(&logits).unwrap();
+            let naive = softmax_rows_naive(&logits).unwrap();
+            for (a, e) in fused.data().iter().zip(naive.data()) {
+                prop_assert_eq!(a.to_bits(), e.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_activation_grad_matches_finite_difference(
+            act_id in 0usize..5, x in -2.5f32..2.5,
+        ) {
+            let act = [
+                Activation::Identity,
+                Activation::Relu,
+                Activation::Gelu,
+                Activation::Silu,
+                Activation::Tanh,
+            ][act_id];
+            // Keep ReLU away from its kink, where the finite difference lies.
+            let x = if act == Activation::Relu && x.abs() <= 1e-2 {
+                x + 0.5
+            } else {
+                x
+            };
+            let fd = finite_diff(|v| act.apply(v), x);
+            prop_assert!((act.grad(x) - fd).abs() < 2e-2, "{act:?}({x}): {} vs {fd}", act.grad(x));
         }
     }
 }

@@ -81,6 +81,78 @@ pub(crate) fn matmul_into(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k
     });
 }
 
+/// Bias + activation epilogue over a block of freshly-computed matmul output
+/// rows, applied while the tile is still cache-hot: each element becomes
+/// `act(v + bias[j])`, and the post-bias pre-activation value is optionally
+/// saved into `pre_rows` (same layout as `out_rows`) for the backward pass.
+fn epilogue_rows(
+    out_rows: &mut [f32],
+    mut pre_rows: Option<&mut [f32]>,
+    bias: Option<&[f32]>,
+    act: crate::ops::Activation,
+    n: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    for (ri, row) in out_rows.chunks_mut(n).enumerate() {
+        for (j, o) in row.iter_mut().enumerate() {
+            let mut v = *o;
+            if let Some(b) = bias {
+                v += b[j];
+            }
+            if let Some(pre) = pre_rows.as_deref_mut() {
+                pre[ri * n + j] = v;
+            }
+            *o = act.apply(v);
+        }
+    }
+}
+
+/// Fused `out = act(lhs @ rhs + bias)` using the same blocked matmul kernel
+/// as [`matmul_into`], with the bias/activation epilogue running inside each
+/// worker's row block. `pre`, when given, receives the pre-activation
+/// (post-bias) values — the autograd fused node needs them for `act'`.
+///
+/// Bit-identical to matmul → row-bias add → elementwise activation at any
+/// thread count: the matmul accumulation order is unchanged and the epilogue
+/// performs the identical per-element `+ bias[j]` then `act(·)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_bias_act_into(
+    lhs: &[f32],
+    rhs: &[f32],
+    bias: Option<&[f32]>,
+    act: crate::ops::Activation,
+    out: &mut [f32],
+    pre: Option<&mut [f32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let threads = thread_count().min(m).max(1);
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    if threads <= 1 || flops < PARALLEL_FLOP_THRESHOLD {
+        matmul_rows(lhs, rhs, out, 0, k, n);
+        epilogue_rows(out, pre, bias, act, n);
+        return;
+    }
+    let rows_per_thread = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut pre_rest = pre;
+        for (block, out_rows) in out.chunks_mut(rows_per_thread * n).enumerate() {
+            let pre_rows = pre_rest.take().map(|p| {
+                let (head, tail) = p.split_at_mut(out_rows.len());
+                pre_rest = Some(tail);
+                head
+            });
+            scope.spawn(move || {
+                matmul_rows(lhs, rhs, out_rows, block * rows_per_thread, k, n);
+                epilogue_rows(out_rows, pre_rows, bias, act, n);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +214,95 @@ mod tests {
                     .zip(&expect)
                     .all(|(a, b)| a.to_bits() == b.to_bits()),
                 "blocked kernel diverged at ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_matches_composed_passes() {
+        use crate::ops::Activation;
+        let (m, k, n) = (9, 70, 11);
+        let lhs = pseudo_data(m * k, 3);
+        let rhs = pseudo_data(k * n, 7);
+        let bias = pseudo_data(n, 13);
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Gelu,
+            Activation::Silu,
+            Activation::Tanh,
+        ] {
+            let mut fused = vec![0.0f32; m * n];
+            let mut pre = vec![0.0f32; m * n];
+            matmul_bias_act_into(
+                &lhs,
+                &rhs,
+                Some(&bias),
+                act,
+                &mut fused,
+                Some(&mut pre),
+                m,
+                k,
+                n,
+            );
+            let mut composed = naive(&lhs, &rhs, m, k, n);
+            for (i, v) in composed.iter_mut().enumerate() {
+                *v += bias[i % n];
+            }
+            for i in 0..m * n {
+                assert_eq!(pre[i].to_bits(), composed[i].to_bits(), "pre diverged");
+                assert_eq!(
+                    fused[i].to_bits(),
+                    act.apply(composed[i]).to_bits(),
+                    "fused output diverged for {act:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_row_partitioning_is_bit_identical() {
+        use crate::ops::Activation;
+        // Simulate the parallel split by running the serial fused kernel on
+        // disjoint row chunks, exactly as matmul_bias_act_into's workers do.
+        let (m, k, n) = (23, 80, 17);
+        let lhs = pseudo_data(m * k, 31);
+        let rhs = pseudo_data(k * n, 37);
+        let bias = pseudo_data(n, 41);
+        let mut reference = vec![0.0f32; m * n];
+        let mut ref_pre = vec![0.0f32; m * n];
+        matmul_bias_act_into(
+            &lhs,
+            &rhs,
+            Some(&bias),
+            Activation::Gelu,
+            &mut reference,
+            Some(&mut ref_pre),
+            m,
+            k,
+            n,
+        );
+        for workers in [2, 5] {
+            let rows_per = m.div_ceil(workers);
+            let mut out = vec![0.0f32; m * n];
+            let mut pre = vec![0.0f32; m * n];
+            for ((block, chunk), pre_chunk) in out
+                .chunks_mut(rows_per * n)
+                .enumerate()
+                .zip(pre.chunks_mut(rows_per * n))
+            {
+                matmul_rows(&lhs, &rhs, chunk, block * rows_per, k, n);
+                epilogue_rows(chunk, Some(pre_chunk), Some(&bias), Activation::Gelu, n);
+            }
+            assert!(
+                out.iter()
+                    .zip(&reference)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+                    && pre
+                        .iter()
+                        .zip(&ref_pre)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{workers}-way fused split diverged"
             );
         }
     }

@@ -1,0 +1,369 @@
+//! Recycled `f32` buffer storage — the zero-allocation substrate of the
+//! tensor runtime.
+//!
+//! Every [`crate::Tensor`] draws its backing `Vec<f32>` from a [`BufferPool`]
+//! and returns it on drop, so a steady-state training step — identical
+//! shapes, step after step — performs **no heap allocation** for tensor data
+//! after the first (warm-up) step. The pool keeps shelves of spare buffers
+//! keyed by exact capacity and counts fresh allocations, reuses, returns,
+//! and discards, which is how the `repro bench_tensor` experiment proves
+//! the zero-steady-state-allocation property.
+//!
+//! [`BufferPool`] itself is thread-safe (internally synchronized), so a
+//! single instance may be shared across threads. The crate-global pool used
+//! by `Tensor`, however, is **one instance per thread**: recycling is
+//! thread-local, which keeps the hot path uncontended and makes the
+//! allocation counters deterministic for the thread doing the training.
+//!
+//! Buffers handed out by the pool are always either zeroed
+//! ([`BufferPool::take_zeroed`]) or fully overwritten by the caller
+//! ([`BufferPool::take`] returns an *empty* vector that the caller extends);
+//! stale data from a previous tenant is never observable.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Maximum spare buffers kept per distinct capacity; returns beyond this are
+/// dropped (and counted as discards) so the pool cannot grow without bound.
+/// Sized for a full training step of the bench-scale MoE models (batch 64,
+/// 8 experts), where hundreds of same-shape activation and gradient tensors
+/// are live simultaneously and all return to the pool at step end.
+const SHELF_CAP: usize = 512;
+
+/// Buffers larger than this many elements are never shelved: one-off giant
+/// temporaries should not pin memory for the rest of the thread's life.
+const MAX_POOLED_LEN: usize = 1 << 24;
+
+/// Snapshot of a pool's event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Buffers created with a fresh heap allocation (pool misses).
+    pub fresh_allocs: u64,
+    /// Buffers served from a shelf without allocating (pool hits).
+    pub reuses: u64,
+    /// Buffers accepted back onto a shelf.
+    pub returns: u64,
+    /// Buffers dropped instead of shelved (full shelf, oversized, disabled).
+    pub discards: u64,
+}
+
+impl PoolStats {
+    /// Fresh allocations that happened between `earlier` and `self`.
+    pub fn allocs_since(&self, earlier: &PoolStats) -> u64 {
+        self.fresh_allocs - earlier.fresh_allocs
+    }
+}
+
+/// A thread-safe pool of `Vec<f32>` storage keyed by exact capacity.
+///
+/// ```
+/// use ftsim_tensor::pool::BufferPool;
+/// let pool = BufferPool::new();
+/// let mut buf = pool.take_zeroed(128);
+/// assert!(buf.iter().all(|&x| x == 0.0));
+/// buf[0] = 42.0;
+/// pool.give(buf);
+/// // The next request of the same size reuses the storage but sees zeros.
+/// let again = pool.take_zeroed(128);
+/// assert_eq!(again.len(), 128);
+/// assert!(again.iter().all(|&x| x == 0.0));
+/// assert_eq!(pool.stats().reuses, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    shelves: Mutex<HashMap<usize, Vec<Vec<f32>>>>,
+    fresh_allocs: AtomicU64,
+    reuses: AtomicU64,
+    returns: AtomicU64,
+    discards: AtomicU64,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// An **empty** vector with capacity at least `len`, reusing shelved
+    /// storage when a buffer of that exact capacity is available. The caller
+    /// must fill it (e.g. with `extend`) — length starts at zero, so stale
+    /// contents are unreachable.
+    pub fn take(&self, len: usize) -> Vec<f32> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let reused = self
+            .shelves
+            .lock()
+            .expect("pool mutex")
+            .get_mut(&len)
+            .and_then(Vec::pop);
+        match reused {
+            Some(mut v) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                v.clear();
+                v
+            }
+            None => {
+                self.fresh_allocs.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(len)
+            }
+        }
+    }
+
+    /// A vector of exactly `len` zeros.
+    pub fn take_zeroed(&self, len: usize) -> Vec<f32> {
+        let mut v = self.take(len);
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// A vector of exactly `len` copies of `value`.
+    pub fn take_filled(&self, len: usize, value: f32) -> Vec<f32> {
+        let mut v = self.take(len);
+        v.resize(len, value);
+        v
+    }
+
+    /// A vector holding a copy of `src`.
+    pub fn take_copy(&self, src: &[f32]) -> Vec<f32> {
+        let mut v = self.take(src.len());
+        v.extend_from_slice(src);
+        v
+    }
+
+    /// Returns a buffer to the pool for reuse. Zero-capacity and oversized
+    /// buffers, and returns to a full shelf, are dropped instead.
+    pub fn give(&self, mut buf: Vec<f32>) {
+        let cap = buf.capacity();
+        if cap == 0 || cap > MAX_POOLED_LEN {
+            if cap > 0 {
+                self.discards.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        buf.clear();
+        let mut shelves = self.shelves.lock().expect("pool mutex");
+        let shelf = shelves.entry(cap).or_default();
+        if shelf.len() >= SHELF_CAP {
+            self.discards.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shelf.push(buf);
+            self.returns.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops all shelved buffers (counters are preserved).
+    pub fn clear(&self) {
+        self.shelves.lock().expect("pool mutex").clear();
+    }
+
+    /// Number of buffers currently shelved.
+    pub fn resident(&self) -> usize {
+        self.shelves
+            .lock()
+            .expect("pool mutex")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Snapshot of the event counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            fresh_allocs: self.fresh_allocs.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+            returns: self.returns.load(Ordering::Relaxed),
+            discards: self.discards.load(Ordering::Relaxed),
+        }
+    }
+}
+
+thread_local! {
+    static POOL: BufferPool = BufferPool::new();
+    static ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Enables or disables pooling on the current thread. While disabled,
+/// [`take`] always allocates fresh storage (still counted as a fresh
+/// allocation) and [`give`] drops buffers instead of shelving them — the
+/// configuration used as the "serial-naive" baseline in `repro bench_tensor`.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.with(|e| e.set(enabled));
+}
+
+/// Whether pooling is enabled on the current thread.
+pub fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// [`BufferPool::take`] on the current thread's pool.
+pub fn take(len: usize) -> Vec<f32> {
+    if !enabled() {
+        bump_fresh();
+        return Vec::with_capacity(len);
+    }
+    POOL.try_with(|p| p.take(len))
+        .unwrap_or_else(|_| Vec::with_capacity(len))
+}
+
+/// [`BufferPool::take_zeroed`] on the current thread's pool.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    let mut v = take(len);
+    v.resize(len, 0.0);
+    v
+}
+
+/// [`BufferPool::take_filled`] on the current thread's pool.
+pub fn take_filled(len: usize, value: f32) -> Vec<f32> {
+    let mut v = take(len);
+    v.resize(len, value);
+    v
+}
+
+/// [`BufferPool::take_copy`] on the current thread's pool.
+pub fn take_copy(src: &[f32]) -> Vec<f32> {
+    let mut v = take(src.len());
+    v.extend_from_slice(src);
+    v
+}
+
+/// [`BufferPool::give`] on the current thread's pool. Safe to call during
+/// thread teardown (the buffer is simply dropped once the pool is gone).
+pub fn give(buf: Vec<f32>) {
+    if !enabled() {
+        return;
+    }
+    let _ = POOL.try_with(|p| p.give(buf));
+}
+
+/// Counter snapshot for the current thread's pool.
+pub fn stats() -> PoolStats {
+    POOL.try_with(BufferPool::stats).unwrap_or_default()
+}
+
+/// Drops every buffer shelved by the current thread's pool.
+pub fn clear() {
+    let _ = POOL.try_with(BufferPool::clear);
+}
+
+/// Number of buffers currently shelved by the current thread's pool.
+pub fn resident() -> usize {
+    POOL.try_with(BufferPool::resident).unwrap_or(0)
+}
+
+fn bump_fresh() {
+    let _ = POOL.try_with(|p| p.fresh_allocs.fetch_add(1, Ordering::Relaxed));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn take_give_roundtrip_reuses_storage() {
+        let pool = BufferPool::new();
+        let mut a = pool.take_zeroed(64);
+        a.iter_mut().for_each(|x| *x = 7.0);
+        let ptr = a.as_ptr();
+        pool.give(a);
+        let b = pool.take_zeroed(64);
+        assert_eq!(b.as_ptr(), ptr, "expected the same storage back");
+        assert!(b.iter().all(|&x| x == 0.0), "stale data leaked");
+        let s = pool.stats();
+        assert_eq!((s.fresh_allocs, s.reuses, s.returns), (1, 1, 1));
+    }
+
+    #[test]
+    fn mismatched_size_allocates_fresh() {
+        let pool = BufferPool::new();
+        pool.give(pool.take_zeroed(8));
+        let v = pool.take_zeroed(16);
+        assert_eq!(v.len(), 16);
+        assert_eq!(pool.stats().fresh_allocs, 2);
+        assert_eq!(pool.stats().reuses, 0);
+    }
+
+    #[test]
+    fn shelf_cap_discards_excess() {
+        let pool = BufferPool::new();
+        let bufs: Vec<_> = (0..SHELF_CAP + 3).map(|_| pool.take_zeroed(4)).collect();
+        for b in bufs {
+            pool.give(b);
+        }
+        assert_eq!(pool.resident(), SHELF_CAP);
+        assert_eq!(pool.stats().discards, 3);
+    }
+
+    #[test]
+    fn zero_len_never_touches_shelves() {
+        let pool = BufferPool::new();
+        let v = pool.take(0);
+        assert_eq!(v.capacity(), 0);
+        pool.give(v);
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.stats().fresh_allocs, 0);
+    }
+
+    #[test]
+    fn take_copy_is_exact() {
+        let pool = BufferPool::new();
+        let src = [1.0, -2.0, 3.5];
+        let v = pool.take_copy(&src);
+        assert_eq!(v.as_slice(), &src);
+    }
+
+    #[test]
+    fn disabled_thread_pool_bypasses_shelves() {
+        set_enabled(false);
+        let before = stats();
+        let v = take_zeroed(32);
+        give(v);
+        let after = stats();
+        set_enabled(true);
+        assert_eq!(after.fresh_allocs, before.fresh_allocs + 1);
+        assert_eq!(after.returns, before.returns);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_exact_len_and_no_stale_data(
+            lens in proptest::collection::vec(1usize..200, 1..12),
+            garbage in -100.0f32..100.0,
+        ) {
+            // Pollute the pool with garbage-filled buffers of every length,
+            // then verify fresh requests are exact-length and fully zeroed.
+            let pool = BufferPool::new();
+            for &len in &lens {
+                let mut v = pool.take_zeroed(len);
+                v.iter_mut().for_each(|x| *x = garbage);
+                pool.give(v);
+            }
+            for &len in &lens {
+                let v = pool.take_zeroed(len);
+                prop_assert_eq!(v.len(), len);
+                prop_assert!(v.iter().all(|&x| x == 0.0));
+                pool.give(v);
+            }
+        }
+
+        #[test]
+        fn prop_take_copy_roundtrip_matches_source(
+            data in proptest::collection::vec(-1e6f32..1e6, 1..64),
+        ) {
+            let pool = BufferPool::new();
+            // Prior tenant with different contents.
+            let mut prior = pool.take_zeroed(data.len());
+            prior.iter_mut().for_each(|x| *x = f32::NAN);
+            pool.give(prior);
+            let v = pool.take_copy(&data);
+            prop_assert_eq!(v.len(), data.len());
+            for (a, b) in v.iter().zip(&data) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

@@ -114,16 +114,27 @@ impl Quantized4Bit {
         })
     }
 
-    /// Restores the full-precision approximation.
+    /// Restores the full-precision approximation, drawing the output buffer
+    /// from the thread-local [`crate::pool`] so repeated on-the-fly
+    /// de-quantization (the QLoRA steady state) allocates nothing after
+    /// warm-up — hand the buffer back with [`crate::pool::give`] when done.
     pub fn dequantize(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.len);
+        let mut out = crate::pool::take(self.len);
+        self.dequantize_into(&mut out);
+        out
+    }
+
+    /// Appends the full-precision approximation to `out` (cleared first),
+    /// reusing whatever capacity `out` already has.
+    pub fn dequantize_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.len);
         for i in 0..self.len {
             let byte = self.codes[i / 2];
             let code = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
             let scale = self.scales[i / self.block];
             out.push(NF4_LEVELS[code as usize] * scale);
         }
-        out
     }
 
     /// Number of quantized elements.
@@ -272,6 +283,24 @@ mod tests {
         let values = vec![0.0f32; 8];
         let q = Quantized4Bit::quantize(&values, 8).unwrap();
         assert!(q.dequantize().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dequantize_into_reuses_buffer_and_matches() {
+        let values = vec![0.1f32, -0.5, 0.9, 0.3, -0.8];
+        let q = Quantized4Bit::quantize(&values, 4).unwrap();
+        let direct = q.dequantize();
+        let mut buf = vec![7.0f32; 64];
+        let cap = buf.capacity();
+        q.dequantize_into(&mut buf);
+        assert_eq!(buf, direct);
+        assert_eq!(buf.capacity(), cap, "existing capacity should be reused");
+        // Steady-state dequantize through the pool: no fresh allocation.
+        crate::pool::give(direct);
+        let before = crate::pool::stats();
+        let again = q.dequantize();
+        assert_eq!(crate::pool::stats().allocs_since(&before), 0);
+        crate::pool::give(again);
     }
 
     proptest! {

@@ -1,5 +1,10 @@
 //! Dense row-major `f32` tensors.
+//!
+//! Backing storage is drawn from the thread-local [`crate::pool`] and
+//! returned to it on drop, so steady-state workloads that repeatedly build
+//! tensors of the same shapes stop hitting the heap after warm-up.
 
+use crate::pool;
 use crate::shape::Shape;
 use rand::Rng;
 use std::error::Error;
@@ -52,10 +57,25 @@ impl Error for TensorError {}
 /// assert_eq!(t.get2(1, 0), 3.0);
 /// assert_eq!(t.sum(), 10.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: pool::take_copy(&self.data),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        pool::give(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -81,7 +101,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![0.0; n],
+            data: pool::take_zeroed(n),
         }
     }
 
@@ -96,7 +116,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![value; n],
+            data: pool::take_filled(n, value),
         }
     }
 
@@ -104,7 +124,7 @@ impl Tensor {
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: Shape::scalar(),
-            data: vec![value],
+            data: pool::take_filled(1, value),
         }
     }
 
@@ -121,7 +141,7 @@ impl Tensor {
             ));
         };
         let cols = first.len();
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let mut data = pool::take(rows.len() * cols);
         for row in rows {
             if row.len() != cols {
                 return Err(TensorError::InvalidArgument(format!(
@@ -140,9 +160,8 @@ impl Tensor {
     /// A matrix with independent samples from `U(-scale, scale)`.
     pub fn rand_uniform(shape: impl Into<Shape>, scale: f32, rng: &mut impl Rng) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel())
-            .map(|_| rng.gen_range(-scale..=scale))
-            .collect();
+        let mut data = pool::take(shape.numel());
+        data.extend((0..shape.numel()).map(|_| rng.gen_range(-scale..=scale)));
         Tensor { shape, data }
     }
 
@@ -150,12 +169,11 @@ impl Tensor {
     /// using a 12-uniform-sum approximation (adequate for initialization).
     pub fn rand_normal(shape: impl Into<Shape>, std: f32, rng: &mut impl Rng) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel())
-            .map(|_| {
-                let s: f32 = (0..12).map(|_| rng.gen_range(0.0..1.0f32)).sum();
-                (s - 6.0) * std
-            })
-            .collect();
+        let mut data = pool::take(shape.numel());
+        data.extend((0..shape.numel()).map(|_| {
+            let s: f32 = (0..12).map(|_| rng.gen_range(0.0..1.0f32)).sum();
+            (s - 6.0) * std
+        }));
         Tensor { shape, data }
     }
 
@@ -188,9 +206,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its backing data.
-    pub fn into_data(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning its backing data (the storage leaves
+    /// the pool's custody along with it).
+    pub fn into_data(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element at `(row, col)` of a matrix.
@@ -263,10 +282,17 @@ impl Tensor {
 
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = pool::take(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        self.data.iter_mut().for_each(|x| *x = f(*x));
     }
 
     /// Elementwise binary operation with shape checking.
@@ -287,15 +313,50 @@ impl Tensor {
                 rhs: other.shape.clone(),
             });
         }
+        let mut data = pool::take(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
         Ok(Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         })
+    }
+
+    /// Elementwise in-place binary operation with shape checking.
+    ///
+    /// Bit-identical to the allocating [`Tensor::zip`] followed by replacing
+    /// `self`, without the intermediate tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn zip_assign(
+        &mut self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        self.data
+            .iter_mut()
+            .zip(&other.data)
+            .for_each(|(a, &b)| *a = f(*a, b));
+        Ok(())
+    }
+
+    /// In-place elementwise addition (`self += other`), bit-identical to
+    /// [`Tensor::add`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<(), TensorError> {
+        self.zip_assign(other, "add", |a, b| a + b)
     }
 
     /// Elementwise addition.
@@ -469,6 +530,35 @@ mod tests {
         assert_eq!(b.sub(&a).unwrap().data(), &[2.0, 3.0]);
         assert_eq!(a.mul(&b).unwrap().data(), &[3.0, 10.0]);
         assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn add_assign_matches_add_bitwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::rand_uniform([4, 5], 2.0, &mut rng);
+        let b = Tensor::rand_uniform([4, 5], 2.0, &mut rng);
+        let expect = a.add(&b).unwrap();
+        let mut got = a.clone();
+        got.add_assign(&b).unwrap();
+        assert_eq!(got, expect);
+        assert!(matches!(
+            got.add_assign(&Tensor::zeros([5, 4])),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dropped_tensor_storage_is_recycled() {
+        // Warm up: the first tensor of this shape may allocate.
+        drop(Tensor::zeros([13, 17]));
+        let before = crate::pool::stats();
+        drop(Tensor::zeros([13, 17]));
+        let after = crate::pool::stats();
+        assert_eq!(
+            after.fresh_allocs, before.fresh_allocs,
+            "same-shape rebuild should reuse pooled storage"
+        );
+        assert!(after.reuses > before.reuses);
     }
 
     #[test]
