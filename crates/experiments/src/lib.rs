@@ -6,7 +6,7 @@ use ftsim_cost::{
     validate_combo, BatchSample, CostTable, FineTuneJob, MaxBatchModel, MemoryProjection,
     ThroughputModel,
 };
-use ftsim_gpu::{CloudProvider, CostModel, GpuSpec, PriceTable};
+use ftsim_gpu::{Breakdown, CloudProvider, CostModel, GpuSpec, PriceTable};
 use ftsim_model::{presets as models, FineTuneConfig, MemoryModel, ModelConfig, Sparsity};
 use ftsim_sim::report::moe_utilization_table;
 use ftsim_sim::{
@@ -61,8 +61,13 @@ pub fn experiment_ids() -> Vec<&'static str> {
 /// measure the simulator itself (wall-clock timings), not the paper, so
 /// they would make the default artifact set nondeterministic.
 pub fn extra_experiment_ids() -> Vec<&'static str> {
-    vec!["bench_engine", "bench_tensor"]
+    vec!["bench_engine", "bench_tensor", "profile"]
 }
+
+/// Key under which an experiment's JSON may carry extra named artifacts
+/// (`{filename: document}`); the `repro` binary writes each entry as its own
+/// file next to `{id}.json` and strips the key from `{id}.json` itself.
+pub const ARTIFACTS_KEY: &str = "artifacts";
 
 /// Runs one experiment by id.
 ///
@@ -92,6 +97,7 @@ pub fn run(id: &str) -> ExperimentResult {
         "scaleout" => scaleout(),
         "bench_engine" => bench_engine(),
         "bench_tensor" => bench_tensor(),
+        "profile" => profile(),
         other => panic!("unknown experiment id {other:?}"),
     }
 }
@@ -1373,6 +1379,199 @@ fn bench_tensor() -> ExperimentResult {
     }
 }
 
+// ----------------------------------------------------------------- Profile
+
+/// Renders a [`Breakdown`] as `{key: {seconds, pct}}`.
+fn breakdown_json(b: &Breakdown) -> Value {
+    let total = b.total();
+    Value::Object(
+        b.sorted()
+            .into_iter()
+            .map(|(k, s)| (k, json!({ "seconds": s, "pct": 100.0 * s / total })))
+            .collect(),
+    )
+}
+
+/// Self-profile of the simulator under full observability: writes a
+/// Chrome-trace (Perfetto-loadable) timeline and an aggregated summary as
+/// named artifacts. Excluded from `repro all` because the recorded spans are
+/// wall-clock timings.
+///
+/// Two process lanes share the trace document. `pid 1` is the *simulated*
+/// A40 timeline: every priced kernel of one Mixtral-S step laid end to end
+/// at its modeled latency — the Nsight-style view the paper's Figs. 4–6 are
+/// read from. `pid 2` is the *wall-clock* timeline of the simulator's own
+/// spans while it ran the Fig. 8 Mixtral-S/CS sweep and a small genuine MoE
+/// training run.
+///
+/// The summary's stage/section/MoE-kernel percentages are computed from the
+/// same `simulate_step` call the fig4/fig5/fig6 experiments price, so they
+/// agree with those artifacts by construction.
+fn profile() -> ExperimentResult {
+    let model = models::mixtral_8x7b();
+    let sparse = true;
+    let gpu = GpuSpec::a40();
+    let seq = 79; // Fig. 8's commonsense sequence length.
+    let sim = sim_for(&model, sparse, gpu.clone());
+    let mb = max_batch(&model, sparse, &gpu, seq).max(1);
+
+    ftsim_obs::reset();
+    ftsim_obs::enable();
+
+    // Wall-clock work under the tracer: the Fig. 8 sweep (sim.sweep/sim.step
+    // spans, trace-cache and record-pool counters, per-kernel-class cost
+    // counters) ...
+    let batches: Vec<usize> = (1..=mb).collect();
+    let sweep =
+        ThroughputSweep::run(&sim, "Mixtral-S/CS", seq, &batches).expect("ascending batches");
+
+    // ... plus a genuine MoE training run (sim.train spans, loss and
+    // tokens/sec gauges, the expert-token histogram and imbalance gauge).
+    let task = ftsim_workload::SyntheticTask::commonsense(16, 4, 42);
+    let outcome = moetrain::train(&task, &MoeTrainConfig::mixtral_like(2), "profile");
+
+    // The simulated timeline: re-price the peak-batch step (served from the
+    // sweep-warmed trace cache) and read its Nsight-style gauges.
+    let trace = sim.simulate_step(mb, seq);
+    trace
+        .moe_overall_utilization()
+        .publish_gauges("gpu.profile.moe");
+
+    let metrics = ftsim_obs::registry().snapshot();
+    ftsim_obs::disable();
+    let events = ftsim_obs::drain_events();
+    let tree = ftsim_obs::SpanTree::build(&events);
+
+    let mut chrome = ftsim_obs::ChromeTrace::new();
+    chrome.name_process(1, format!("simulated {} (modeled time)", gpu.name));
+    chrome.name_thread(1, 0, "kernel stream");
+    let attention = model.is_attention();
+    let mut cursor_us = 0.0;
+    for r in trace.records() {
+        let dur_us = r.cost.latency_s * 1e6;
+        chrome.add_complete(
+            1,
+            0,
+            r.desc.kind.label(),
+            format!("{}:{}", r.stage.label(), r.section.label(attention)),
+            cursor_us,
+            dur_us,
+        );
+        cursor_us += dur_us;
+    }
+    chrome.name_process(2, "ftsim (wall clock)");
+    chrome.add_recorded(&events, 2);
+
+    let stage = trace.stage_breakdown();
+    let section = trace.section_breakdown();
+    let moe_kernels = trace.moe_kernel_breakdown();
+    let util = trace.moe_overall_utilization();
+    let cache = sim.cache_stats();
+    let pool = ftsim_sim::record_pool_stats();
+
+    let summary = json!({
+        "config": json!({
+            "model": "Mixtral-8x7B", "recipe": "qlora", "sparsity": "top-2",
+            "gpu": gpu.name.clone(), "seq_len": seq, "batch": mb,
+        }),
+        "step": json!({
+            "total_seconds": trace.total_seconds(),
+            "kernels": trace.kernel_count(),
+            "unique_kernels": trace.unique_kernel_count(),
+            "stage_breakdown": breakdown_json(&stage),
+            "section_breakdown": breakdown_json(&section),
+            "moe_kernel_breakdown": breakdown_json(&moe_kernels),
+            "moe_utilization": json!({
+                "sm": util.sm_util, "dram": util.dram_util, "seconds": util.seconds,
+            }),
+        }),
+        "sweep": json!({
+            "label": sweep.label.clone(), "seq_len": sweep.seq_len,
+            "points": sweep.points.len(),
+            "qps_at_batch_1": sweep.qps_at(1).unwrap_or(0.0),
+            "peak_qps": sweep.peak_qps(),
+        }),
+        "training": json!({
+            "final_accuracy": outcome.final_accuracy(),
+            "imbalance_delta": outcome.imbalance_delta(),
+        }),
+        "trace_cache": json!({ "hits": cache.hits, "misses": cache.misses }),
+        "record_pool": json!({
+            "fresh_allocs": pool.fresh_allocs, "reuses": pool.reuses,
+            "returns": pool.returns, "discards": pool.discards,
+        }),
+        "span_count": events.len(),
+        "chrome_event_count": chrome.len(),
+        "metrics": serde_json::from_str(&metrics.to_json_string())
+            .expect("registry snapshot is valid JSON"),
+    });
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "profile: Mixtral-S/CS on {}, seq {seq}, batch {mb}",
+        gpu.name
+    );
+    let _ = writeln!(
+        text,
+        "simulated step: {:.0} ms, {} kernels ({} unique)",
+        trace.total_seconds() * 1e3,
+        trace.kernel_count(),
+        trace.unique_kernel_count()
+    );
+    let _ = writeln!(
+        text,
+        "  stages: fwd {:.1}%  bwd {:.1}%  opt {:.1}%",
+        stage.percent("forward"),
+        stage.percent("backward"),
+        stage.percent("optimizer")
+    );
+    let _ = writeln!(
+        text,
+        "  moe utilization: sm {:.0}%  dram {:.0}%",
+        util.sm_util * 100.0,
+        util.dram_util * 100.0
+    );
+    let _ = writeln!(
+        text,
+        "sweep: {} points, peak {:.2} qps; training: final acc {:.2}",
+        sweep.points.len(),
+        sweep.peak_qps(),
+        outcome.final_accuracy()
+    );
+    let _ = writeln!(
+        text,
+        "trace cache: {} hits / {} misses; record pool: {} reuses / {} fresh",
+        cache.hits, cache.misses, pool.reuses, pool.fresh_allocs
+    );
+    let _ = writeln!(
+        text,
+        "{} wall-clock spans, {} chrome events; span tree:",
+        events.len(),
+        chrome.len()
+    );
+    text.push_str(&tree.render());
+
+    ExperimentResult {
+        id: "profile",
+        title: "Self-profile: Chrome trace + metrics across the full stack",
+        text,
+        json: Value::Object(vec![
+            ("summary".to_string(), summary.clone()),
+            (
+                ARTIFACTS_KEY.to_string(),
+                Value::Object(vec![
+                    (
+                        "profile_trace.json".to_string(),
+                        Value::String(chrome.to_json_string()),
+                    ),
+                    ("profile_summary.json".to_string(), summary),
+                ]),
+            ),
+        ]),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1419,6 +1618,79 @@ mod tests {
         );
         assert!(!experiment_ids().contains(&"bench_tensor"));
         assert!(extra_experiment_ids().contains(&"bench_tensor"));
+    }
+
+    #[test]
+    fn profile_artifacts_parse_and_agree_with_figure_aggregates() {
+        let r = run("profile");
+        assert_eq!(r.id, "profile");
+        assert!(!experiment_ids().contains(&"profile"));
+        assert!(extra_experiment_ids().contains(&"profile"));
+
+        let artifacts = match r.json.get(ARTIFACTS_KEY) {
+            Some(Value::Object(a)) => a,
+            other => panic!("missing artifacts object: {other:?}"),
+        };
+        let lookup = |name: &str| -> &Value {
+            artifacts
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing artifact {name}"))
+        };
+
+        // The Chrome trace parses back and has complete events on both the
+        // simulated-GPU lane (pid 1) and the wall-clock lane (pid 2).
+        let raw = match lookup("profile_trace.json") {
+            Value::String(s) => s,
+            other => panic!("trace artifact should be a raw string: {other:?}"),
+        };
+        let trace = serde_json::from_str(raw).expect("trace is valid JSON");
+        let events = match trace.get("traceEvents") {
+            Some(Value::Array(events)) => events,
+            other => panic!("missing traceEvents: {other:?}"),
+        };
+        let lane = |pid: i64| {
+            events
+                .iter()
+                .filter(|e| {
+                    matches!(e.get("ph"), Some(Value::String(p)) if p == "X")
+                        && matches!(e.get("pid"), Some(Value::Int(p)) if *p == pid)
+                })
+                .count()
+        };
+        assert!(lane(1) > 100, "simulated lane has {} events", lane(1));
+        assert!(lane(2) > 10, "wall-clock lane has {} events", lane(2));
+
+        // The summary's stage shares come from the same simulate_step the
+        // figure experiments price; re-derive the reference breakdown and
+        // require agreement within 5 percentage points.
+        let summary = lookup("profile_summary.json");
+        let pct = |stage: &str| -> f64 {
+            let v = summary
+                .get("step")
+                .and_then(|s| s.get("stage_breakdown"))
+                .and_then(|b| b.get(stage))
+                .and_then(|s| s.get("pct"));
+            match v {
+                Some(Value::Float(f)) => *f,
+                Some(Value::Int(i)) => *i as f64,
+                other => panic!("missing {stage} pct: {other:?}"),
+            }
+        };
+        let model = models::mixtral_8x7b();
+        let mb = max_batch(&model, true, &GpuSpec::a40(), 79).max(1);
+        let reference = sim_for(&model, true, GpuSpec::a40())
+            .simulate_step(mb, 79)
+            .stage_breakdown();
+        for stage in ["forward", "backward", "optimizer"] {
+            let got = pct(stage);
+            let want = reference.percent(stage);
+            assert!(
+                (got - want).abs() < 5.0,
+                "{stage}: profile {got:.1}% vs reference {want:.1}%"
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use crate::kernel::{KernelDesc, KernelKind};
 use crate::spec::GpuSpec;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Which resource bound determined a kernel's latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -195,12 +196,14 @@ impl CostModel {
         let sm_util = (busy * t_work / latency).clamp(0.0, 1.0);
         let dram_util = (k.bytes / peak_bw / latency).clamp(0.0, 1.0);
 
-        KernelCost {
+        let cost = KernelCost {
             latency_s: latency,
             sm_util,
             dram_util,
             bound,
-        }
+        };
+        obs_record(k.kind, &cost);
+        cost
     }
 
     /// Total latency of a sequence of kernels (no overlap, as in eager
@@ -208,6 +211,66 @@ impl CostModel {
     pub fn sequence_latency(&self, kernels: &[KernelDesc]) -> f64 {
         kernels.iter().map(|k| self.kernel_cost(k).latency_s).sum()
     }
+}
+
+/// Obs counter handles for per-kernel roofline attribution, created once and
+/// shared by every [`CostModel`] (attribution is a property of the pricing
+/// event, not of a particular model instance).
+struct ObsHandles {
+    priced: ftsim_obs::Counter,
+    /// Nanoseconds of priced latency attributed to each binding resource,
+    /// indexed compute / memory / overhead.
+    bound_ns: [ftsim_obs::Counter; 3],
+    /// Per-kernel-family priced nanoseconds, indexed by [`KernelKind::all`]
+    /// order.
+    kind_ns: [ftsim_obs::Counter; 11],
+    /// Per-family `sm_util`-weighted nanoseconds: dividing by `kind_ns`
+    /// recovers the time-weighted SM utilization the paper's Fig. 9 plots.
+    kind_sm_ns: [ftsim_obs::Counter; 11],
+    /// Per-family `dram_util`-weighted nanoseconds (Fig. 10 analogue).
+    kind_dram_ns: [ftsim_obs::Counter; 11],
+}
+
+/// Mirrors one priced kernel into the obs registry. One relaxed atomic load
+/// when observability is off.
+#[inline]
+fn obs_record(kind: KernelKind, cost: &KernelCost) {
+    if !ftsim_obs::enabled() {
+        return;
+    }
+    static HANDLES: OnceLock<ObsHandles> = OnceLock::new();
+    let handles = HANDLES.get_or_init(|| {
+        let registry = ftsim_obs::registry();
+        let per_kind = |prefix: &str| {
+            KernelKind::all().map(|k| registry.counter(&format!("gpu.cost.{prefix}.{}", k.label())))
+        };
+        ObsHandles {
+            priced: registry.counter("gpu.cost.kernels_priced"),
+            bound_ns: [
+                registry.counter("gpu.cost.bound_ns.compute"),
+                registry.counter("gpu.cost.bound_ns.memory"),
+                registry.counter("gpu.cost.bound_ns.overhead"),
+            ],
+            kind_ns: per_kind("kind_ns"),
+            kind_sm_ns: per_kind("kind_sm_ns"),
+            kind_dram_ns: per_kind("kind_dram_ns"),
+        }
+    });
+    let ns = (cost.latency_s * 1e9) as u64;
+    handles.priced.add(1);
+    let bound_idx = match cost.bound {
+        Bound::Compute => 0,
+        Bound::Memory => 1,
+        Bound::Overhead => 2,
+    };
+    handles.bound_ns[bound_idx].add(ns);
+    let kind_idx = KernelKind::all()
+        .iter()
+        .position(|k| *k == kind)
+        .expect("every kind is listed in all()");
+    handles.kind_ns[kind_idx].add(ns);
+    handles.kind_sm_ns[kind_idx].add((cost.latency_s * cost.sm_util * 1e9) as u64);
+    handles.kind_dram_ns[kind_idx].add((cost.latency_s * cost.dram_util * 1e9) as u64);
 }
 
 #[cfg(test)]
@@ -226,6 +289,25 @@ mod tests {
         let half = m.occupancy(84.0);
         assert!((half - 0.5).abs() < 1e-9, "kappa=1 → 50% at tiles=SMs");
         assert!(m.occupancy(100_000.0) > 0.99);
+    }
+
+    #[test]
+    fn obs_attribution_records_priced_kernels() {
+        let m = model();
+        let registry = ftsim_obs::registry();
+        let priced = registry.counter("gpu.cost.kernels_priced");
+        let matmul_ns = registry.counter("gpu.cost.kind_ns.matmul");
+        let compute_ns = registry.counter("gpu.cost.bound_ns.compute");
+        let (p0, m0, c0) = (priced.get(), matmul_ns.get(), compute_ns.get());
+        ftsim_obs::enable();
+        let c = m.kernel_cost(&KernelDesc::matmul(8192, 8192, 8192, 2));
+        ftsim_obs::disable();
+        // Other tests in this binary may also price kernels while the flag
+        // is up, so assert lower bounds only.
+        assert!(priced.get() > p0);
+        let ns = (c.latency_s * 1e9) as u64;
+        assert!(matmul_ns.get() >= m0 + ns);
+        assert!(compute_ns.get() >= c0 + ns, "a big GEMM is compute-bound");
     }
 
     #[test]

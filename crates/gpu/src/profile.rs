@@ -19,9 +19,16 @@ impl Breakdown {
         Self::default()
     }
 
-    /// Adds `seconds` to `key`'s bucket.
-    pub fn add(&mut self, key: impl Into<String>, seconds: f64) {
-        *self.entries.entry(key.into()).or_insert(0.0) += seconds;
+    /// Adds `seconds` to `key`'s bucket. Looks up by `&str` first so the
+    /// per-record hot path (sweeps price one call per kernel record) only
+    /// allocates a `String` the first time a key appears.
+    pub fn add(&mut self, key: impl Into<String> + AsRef<str>, seconds: f64) {
+        match self.entries.get_mut(key.as_ref()) {
+            Some(slot) => *slot += seconds,
+            None => {
+                self.entries.insert(key.into(), seconds);
+            }
+        }
     }
 
     /// Seconds accumulated for `key` (0 if absent).
@@ -82,7 +89,7 @@ impl fmt::Display for Breakdown {
     }
 }
 
-impl<K: Into<String>> FromIterator<(K, f64)> for Breakdown {
+impl<K: Into<String> + AsRef<str>> FromIterator<(K, f64)> for Breakdown {
     fn from_iter<T: IntoIterator<Item = (K, f64)>>(iter: T) -> Self {
         let mut b = Breakdown::new();
         for (k, s) in iter {
@@ -133,6 +140,21 @@ impl UtilizationSummary {
                 dram_util: dram / seconds,
             }
         }
+    }
+
+    /// Publishes the summary into the obs metrics registry as gauges
+    /// (`{prefix}.sm_util`, `{prefix}.dram_util`, `{prefix}.seconds`) — the
+    /// simulated analogue of reading Nsight's `sm__throughput` /
+    /// `dram__throughput` counters after a profiled region. No-op while
+    /// observability is off.
+    pub fn publish_gauges(&self, prefix: &str) {
+        if !ftsim_obs::enabled() {
+            return;
+        }
+        let registry = ftsim_obs::registry();
+        registry.gauge_set(&format!("{prefix}.sm_util"), self.sm_util);
+        registry.gauge_set(&format!("{prefix}.dram_util"), self.dram_util);
+        registry.gauge_set(&format!("{prefix}.seconds"), self.seconds);
     }
 
     /// Merges two summaries, preserving time weighting.
@@ -208,6 +230,18 @@ mod tests {
         let u = UtilizationSummary::from_costs(std::iter::empty());
         assert_eq!(u.seconds, 0.0);
         assert_eq!(u.sm_util, 0.0);
+    }
+
+    #[test]
+    fn publish_gauges_exports_to_registry() {
+        let u = UtilizationSummary::from_costs([cost(2.0, 0.5, 0.25)].iter());
+        ftsim_obs::enable();
+        u.publish_gauges("test.gpu.profile");
+        ftsim_obs::disable();
+        let registry = ftsim_obs::registry();
+        assert_eq!(registry.gauge("test.gpu.profile.sm_util").get(), 0.5);
+        assert_eq!(registry.gauge("test.gpu.profile.dram_util").get(), 0.25);
+        assert_eq!(registry.gauge("test.gpu.profile.seconds").get(), 2.0);
     }
 
     #[test]

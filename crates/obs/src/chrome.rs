@@ -1,0 +1,199 @@
+//! Chrome Trace Event JSON emission.
+//!
+//! Produces the JSON Object Format of the Trace Event spec — `{"traceEvents":
+//! [...]}` with `ph:"X"` (complete) duration events and `ph:"M"` metadata
+//! events — which both `chrome://tracing` and Perfetto load directly.
+//!
+//! Two kinds of timelines coexist in one trace by using distinct `pid`s:
+//! wall-clock spans recorded by the tracer ([`ChromeTrace::add_recorded`]),
+//! and *simulated-time* events stamped explicitly by the caller
+//! ([`ChromeTrace::add_complete`]) — e.g. a `StepTrace`'s per-kernel latencies
+//! laid out on the modeled GPU timeline.
+
+use crate::span::Event;
+
+/// One complete (`ph:"X"`) event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    pub name: String,
+    pub cat: String,
+    pub pid: u64,
+    pub tid: u64,
+    /// Start in microseconds (Chrome's native trace unit).
+    pub ts_us: f64,
+    pub dur_us: f64,
+}
+
+/// Builder for a Chrome-format trace document.
+#[derive(Debug, Default, Clone)]
+pub struct ChromeTrace {
+    events: Vec<ChromeEvent>,
+    /// `(pid, name)` process-name metadata.
+    process_names: Vec<(u64, String)>,
+    /// `(pid, tid, name)` thread-name metadata.
+    thread_names: Vec<(u64, u64, String)>,
+}
+
+impl ChromeTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of duration events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds one complete event with explicit timestamps (microseconds).
+    pub fn add_complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        ts_us: f64,
+        dur_us: f64,
+    ) {
+        self.events.push(ChromeEvent {
+            name: name.into(),
+            cat: cat.into(),
+            pid,
+            tid,
+            ts_us,
+            dur_us,
+        });
+    }
+
+    /// Adds every recorded span under process `pid`, converting the tracer's
+    /// nanosecond wall-clock timestamps to microseconds.
+    pub fn add_recorded(&mut self, events: &[Event], pid: u64) {
+        for e in events {
+            self.events.push(ChromeEvent {
+                name: e.name.clone(),
+                cat: e.cat.to_string(),
+                pid,
+                tid: e.tid,
+                ts_us: e.ts_ns as f64 / 1_000.0,
+                dur_us: e.dur_ns as f64 / 1_000.0,
+            });
+        }
+    }
+
+    /// Labels a process lane in the viewer.
+    pub fn name_process(&mut self, pid: u64, name: impl Into<String>) {
+        self.process_names.push((pid, name.into()));
+    }
+
+    /// Labels a thread lane in the viewer.
+    pub fn name_thread(&mut self, pid: u64, tid: u64, name: impl Into<String>) {
+        self.thread_names.push((pid, tid, name.into()));
+    }
+
+    /// Renders the trace document as compact JSON.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for (pid, name) in &self.process_names {
+            push_sep(&mut out, &mut first);
+            out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+            out.push_str(&pid.to_string());
+            out.push_str(",\"tid\":0,\"args\":{\"name\":");
+            write_json_string(&mut out, name);
+            out.push_str("}}");
+        }
+        for (pid, tid, name) in &self.thread_names {
+            push_sep(&mut out, &mut first);
+            out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":");
+            out.push_str(&pid.to_string());
+            out.push_str(",\"tid\":");
+            out.push_str(&tid.to_string());
+            out.push_str(",\"args\":{\"name\":");
+            write_json_string(&mut out, name);
+            out.push_str("}}");
+        }
+        for e in &self.events {
+            push_sep(&mut out, &mut first);
+            out.push_str("{\"name\":");
+            write_json_string(&mut out, &e.name);
+            out.push_str(",\"cat\":");
+            write_json_string(&mut out, &e.cat);
+            out.push_str(",\"ph\":\"X\",\"pid\":");
+            out.push_str(&e.pid.to_string());
+            out.push_str(",\"tid\":");
+            out.push_str(&e.tid.to_string());
+            out.push_str(",\"ts\":");
+            out.push_str(&format_json_f64(e.ts_us));
+            out.push_str(",\"dur\":");
+            out.push_str(&format_json_f64(e.dur_us));
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+/// Writes `s` as a JSON string literal (with quotes and escapes).
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats an `f64` as a JSON number (non-finite values become 0, which JSON
+/// cannot represent and traces never contain legitimately).
+pub(crate) fn format_json_f64(f: f64) -> String {
+    if !f.is_finite() {
+        return "0".to_string();
+    }
+    let mut s = format!("{f}");
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        s.push_str(".0");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_complete_and_metadata_events() {
+        let mut trace = ChromeTrace::new();
+        trace.name_process(1, "sim");
+        trace.name_thread(1, 0, "gpu stream");
+        trace.add_complete(1, 0, "matmul \"q\"", "kernel", 0.0, 12.5);
+        let json = trace.to_json_string();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":12.5"));
+        assert!(json.contains("matmul \\\"q\\\""));
+        assert_eq!(trace.len(), 1);
+        assert!(!trace.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! `ftsim-obs` — observability substrate for the ftsim workspace.
+//!
+//! The source paper is a *characterization* study: its headline artifacts are
+//! Nsight-Compute execution-time breakdowns, SM/DRAM utilization curves, and
+//! expert-load histograms. This crate is the reproduction's measurement
+//! substrate — the simulated analogue of the paper's profiling toolchain —
+//! and the self-profiling harness for the repo's own hot paths:
+//!
+//! * [`span`] / [`SpanGuard`] — thread-local RAII span tracing with nesting,
+//!   monotonic timestamps, and stable thread ids. Recorded spans serialize to
+//!   Chrome Trace Event JSON ([`chrome::ChromeTrace`], loadable in Perfetto or
+//!   `chrome://tracing`) and aggregate into an in-process tree
+//!   ([`tree::SpanTree`]).
+//! * [`metrics`] — a global registry of named counters, gauges, and
+//!   fixed-bucket histograms with a snapshot/diff API and JSON export.
+//! * [`sink::ObsSink`] — a hook trait for shipping events elsewhere; the
+//!   built-in tracer + registry are the default destination, and an installed
+//!   sink receives every span/counter/gauge/histogram event in addition.
+//!
+//! # Cost discipline
+//!
+//! Observability is **off by default** and every recording entry point starts
+//! with [`enabled()`], a single relaxed atomic load behind `#[inline]` — the
+//! disabled path is branch-predictable and allocation-free (guarded by a
+//! bench-style test in `tests/overhead.rs`). Compiling the crate without the
+//! `enabled` cargo feature removes the instrumentation bodies entirely.
+//!
+//! No external dependencies: JSON is emitted by hand (the workspace's vendored
+//! `serde_json` is used only in tests, to parse the output back).
+
+pub mod chrome;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+pub mod tree;
+
+pub use chrome::ChromeTrace;
+pub use metrics::{registry, Counter, Gauge, Histogram, Registry, Snapshot};
+pub use sink::{clear_sink, set_sink, ObsSink};
+pub use span::{drain_events, span, span_lazy, Event, SpanGuard};
+pub use tree::SpanTree;
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[cfg(feature = "enabled")]
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True when instrumentation is compiled in *and* runtime-enabled.
+///
+/// This is the gate every recording entry point checks first; it is a single
+/// relaxed atomic load, so leaving instrumentation in hot paths costs one
+/// predictable branch when observability is off.
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        ENABLED.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// Turns recording on. No-op without the `enabled` cargo feature.
+pub fn enable() {
+    #[cfg(feature = "enabled")]
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording off. Already-recorded events and metric values persist
+/// until [`reset`].
+pub fn disable() {
+    #[cfg(feature = "enabled")]
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears all recorded spans and all registered metric values.
+pub fn reset() {
+    span::clear_events();
+    metrics::registry().reset();
+}
+
+/// Serializes unit tests that toggle the process-global enable flag.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_toggleable() {
+        // Tests share the process-global flag, so restore state.
+        let was = enabled();
+        disable();
+        assert!(!enabled());
+        enable();
+        assert!(enabled());
+        if !was {
+            disable();
+        }
+    }
+}

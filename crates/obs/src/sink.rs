@@ -1,0 +1,101 @@
+//! The profiling hook trait.
+//!
+//! The built-in tracer and registry are always the primary destination for
+//! instrumentation; an installed [`ObsSink`] additionally receives a callback
+//! for every completed span and every metric update, so a harness can stream
+//! events elsewhere (stderr, a file, a test collector) without the hot paths
+//! knowing. All callbacks fire only while [`crate::enabled`] — when
+//! observability is off, instrumented code never reaches this module.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::span::Event;
+
+/// Receiver for observability events. All methods have no-op defaults, so a
+/// sink implements only what it cares about.
+pub trait ObsSink: Send + Sync {
+    /// A span completed (called at guard drop, before the event is buffered).
+    fn on_span(&self, _event: &Event) {}
+    /// A named counter was incremented through the registry's name-based API.
+    fn on_counter(&self, _name: &str, _delta: u64) {}
+    /// A named gauge was set through the registry's name-based API.
+    fn on_gauge(&self, _name: &str, _value: f64) {}
+    /// A named histogram recorded a sample through the name-based API.
+    fn on_histogram(&self, _name: &str, _value: f64) {}
+}
+
+fn slot() -> &'static Mutex<Option<Arc<dyn ObsSink>>> {
+    static SINK: OnceLock<Mutex<Option<Arc<dyn ObsSink>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs `sink`, replacing any previous one.
+pub fn set_sink(sink: Arc<dyn ObsSink>) {
+    *slot().lock().expect("sink slot") = Some(sink);
+}
+
+/// Removes the installed sink.
+pub fn clear_sink() {
+    *slot().lock().expect("sink slot") = None;
+}
+
+fn with_sink(f: impl FnOnce(&dyn ObsSink)) {
+    let sink = slot().lock().expect("sink slot").clone();
+    if let Some(sink) = sink {
+        f(&*sink);
+    }
+}
+
+pub(crate) fn forward_span(event: &Event) {
+    with_sink(|s| s.on_span(event));
+}
+
+pub(crate) fn forward_counter(name: &str, delta: u64) {
+    with_sink(|s| s.on_counter(name, delta));
+}
+
+pub(crate) fn forward_gauge(name: &str, value: f64) {
+    with_sink(|s| s.on_gauge(name, value));
+}
+
+pub(crate) fn forward_histogram(name: &str, value: f64) {
+    with_sink(|s| s.on_histogram(name, value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct CountingSink {
+        spans: AtomicU64,
+        counters: AtomicU64,
+    }
+
+    impl ObsSink for CountingSink {
+        fn on_span(&self, _event: &Event) {
+            self.spans.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_counter(&self, _name: &str, delta: u64) {
+            self.counters.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn installed_sink_receives_spans_and_counters() {
+        let _g = test_lock();
+        crate::enable();
+        let sink = Arc::new(CountingSink::default());
+        set_sink(sink.clone());
+        {
+            let _s = crate::span("test-sink", "work");
+        }
+        crate::registry().counter_add("test.sink.counter", 5);
+        clear_sink();
+        crate::disable();
+        assert_eq!(sink.spans.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.counters.load(Ordering::Relaxed), 5);
+    }
+}

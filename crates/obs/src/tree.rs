@@ -1,0 +1,152 @@
+//! In-process aggregation of recorded spans into a call tree.
+//!
+//! [`SpanTree::build`] groups a batch of [`Event`]s by (thread-local) nesting
+//! structure and merges identically named paths across threads: each node
+//! aggregates every span with the same name under the same parent chain,
+//! tracking call count, total (inclusive) time, and self time (inclusive
+//! minus direct children). This is the textual/programmatic complement to
+//! the Chrome trace — fast to assert on in tests and compact to print.
+
+use std::collections::BTreeMap;
+
+use crate::span::Event;
+
+/// Aggregated statistics for one span name at one position in the tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanNode {
+    /// Number of spans merged into this node.
+    pub count: u64,
+    /// Total inclusive duration, nanoseconds.
+    pub total_ns: u64,
+    /// Inclusive minus direct children's inclusive, nanoseconds.
+    pub self_ns: u64,
+    /// Children keyed by span name.
+    pub children: BTreeMap<String, SpanNode>,
+}
+
+/// An aggregated forest of spans (top-level spans are roots).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanTree {
+    /// Root nodes keyed by span name.
+    pub roots: BTreeMap<String, SpanNode>,
+}
+
+impl SpanTree {
+    /// Builds the aggregate tree from a batch of events (as returned by
+    /// [`crate::drain_events`]).
+    ///
+    /// Within one thread spans are properly nested, so walking that thread's
+    /// events in start order with a depth stack reconstructs parentage
+    /// exactly; identical paths from different threads merge.
+    pub fn build(events: &[Event]) -> SpanTree {
+        let mut tree = SpanTree::default();
+        let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in tids {
+            let mut thread_events: Vec<&Event> = events.iter().filter(|e| e.tid == tid).collect();
+            thread_events.sort_by_key(|e| (e.ts_ns, e.depth));
+            // Stack of (depth, name) forming the current open path. Popping
+            // by recorded depth (not position) keeps nesting correct even if
+            // some ancestors were filtered out of `events`.
+            let mut open: Vec<(u32, String)> = Vec::new();
+            for event in thread_events {
+                while open.last().is_some_and(|(d, _)| *d >= event.depth) {
+                    open.pop();
+                }
+                let path: Vec<String> = open.iter().map(|(_, n)| n.clone()).collect();
+                let node = tree.node_at(&path, &event.name);
+                node.count += 1;
+                node.total_ns += event.dur_ns;
+                node.self_ns += event.dur_ns;
+                if let Some(parent_name) = path.last().cloned() {
+                    let parent = tree.node_at(&path[..path.len() - 1], &parent_name);
+                    parent.self_ns = parent.self_ns.saturating_sub(event.dur_ns);
+                }
+                open.push((event.depth, event.name.clone()));
+            }
+        }
+        tree
+    }
+
+    fn node_at(&mut self, path: &[String], name: &str) -> &mut SpanNode {
+        let mut map = &mut self.roots;
+        for segment in path {
+            map = &mut map.entry(segment.clone()).or_default().children;
+        }
+        map.entry(name.to_string()).or_default()
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        fn walk(map: &BTreeMap<String, SpanNode>) -> usize {
+            map.values().map(|n| 1 + walk(&n.children)).sum()
+        }
+        walk(&self.roots)
+    }
+
+    /// Renders an indented text report, children sorted by total time
+    /// descending.
+    pub fn render(&self) -> String {
+        fn walk(out: &mut String, map: &BTreeMap<String, SpanNode>, indent: usize) {
+            let mut rows: Vec<(&String, &SpanNode)> = map.iter().collect();
+            rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+            for (name, node) in rows {
+                for _ in 0..indent {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!(
+                    "{name}: count={} total={:.3}ms self={:.3}ms\n",
+                    node.count,
+                    node.total_ns as f64 / 1e6,
+                    node.self_ns as f64 / 1e6,
+                ));
+                walk(out, &node.children, indent + 1);
+            }
+        }
+        let mut out = String::new();
+        walk(&mut out, &self.roots, 0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, ts: u64, dur: u64, tid: u64, depth: u32) -> Event {
+        Event {
+            name: name.to_string(),
+            cat: "test",
+            ts_ns: ts,
+            dur_ns: dur,
+            tid,
+            depth,
+        }
+    }
+
+    #[test]
+    fn builds_nested_tree_with_self_time() {
+        // thread 0: step [0,100) > fwd [0,40), bwd [40,90)
+        // thread 1: step [0,80) > fwd [0,30)
+        let events = vec![
+            ev("step", 0, 100, 0, 0),
+            ev("fwd", 0, 40, 0, 1),
+            ev("bwd", 40, 50, 0, 1),
+            ev("step", 0, 80, 1, 0),
+            ev("fwd", 0, 30, 1, 1),
+        ];
+        let tree = SpanTree::build(&events);
+        let step = &tree.roots["step"];
+        assert_eq!(step.count, 2);
+        assert_eq!(step.total_ns, 180);
+        assert_eq!(step.self_ns, 180 - 40 - 50 - 30);
+        assert_eq!(step.children["fwd"].count, 2);
+        assert_eq!(step.children["fwd"].total_ns, 70);
+        assert_eq!(step.children["bwd"].total_ns, 50);
+        assert_eq!(tree.node_count(), 3);
+        let report = tree.render();
+        assert!(report.starts_with("step:"));
+        assert!(report.contains("  fwd:"));
+    }
+}

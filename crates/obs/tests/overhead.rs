@@ -1,0 +1,67 @@
+//! Bench-style guard: the disabled instrumentation path must cost < 2%.
+//!
+//! Ignored by default because it measures wall-clock; run explicitly with
+//! `cargo test -p ftsim-obs --release --test overhead -- --ignored`.
+
+use std::time::Instant;
+
+use ftsim_obs as obs;
+
+/// Arithmetic standing in for one simulator work unit (a kernel-record
+/// pricing, ~a few hundred ns) — the granularity at which the hot paths are
+/// actually instrumented. Each unit gets one span and one counter add, a
+/// *denser* instrumentation ratio than `step`/`cost` use, so passing here
+/// bounds the real sweep overhead from above.
+fn work(units: u64, instrumented: bool) -> u64 {
+    let counter = obs::registry().counter("overhead.test.iterations");
+    let mut acc = 0x9e37_79b9_u64;
+    for i in 0..units {
+        if instrumented {
+            let _span = obs::span("overhead", "unit");
+            counter.add(1);
+        }
+        // FNV-ish mixing, opaque to the optimizer.
+        for j in 0..256u64 {
+            acc ^= i.wrapping_add(j);
+            acc = acc.wrapping_mul(0x100_0000_01b3);
+            acc = std::hint::black_box(acc);
+        }
+    }
+    acc
+}
+
+fn median_time(units: u64, instrumented: bool, reps: usize) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(work(units, instrumented));
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+#[test]
+#[ignore = "wall-clock bench guard; run with -- --ignored"]
+fn disabled_path_costs_under_two_percent() {
+    obs::disable();
+    const UNITS: u64 = 100_000;
+    const REPS: usize = 9;
+    // Warm up both paths.
+    work(UNITS / 10, false);
+    work(UNITS / 10, true);
+    let plain = median_time(UNITS, false, REPS);
+    let instrumented = median_time(UNITS, true, REPS);
+    let overhead = instrumented / plain - 1.0;
+    println!(
+        "plain {plain:.4}s instrumented-disabled {instrumented:.4}s overhead {:.2}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.02,
+        "disabled-path overhead {:.2}% exceeds 2% budget \
+         (plain {plain:.4}s, instrumented {instrumented:.4}s)",
+        overhead * 100.0
+    );
+}

@@ -39,11 +39,11 @@ pub mod trace;
 
 pub use ablation::{Ablation, AblationArm};
 pub use engine::{parallel_map, parallel_map_with, thread_count};
-pub use error::SimError;
+pub use error::{SimContext, SimError, SimErrorKind};
 pub use learning::{LearningCurve, TrainabilityMatrix};
 pub use moetrain::{MoeTrainConfig, MoeTrainOutcome};
 pub use routing::{RouterDrift, TokenDistribution};
 pub use sensitivity::{SensitivityPoint, SensitivityStudy};
-pub use step::{CacheStats, StepSimulator, TraceCache};
+pub use step::{record_pool_stats, CacheStats, StepSimulator, TraceCache};
 pub use throughput::{ThroughputPoint, ThroughputSweep};
 pub use trace::{KernelRecord, Section, Stage, StepTrace, TraceSegment};

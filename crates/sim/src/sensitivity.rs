@@ -7,6 +7,7 @@
 //! sequences; throughput is higher for shorter sequences.
 
 use crate::engine;
+use crate::error::{SimError, SimErrorKind};
 use crate::step::StepSimulator;
 use ftsim_model::MemoryModel;
 use serde::{Deserialize, Serialize};
@@ -37,24 +38,35 @@ pub struct SensitivityStudy {
     pub label: String,
     /// One point per sequence length, ascending.
     pub points: Vec<SensitivityPoint>,
+    /// Lengths that could not be measured (no batch size fits), each
+    /// recorded as a [`SimError`] carrying the label/GPU/seq-len context so
+    /// downstream artifacts can report *which* points failed and why.
+    pub skipped: Vec<SimError>,
 }
 
 impl SensitivityStudy {
     /// Runs the study over `seq_lens` (each at its own max batch size),
     /// fanning the lengths across the [`engine`]'s worker threads. Lengths
-    /// whose max batch is zero are skipped.
+    /// whose max batch is zero are recorded in
+    /// [`skipped`](SensitivityStudy::skipped) rather than silently dropped.
     pub fn run(sim: &StepSimulator, label: impl Into<String>, seq_lens: &[usize]) -> Self {
+        let label = label.into();
         let mem = MemoryModel::new(sim.model(), sim.finetune());
         let gpu = sim.cost_model().spec().clone();
-        let points = engine::parallel_map(seq_lens, |&seq_len| {
+        let _sweep = ftsim_obs::span_lazy("sim.sweep", || format!("sensitivity:{label}"));
+        let results = engine::parallel_map(seq_lens, |&seq_len| {
             let max_batch = mem.max_batch_size(&gpu, seq_len);
             if max_batch == 0 {
-                return None;
+                return Err(SimError::new(SimErrorKind::SequenceDoesNotFit)
+                    .with_label(label.clone())
+                    .with_gpu(gpu.name.clone())
+                    .with_seq_len(seq_len));
             }
+            let _point = ftsim_obs::span_lazy("sim.sweep", || format!("seq_len:{seq_len}"));
             let trace = sim.simulate_step(max_batch, seq_len);
             let secs = trace.total_seconds();
             let util = trace.moe_overall_utilization();
-            Some(SensitivityPoint {
+            Ok(SensitivityPoint {
                 seq_len,
                 max_batch,
                 tokens: max_batch * seq_len,
@@ -63,13 +75,19 @@ impl SensitivityStudy {
                 moe_sm_util: util.sm_util,
                 moe_dram_util: util.dram_util,
             })
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        });
+        let mut points = Vec::new();
+        let mut skipped = Vec::new();
+        for result in results {
+            match result {
+                Ok(point) => points.push(point),
+                Err(err) => skipped.push(err),
+            }
+        }
         SensitivityStudy {
-            label: label.into(),
+            label,
             points,
+            skipped,
         }
     }
 
@@ -149,5 +167,26 @@ mod tests {
         // Dense Mixtral cannot fit batch 1 at very long sequences.
         let s = SensitivityStudy::run(&sim, "dense", &[64, 8192]);
         assert!(s.points.len() <= 1 || s.points.iter().all(|p| p.max_batch >= 1));
+        // The skipped length is reported with full context, not dropped.
+        if s.points.len() == 1 {
+            assert_eq!(s.skipped.len(), 1);
+            let err = &s.skipped[0];
+            assert_eq!(err.kind, crate::SimErrorKind::SequenceDoesNotFit);
+            assert_eq!(err.context.label.as_deref(), Some("dense"));
+            assert_eq!(err.context.seq_len, Some(8192));
+            assert!(err.context.gpu.is_some());
+        }
+    }
+
+    #[test]
+    fn fitting_lengths_leave_no_skips() {
+        let sim = StepSimulator::new(
+            presets::mixtral_8x7b(),
+            FineTuneConfig::qlora_sparse(),
+            CostModel::new(GpuSpec::a40()),
+        );
+        let s = SensitivityStudy::run(&sim, "fits", &[64, 128, 256]);
+        assert_eq!(s.points.len(), 3);
+        assert!(s.skipped.is_empty(), "{:?}", s.skipped);
     }
 }

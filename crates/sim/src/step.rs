@@ -11,8 +11,42 @@ use crate::trace::{KernelRecord, Section, Stage, StepTrace, TraceSegment};
 use ftsim_gpu::{CostModel, KernelDesc, KernelKind};
 use ftsim_model::{FineTuneConfig, FineTuneMethod, ModelConfig, SequenceMixer};
 use ftsim_tensor::nn::ExpertKind;
+use ftsim_tensor::pool::{Pool, PoolStats};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+thread_local! {
+    /// Recycled kernel-record storage for the sweep hot path. One pool per
+    /// thread (like the tensor runtime's buffer pool): recycling stays
+    /// uncontended and the allocation counters are deterministic for the
+    /// thread doing the sweeping. [`StepTrace`] returns sole-owned segment
+    /// buffers here on drop, so steady-state `simulate_step` calls —
+    /// identical shapes, step after step — allocate no record storage.
+    static RECORD_POOL: Pool<KernelRecord> = Pool::with_label("sim.record_pool");
+}
+
+/// Runs `f` against the calling thread's kernel-record pool.
+pub(crate) fn with_record_pool<R>(f: impl FnOnce(&Pool<KernelRecord>) -> R) -> R {
+    RECORD_POOL.with(f)
+}
+
+/// Allocation counters of the calling thread's kernel-record pool (how the
+/// zero-steady-state-allocation property of the sweep hot path is asserted).
+pub fn record_pool_stats() -> PoolStats {
+    RECORD_POOL.with(|p| p.stats())
+}
+
+/// Obs counters for [`TraceCache`] effectiveness; registered on first use.
+fn cache_obs() -> &'static (ftsim_obs::Counter, ftsim_obs::Counter) {
+    static COUNTERS: OnceLock<(ftsim_obs::Counter, ftsim_obs::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = ftsim_obs::registry();
+        (
+            registry.counter("sim.trace_cache.hits"),
+            registry.counter("sim.trace_cache.misses"),
+        )
+    })
+}
 
 /// Which half of a transformer layer a cached trace covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,12 +117,14 @@ struct TraceBuilder<'a> {
 }
 
 impl<'a> TraceBuilder<'a> {
-    /// Pre-sizes the record vector; hot sweep paths pass the exact kernel
-    /// count (see the `*_kernels` estimators) so emission never reallocates.
+    /// Pre-sizes the record vector from the thread's record pool; hot sweep
+    /// paths pass the exact kernel count (see the `*_kernels` estimators) so
+    /// emission never reallocates, and after warm-up the storage itself is
+    /// recycled rather than freshly allocated.
     fn with_capacity(cost: &'a CostModel, kernels: usize) -> Self {
         TraceBuilder {
             cost,
-            records: Vec::with_capacity(kernels),
+            records: with_record_pool(|p| p.take(kernels)),
             stage: Stage::Forward,
         }
     }
@@ -145,38 +181,54 @@ impl StepSimulator {
     pub fn simulate_step(&self, batch: usize, seq_len: usize) -> StepTrace {
         assert!(batch >= 1, "batch must be at least 1");
         assert!(seq_len >= 1, "seq_len must be at least 1");
+        let _step = ftsim_obs::span("sim.step", "simulate_step");
         let layers = self.model.num_layers;
 
         // ---- Forward ----
-        let mut prologue = TraceBuilder::with_capacity(&self.cost, self.embedding_kernels());
-        self.emit_embedding(&mut prologue, batch, seq_len);
-        let fwd_layer = self.layer_records(Stage::Forward, LayerKind::Forward, batch, seq_len);
-        let mut head = TraceBuilder::with_capacity(&self.cost, self.head_kernels());
-        self.emit_head(&mut head, batch, seq_len);
+        let (prologue, fwd_layer, head) = {
+            let _stage = ftsim_obs::span("sim.step", "forward");
+            let mut prologue = TraceBuilder::with_capacity(&self.cost, self.embedding_kernels());
+            self.emit_embedding(&mut prologue, batch, seq_len);
+            let fwd_layer = self.layer_records(Stage::Forward, LayerKind::Forward, batch, seq_len);
+            let mut head = TraceBuilder::with_capacity(&self.cost, self.head_kernels());
+            self.emit_head(&mut head, batch, seq_len);
+            (prologue, fwd_layer, head)
+        };
 
         // ---- Backward ----
         // LM head backward first (loss gradient), then the layers.
-        let mut head_bwd = TraceBuilder::with_capacity(&self.cost, self.head_backward_kernels());
-        head_bwd.stage = Stage::Backward;
-        self.emit_head_backward(&mut head_bwd, batch, seq_len);
-        let bwd_layer = self.layer_records(Stage::Backward, LayerKind::Backward, batch, seq_len);
-        let bwd_block = if self.ft.gradient_checkpointing {
-            // Recompute the layer's forward before differentiating it: the
-            // repeated block is [recompute ++ backward]. Concatenating two
-            // cached traces copies records but prices nothing.
-            let recompute = self.layer_records(Stage::Backward, LayerKind::Forward, batch, seq_len);
-            let mut combined = Vec::with_capacity(recompute.len() + bwd_layer.len());
-            combined.extend_from_slice(&recompute);
-            combined.extend_from_slice(&bwd_layer);
-            Arc::new(combined)
-        } else {
-            bwd_layer
+        let (head_bwd, bwd_block) = {
+            let _stage = ftsim_obs::span("sim.step", "backward");
+            let mut head_bwd =
+                TraceBuilder::with_capacity(&self.cost, self.head_backward_kernels());
+            head_bwd.stage = Stage::Backward;
+            self.emit_head_backward(&mut head_bwd, batch, seq_len);
+            let bwd_layer =
+                self.layer_records(Stage::Backward, LayerKind::Backward, batch, seq_len);
+            let bwd_block = if self.ft.gradient_checkpointing {
+                // Recompute the layer's forward before differentiating it: the
+                // repeated block is [recompute ++ backward]. Concatenating two
+                // cached traces copies records but prices nothing.
+                let recompute =
+                    self.layer_records(Stage::Backward, LayerKind::Forward, batch, seq_len);
+                let mut combined = with_record_pool(|p| p.take(recompute.len() + bwd_layer.len()));
+                combined.extend_from_slice(&recompute);
+                combined.extend_from_slice(&bwd_layer);
+                Arc::new(combined)
+            } else {
+                bwd_layer
+            };
+            (head_bwd, bwd_block)
         };
 
         // ---- Optimizer ----
-        let mut opt = TraceBuilder::with_capacity(&self.cost, self.optimizer_kernels());
-        opt.stage = Stage::Optimizer;
-        self.emit_optimizer(&mut opt);
+        let opt = {
+            let _stage = ftsim_obs::span("sim.step", "optimizer");
+            let mut opt = TraceBuilder::with_capacity(&self.cost, self.optimizer_kernels());
+            opt.stage = Stage::Optimizer;
+            self.emit_optimizer(&mut opt);
+            opt
+        };
 
         StepTrace::from_segments(
             vec![
@@ -259,15 +311,24 @@ impl StepSimulator {
             let mut cache = self.cache.lock().expect("trace cache poisoned");
             if let Some(records) = cache.entries.get(&key).cloned() {
                 cache.hits += 1;
+                if ftsim_obs::enabled() {
+                    cache_obs().0.add(1);
+                }
                 return records;
             }
         }
         // Price outside the lock so concurrent sweeps over different shapes
         // never serialize on each other; a racing duplicate computation is
         // deterministic and the first insert wins.
+        let _span = ftsim_obs::span_lazy("sim.step", || {
+            format!("layer_trace:{}:{kind:?}", stage.label())
+        });
         let built = Arc::new(self.build_layer_records(stage, kind, batch, seq_len));
         let mut cache = self.cache.lock().expect("trace cache poisoned");
         cache.misses += 1;
+        if ftsim_obs::enabled() {
+            cache_obs().1.add(1);
+        }
         cache.entries.entry(key).or_insert(built).clone()
     }
 
@@ -978,6 +1039,49 @@ mod tests {
         // A new shape adds exactly three more computations.
         sim.simulate_step(4, 128);
         assert_eq!(sim.cache_stats().misses, 6);
+    }
+
+    #[test]
+    fn steady_state_step_allocates_no_record_buffers() {
+        // Satellite of the zero-allocation work: after one warm-up step at a
+        // shape, further steps at that shape draw every record buffer from
+        // the thread's pool (the drop recycling in `trace.rs` feeds it).
+        // The pool is thread-local, so parallel tests cannot perturb this.
+        let sim = mixtral_sim(FineTuneConfig::qlora_sparse());
+        drop(sim.simulate_step(2, 128));
+        let before = record_pool_stats();
+        for _ in 0..5 {
+            drop(sim.simulate_step(2, 128));
+        }
+        let after = record_pool_stats();
+        assert_eq!(
+            after.allocs_since(&before),
+            0,
+            "steady-state steps allocated record buffers: {before:?} -> {after:?}"
+        );
+        assert!(after.reuses > before.reuses, "{before:?} -> {after:?}");
+        assert!(after.returns > before.returns, "{before:?} -> {after:?}");
+    }
+
+    #[test]
+    fn trace_cache_counters_mirror_into_registry() {
+        let sim = mixtral_sim(FineTuneConfig::qlora_sparse());
+        let registry = ftsim_obs::registry();
+        let hits0 = registry.counter("sim.trace_cache.hits").get();
+        let misses0 = registry.counter("sim.trace_cache.misses").get();
+        ftsim_obs::enable();
+        sim.simulate_step(2, 128);
+        sim.simulate_step(2, 128);
+        ftsim_obs::disable();
+        let stats = sim.cache_stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 3);
+        // The registry is process-global (other tests may add concurrently),
+        // so assert our contribution as a lower bound on the delta.
+        let hits = registry.counter("sim.trace_cache.hits").get() - hits0;
+        let misses = registry.counter("sim.trace_cache.misses").get() - misses0;
+        assert!(hits >= stats.hits, "hit delta {hits}");
+        assert!(misses >= stats.misses, "miss delta {misses}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! the Eq. 2 throughput model of Figs. 14–15).
 
 use crate::engine;
-use crate::error::{validate_batches, SimError};
+use crate::error::{validate_batches, SimError, SimErrorKind};
 use crate::step::StepSimulator;
 use serde::{Deserialize, Serialize};
 
@@ -58,7 +58,9 @@ impl ThroughputSweep {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError`] on an invalid batch list.
+    /// Returns [`SimError`] on an invalid batch list, with the sweep's
+    /// label, GPU spec name, sequence length, and (where one exists) the
+    /// offending batch size attached as context.
     pub fn run_with_threads(
         sim: &StepSimulator,
         label: impl Into<String>,
@@ -66,8 +68,22 @@ impl ThroughputSweep {
         batches: &[usize],
         threads: usize,
     ) -> Result<Self, SimError> {
-        validate_batches(batches)?;
+        let label = label.into();
+        if let Err(kind) = validate_batches(batches) {
+            let mut err = SimError::new(kind)
+                .with_label(label)
+                .with_gpu(sim.cost_model().spec().name.clone())
+                .with_seq_len(seq_len);
+            err.context.batch = match kind {
+                SimErrorKind::ZeroBatch => Some(0),
+                SimErrorKind::UnsortedBatches { next, .. } => Some(next),
+                _ => None,
+            };
+            return Err(err);
+        }
+        let _sweep = ftsim_obs::span_lazy("sim.sweep", || format!("throughput:{label}"));
         let points = engine::parallel_map_with(threads, batches, |&batch| {
+            let _point = ftsim_obs::span_lazy("sim.sweep", || format!("batch:{batch}"));
             let trace = sim.simulate_step(batch, seq_len);
             let secs = trace.total_seconds();
             let util = trace.moe_overall_utilization();
@@ -80,7 +96,7 @@ impl ThroughputSweep {
             }
         });
         Ok(ThroughputSweep {
-            label: label.into(),
+            label,
             seq_len,
             sparsity_ratio: sim.finetune().sparsity.ratio(sim.model().moe.num_experts),
             points,
@@ -191,18 +207,64 @@ mod tests {
             FineTuneConfig::qlora_sparse(),
             CostModel::new(GpuSpec::a40()),
         );
+        let err = ThroughputSweep::run(&sim, "t", 79, &[4, 2]).unwrap_err();
+        assert_eq!(err.kind, SimErrorKind::UnsortedBatches { prev: 4, next: 2 });
+        assert_eq!(err.context.batch, Some(2));
         assert_eq!(
-            ThroughputSweep::run(&sim, "t", 79, &[4, 2]).unwrap_err(),
-            crate::SimError::UnsortedBatches { prev: 4, next: 2 }
+            ThroughputSweep::run(&sim, "t", 79, &[]).unwrap_err().kind,
+            SimErrorKind::EmptyBatches
         );
         assert_eq!(
-            ThroughputSweep::run(&sim, "t", 79, &[]).unwrap_err(),
-            crate::SimError::EmptyBatches
+            ThroughputSweep::run(&sim, "t", 79, &[0, 1])
+                .unwrap_err()
+                .kind,
+            SimErrorKind::ZeroBatch
         );
+    }
+
+    #[test]
+    fn sweep_errors_carry_gpu_and_shape_context() {
+        let sim = StepSimulator::new(
+            presets::mixtral_8x7b(),
+            FineTuneConfig::qlora_sparse(),
+            CostModel::new(GpuSpec::a40()),
+        );
+        let err = ThroughputSweep::run(&sim, "Mixtral-S/CS", 79, &[0]).unwrap_err();
+        assert_eq!(err.context.label.as_deref(), Some("Mixtral-S/CS"));
         assert_eq!(
-            ThroughputSweep::run(&sim, "t", 79, &[0, 1]).unwrap_err(),
-            crate::SimError::ZeroBatch
+            err.context.gpu.as_deref(),
+            Some(sim.cost_model().spec().name.as_str())
         );
+        assert_eq!(err.context.seq_len, Some(79));
+        assert_eq!(err.context.batch, Some(0));
+        let msg = err.to_string();
+        assert!(msg.contains("Mixtral-S/CS"), "{msg}");
+        assert!(msg.contains("seq_len 79"), "{msg}");
+    }
+
+    #[test]
+    fn parallel_sweep_emits_ordered_spans_from_worker_threads() {
+        let sim = StepSimulator::new(
+            presets::mixtral_8x7b(),
+            FineTuneConfig::qlora_sparse(),
+            CostModel::new(GpuSpec::a40()),
+        );
+        let batches: Vec<usize> = (1..=16).collect();
+        ftsim_obs::enable();
+        ThroughputSweep::run_with_threads(&sim, "span-test", 64, &batches, 4).expect("valid");
+        ftsim_obs::disable();
+        let events: Vec<ftsim_obs::Event> = ftsim_obs::drain_events()
+            .into_iter()
+            .filter(|e| e.cat == "sim.sweep" && e.name.starts_with("batch:"))
+            .collect();
+        assert!(events.len() >= batches.len(), "{} spans", events.len());
+        let tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+        assert!(
+            tids.len() >= 2,
+            "expected multiple worker threads: {tids:?}"
+        );
+        // One shared monotonic timeline across workers.
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
     }
 
     #[test]

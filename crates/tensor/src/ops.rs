@@ -125,6 +125,7 @@ pub fn matmul_bias_act(
             });
         }
     }
+    let _span = ftsim_obs::span("tensor.kernel", "matmul_bias_act");
     let mut out = Tensor::zeros(out_shape);
     crate::parallel::matmul_bias_act_into(
         x.data(),
@@ -155,6 +156,7 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
             logits.shape()
         ))
     })?;
+    let _span = ftsim_obs::span("tensor.kernel", "softmax_rows");
     let mut out = Tensor::zeros(Shape::matrix(rows, cols));
     let out_data = out.data_mut();
     for r in 0..rows {

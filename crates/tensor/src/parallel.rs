@@ -65,6 +65,7 @@ fn matmul_rows(lhs: &[f32], rhs: &[f32], out_rows: &mut [f32], row0: usize, k: u
 /// splitting row blocks across up to [`thread_count`] scoped threads when
 /// the product is large enough to amortize the spawns.
 pub(crate) fn matmul_into(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let _span = ftsim_obs::span("tensor.kernel", "matmul");
     let threads = thread_count().min(m).max(1);
     let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
     if threads <= 1 || flops < PARALLEL_FLOP_THRESHOLD {

@@ -23,7 +23,7 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Maximum spare buffers kept per distinct capacity; returns beyond this are
 /// dropped (and counted as discards) so the pool cannot grow without bound.
@@ -56,7 +56,17 @@ impl PoolStats {
     }
 }
 
-/// A thread-safe pool of `Vec<f32>` storage keyed by exact capacity.
+/// A thread-safe pool of `Vec<T>` storage keyed by exact capacity.
+///
+/// [`BufferPool`] (= `Pool<f32>`) is the tensor-storage instantiation; the
+/// simulator reuses the same mechanism for non-`f32` scratch (e.g. priced
+/// kernel-record buffers in the sweep hot path).
+///
+/// When observability is on ([`ftsim_obs::enabled`]), every pool event is
+/// mirrored into the global metrics registry under
+/// `{label}.{fresh_allocs,reuses,returns,discards}` — the registry-facing
+/// view of the same counters [`Pool::stats`] reports. The mirror costs one
+/// relaxed atomic load per event while observability is off.
 ///
 /// ```
 /// use ftsim_tensor::pool::BufferPool;
@@ -71,26 +81,75 @@ impl PoolStats {
 /// assert!(again.iter().all(|&x| x == 0.0));
 /// assert_eq!(pool.stats().reuses, 1);
 /// ```
-#[derive(Debug, Default)]
-pub struct BufferPool {
-    shelves: Mutex<HashMap<usize, Vec<Vec<f32>>>>,
+#[derive(Debug)]
+pub struct Pool<T> {
+    shelves: Mutex<HashMap<usize, Vec<Vec<T>>>>,
     fresh_allocs: AtomicU64,
     reuses: AtomicU64,
     returns: AtomicU64,
     discards: AtomicU64,
+    /// Metric-name prefix for the obs mirror.
+    label: &'static str,
+    obs: OnceLock<[ftsim_obs::Counter; 4]>,
 }
 
-impl BufferPool {
-    /// Creates an empty pool.
+/// The tensor-storage pool: recycled `Vec<f32>` buffers.
+pub type BufferPool = Pool<f32>;
+
+/// Indices into the obs counter array.
+const FRESH: usize = 0;
+const REUSE: usize = 1;
+const RETURN: usize = 2;
+const DISCARD: usize = 3;
+
+impl<T> Default for Pool<T> {
+    fn default() -> Self {
+        Pool::with_label("tensor.pool")
+    }
+}
+
+impl<T> Pool<T> {
+    /// Creates an empty pool reporting under the default `tensor.pool` label.
     pub fn new() -> Self {
-        BufferPool::default()
+        Pool::default()
+    }
+
+    /// Creates an empty pool whose obs-mirrored counters are named
+    /// `{label}.fresh_allocs` etc.
+    pub fn with_label(label: &'static str) -> Self {
+        Pool {
+            shelves: Mutex::new(HashMap::new()),
+            fresh_allocs: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            returns: AtomicU64::new(0),
+            discards: AtomicU64::new(0),
+            label,
+            obs: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn bump(&self, counter: &AtomicU64, which: usize) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        if ftsim_obs::enabled() {
+            let handles = self.obs.get_or_init(|| {
+                let registry = ftsim_obs::registry();
+                [
+                    registry.counter(&format!("{}.fresh_allocs", self.label)),
+                    registry.counter(&format!("{}.reuses", self.label)),
+                    registry.counter(&format!("{}.returns", self.label)),
+                    registry.counter(&format!("{}.discards", self.label)),
+                ]
+            });
+            handles[which].add(1);
+        }
     }
 
     /// An **empty** vector with capacity at least `len`, reusing shelved
     /// storage when a buffer of that exact capacity is available. The caller
     /// must fill it (e.g. with `extend`) — length starts at zero, so stale
     /// contents are unreachable.
-    pub fn take(&self, len: usize) -> Vec<f32> {
+    pub fn take(&self, len: usize) -> Vec<T> {
         if len == 0 {
             return Vec::new();
         }
@@ -102,45 +161,45 @@ impl BufferPool {
             .and_then(Vec::pop);
         match reused {
             Some(mut v) => {
-                self.reuses.fetch_add(1, Ordering::Relaxed);
+                self.bump(&self.reuses, REUSE);
                 v.clear();
                 v
             }
             None => {
-                self.fresh_allocs.fetch_add(1, Ordering::Relaxed);
+                self.bump(&self.fresh_allocs, FRESH);
                 Vec::with_capacity(len)
             }
         }
     }
 
-    /// A vector of exactly `len` zeros.
-    pub fn take_zeroed(&self, len: usize) -> Vec<f32> {
-        let mut v = self.take(len);
-        v.resize(len, 0.0);
-        v
-    }
-
     /// A vector of exactly `len` copies of `value`.
-    pub fn take_filled(&self, len: usize, value: f32) -> Vec<f32> {
+    pub fn take_filled(&self, len: usize, value: T) -> Vec<T>
+    where
+        T: Clone,
+    {
         let mut v = self.take(len);
         v.resize(len, value);
         v
     }
 
     /// A vector holding a copy of `src`.
-    pub fn take_copy(&self, src: &[f32]) -> Vec<f32> {
+    pub fn take_copy(&self, src: &[T]) -> Vec<T>
+    where
+        T: Clone,
+    {
         let mut v = self.take(src.len());
         v.extend_from_slice(src);
         v
     }
 
     /// Returns a buffer to the pool for reuse. Zero-capacity and oversized
-    /// buffers, and returns to a full shelf, are dropped instead.
-    pub fn give(&self, mut buf: Vec<f32>) {
+    /// buffers, and returns to a full shelf, are dropped instead. The buffer
+    /// is cleared first, so element destructors run now, not at reuse time.
+    pub fn give(&self, mut buf: Vec<T>) {
         let cap = buf.capacity();
         if cap == 0 || cap > MAX_POOLED_LEN {
             if cap > 0 {
-                self.discards.fetch_add(1, Ordering::Relaxed);
+                self.bump(&self.discards, DISCARD);
             }
             return;
         }
@@ -148,10 +207,10 @@ impl BufferPool {
         let mut shelves = self.shelves.lock().expect("pool mutex");
         let shelf = shelves.entry(cap).or_default();
         if shelf.len() >= SHELF_CAP {
-            self.discards.fetch_add(1, Ordering::Relaxed);
+            self.bump(&self.discards, DISCARD);
         } else {
             shelf.push(buf);
-            self.returns.fetch_add(1, Ordering::Relaxed);
+            self.bump(&self.returns, RETURN);
         }
     }
 
@@ -178,6 +237,15 @@ impl BufferPool {
             returns: self.returns.load(Ordering::Relaxed),
             discards: self.discards.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl Pool<f32> {
+    /// A vector of exactly `len` zeros.
+    pub fn take_zeroed(&self, len: usize) -> Vec<f32> {
+        let mut v = self.take(len);
+        v.resize(len, 0.0);
+        v
     }
 }
 
@@ -306,6 +374,35 @@ mod tests {
         pool.give(v);
         assert_eq!(pool.resident(), 0);
         assert_eq!(pool.stats().fresh_allocs, 0);
+    }
+
+    #[test]
+    fn generic_pool_recycles_non_f32_storage() {
+        let pool: Pool<String> = Pool::with_label("test.pool.generic");
+        let mut v = pool.take(4);
+        v.extend((0..4).map(|i| i.to_string()));
+        let ptr = v.as_ptr();
+        pool.give(v);
+        let again: Vec<String> = pool.take(4);
+        assert_eq!(again.as_ptr(), ptr, "expected the same storage back");
+        assert!(again.is_empty(), "recycled buffer must arrive cleared");
+        let s = pool.stats();
+        assert_eq!((s.fresh_allocs, s.reuses, s.returns), (1, 1, 1));
+    }
+
+    #[test]
+    fn obs_mirror_reports_pool_events_in_registry() {
+        let pool: Pool<u32> = Pool::with_label("test.pool.mirror");
+        ftsim_obs::enable();
+        let v = pool.take(16);
+        pool.give(v);
+        let v = pool.take(16);
+        ftsim_obs::disable();
+        drop(v);
+        let registry = ftsim_obs::registry();
+        assert_eq!(registry.counter("test.pool.mirror.fresh_allocs").get(), 1);
+        assert_eq!(registry.counter("test.pool.mirror.reuses").get(), 1);
+        assert_eq!(registry.counter("test.pool.mirror.returns").get(), 1);
     }
 
     #[test]
