@@ -1,0 +1,383 @@
+//! Argument parsing and snapshot I/O for the `repro` binary.
+//!
+//! Parsing is up-front and strict: an unknown flag or experiment id is a
+//! [`Err`] carrying the full valid-id list, which `main` prints before
+//! exiting nonzero — nothing is deferred to fail (or silently no-op) after
+//! experiments have already started running.
+
+use ftsim_obs::metrics::HistogramSnapshot;
+use ftsim_obs::{DiffConfig, Snapshot};
+use serde_json::Value;
+
+use crate::{experiment_ids, extra_experiment_ids};
+
+/// One-screen usage text (the id lists are appended by [`usage`]).
+pub const USAGE: &str = "usage: repro [--list] [--out DIR] [--follow] <all | id...>
+       repro --follow [--out DIR]
+           tail a live run's event log (results/profile_events.bin)
+       repro obs-diff <baseline.json> <current.json>
+                      [--threshold FRACTION] [--ignore SUBSTR]...
+           compare metric snapshots; exit 1 on regression";
+
+/// Usage text plus the valid experiment ids.
+pub fn usage() -> String {
+    format!("{USAGE}\n{}", valid_ids_help())
+}
+
+fn valid_ids_help() -> String {
+    format!(
+        "valid ids: {}\nextra ids (not in `all`): {}",
+        experiment_ids().join(" "),
+        extra_experiment_ids().join(" ")
+    )
+}
+
+/// A fully validated `repro` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print usage and exit with this code.
+    Help { exit_code: i32 },
+    /// Print every experiment id.
+    List,
+    /// Run experiments (optionally with a live follower attached).
+    Run {
+        ids: Vec<String>,
+        out_dir: String,
+        follow: bool,
+    },
+    /// Tail-only mode: render `<out_dir>/profile_events.bin` live.
+    Follow { out_dir: String },
+    /// Metrics regression gate over two snapshot files.
+    ObsDiff {
+        baseline: String,
+        current: String,
+        config: DiffConfig,
+    },
+}
+
+/// Parses `args` (without the program name). Errors are user-facing
+/// messages that already include the valid-id list where relevant.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    if args.is_empty() {
+        return Ok(Command::Help { exit_code: 2 });
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(Command::Help { exit_code: 0 });
+    }
+    if args[0] == "obs-diff" {
+        return parse_obs_diff(&args[1..]);
+    }
+
+    let valid = experiment_ids();
+    let extra = extra_experiment_ids();
+    let mut out_dir = String::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut follow = false;
+    let mut list = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--follow" => follow = true,
+            "--out" => {
+                out_dir = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--out requires a directory".to_string())?;
+            }
+            "all" => {
+                for id in &valid {
+                    if !ids.iter().any(|i| i == id) {
+                        ids.push(id.to_string());
+                    }
+                }
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}\n{}", usage()));
+            }
+            id => {
+                if !valid.contains(&id) && !extra.contains(&id) {
+                    return Err(format!(
+                        "unknown experiment id {id:?}\n{}",
+                        valid_ids_help()
+                    ));
+                }
+                if !ids.iter().any(|i| i == id) {
+                    ids.push(id.to_string());
+                }
+            }
+        }
+    }
+    if list {
+        return Ok(Command::List);
+    }
+    if ids.is_empty() {
+        if follow {
+            return Ok(Command::Follow { out_dir });
+        }
+        return Err(format!("no experiments selected\n{}", valid_ids_help()));
+    }
+    Ok(Command::Run {
+        ids,
+        out_dir,
+        follow,
+    })
+}
+
+fn parse_obs_diff(args: &[String]) -> Result<Command, String> {
+    let mut config = DiffConfig::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--threshold requires a value".to_string())?;
+                let t: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid threshold {v:?} (want a fraction, e.g. 0.25)"))?;
+                if !t.is_finite() || t < 0.0 {
+                    return Err(format!("threshold must be a nonnegative fraction, got {v}"));
+                }
+                config.threshold = t;
+            }
+            "--ignore" => {
+                let s = it
+                    .next()
+                    .ok_or_else(|| "--ignore requires a substring".to_string())?;
+                config.ignore.push(s.clone());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown obs-diff flag {flag:?}\n{USAGE}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        return Err(format!(
+            "obs-diff requires exactly <baseline.json> <current.json>, got {} path(s)\n{USAGE}",
+            paths.len()
+        ));
+    }
+    let current = paths.pop().expect("len 2");
+    let baseline = paths.pop().expect("len 2");
+    Ok(Command::ObsDiff {
+        baseline,
+        current,
+        config,
+    })
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) if *i >= 0 => Some(*i as u64),
+        Value::Float(f) if *f >= 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+/// Locates the registry-export object inside `doc`: either the document
+/// itself, or nested under `metrics` / `summary.metrics` (so both
+/// `profile_metrics.json` and `profile.json` work as gate inputs).
+fn find_metrics(doc: &Value) -> Option<&Value> {
+    if doc.get("counters").is_some() {
+        return Some(doc);
+    }
+    [
+        doc.get("metrics"),
+        doc.get("summary").and_then(|s| s.get("metrics")),
+    ]
+    .into_iter()
+    .flatten()
+    .find(|nested| nested.get("counters").is_some())
+}
+
+/// Parses a [`Snapshot`] back from its JSON export
+/// ([`Snapshot::to_json_string`]) or from a document embedding one.
+pub fn snapshot_from_json(text: &str) -> Result<Snapshot, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let metrics = find_metrics(&doc).ok_or_else(|| {
+        "no metrics object found (expected counters/gauges/histograms)".to_string()
+    })?;
+    let mut snapshot = Snapshot::default();
+    if let Some(Value::Object(entries)) = metrics.get("counters") {
+        for (name, v) in entries {
+            let v = as_u64(v).ok_or_else(|| format!("counter {name:?} is not a count"))?;
+            snapshot.counters.insert(name.clone(), v);
+        }
+    }
+    if let Some(Value::Object(entries)) = metrics.get("gauges") {
+        for (name, v) in entries {
+            let v = as_f64(v).ok_or_else(|| format!("gauge {name:?} is not a number"))?;
+            snapshot.gauges.insert(name.clone(), v);
+        }
+    }
+    if let Some(Value::Object(entries)) = metrics.get("histograms") {
+        for (name, h) in entries {
+            let arr = |key: &str| -> Vec<&Value> {
+                match h.get(key) {
+                    Some(Value::Array(items)) => items.iter().collect(),
+                    _ => Vec::new(),
+                }
+            };
+            let bounds: Option<Vec<f64>> = arr("bounds").into_iter().map(as_f64).collect();
+            let buckets: Option<Vec<u64>> = arr("buckets").into_iter().map(as_u64).collect();
+            let hist = HistogramSnapshot {
+                bounds: bounds.ok_or_else(|| format!("histogram {name:?}: bad bounds"))?,
+                buckets: buckets.ok_or_else(|| format!("histogram {name:?}: bad buckets"))?,
+                count: h
+                    .get("count")
+                    .and_then(as_u64)
+                    .ok_or_else(|| format!("histogram {name:?}: bad count"))?,
+                sum: h
+                    .get("sum")
+                    .and_then(as_f64)
+                    .ok_or_else(|| format!("histogram {name:?}: bad sum"))?,
+            };
+            snapshot.histograms.insert(name.clone(), hist);
+        }
+    }
+    Ok(snapshot)
+}
+
+/// Reads and parses a snapshot file.
+pub fn load_snapshot(path: &str) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    snapshot_from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_id_is_rejected_up_front_with_the_valid_list() {
+        let err = parse(&args(&["fig99"])).unwrap_err();
+        assert!(err.contains("unknown experiment id \"fig99\""), "{err}");
+        assert!(err.contains("fig8"), "lists valid ids: {err}");
+        assert!(err.contains("profile"), "lists extra ids: {err}");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = parse(&args(&["--folow", "profile"])).unwrap_err();
+        assert!(err.contains("unknown flag \"--folow\""), "{err}");
+    }
+
+    #[test]
+    fn run_parses_ids_flags_and_dedups() {
+        let cmd = parse(&args(&[
+            "--out", "o", "fig8", "fig8", "--follow", "profile",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                ids: vec!["fig8".to_string(), "profile".to_string()],
+                out_dir: "o".to_string(),
+                follow: true,
+            }
+        );
+    }
+
+    #[test]
+    fn all_expands_to_every_default_id() {
+        let Command::Run { ids, .. } = parse(&args(&["all"])).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(ids.len(), experiment_ids().len());
+    }
+
+    #[test]
+    fn bare_follow_is_tail_only_mode() {
+        assert_eq!(
+            parse(&args(&["--follow"])).unwrap(),
+            Command::Follow {
+                out_dir: "results".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_and_help_map_to_usage_exit_codes() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help { exit_code: 2 });
+        assert_eq!(
+            parse(&args(&["--help"])).unwrap(),
+            Command::Help { exit_code: 0 }
+        );
+    }
+
+    #[test]
+    fn obs_diff_parses_threshold_and_ignores() {
+        let cmd = parse(&args(&[
+            "obs-diff",
+            "base.json",
+            "cur.json",
+            "--threshold",
+            "0.1",
+            "--ignore",
+            "tokens_per_sec",
+        ]))
+        .unwrap();
+        let Command::ObsDiff {
+            baseline,
+            current,
+            config,
+        } = cmd
+        else {
+            panic!("expected ObsDiff");
+        };
+        assert_eq!(
+            (baseline.as_str(), current.as_str()),
+            ("base.json", "cur.json")
+        );
+        assert_eq!(config.threshold, 0.1);
+        assert_eq!(config.ignore, vec!["tokens_per_sec".to_string()]);
+    }
+
+    #[test]
+    fn obs_diff_requires_two_paths_and_valid_threshold() {
+        assert!(parse(&args(&["obs-diff", "only.json"])).is_err());
+        assert!(parse(&args(&["obs-diff", "a", "b", "--threshold", "nope"])).is_err());
+        assert!(parse(&args(&["obs-diff", "a", "b", "--threshold", "-1"])).is_err());
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_the_parser() {
+        let mut snapshot = Snapshot::default();
+        snapshot.counters.insert("steps".to_string(), 42);
+        snapshot.gauges.insert("qps".to_string(), 1.5);
+        snapshot.histograms.insert(
+            "lat".to_string(),
+            HistogramSnapshot {
+                bounds: vec![1.0, 2.0],
+                buckets: vec![3, 1, 0],
+                count: 4,
+                sum: 5.25,
+            },
+        );
+        let parsed = snapshot_from_json(&snapshot.to_json_string()).unwrap();
+        assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn snapshot_parses_from_nested_summary_documents() {
+        let doc = r#"{"summary":{"metrics":{"counters":{"c":1},"gauges":{},"histograms":{}}}}"#;
+        let parsed = snapshot_from_json(doc).unwrap();
+        assert_eq!(parsed.counters["c"], 1);
+        assert!(snapshot_from_json(r#"{"other":1}"#).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Live terminal view over a streaming event log (`repro profile --follow`).
+//!
+//! [`follow`] tails `profile_events.bin` with an [`ftsim_obs::LogReader`] —
+//! from a second `repro` process or a same-process reader thread — folds
+//! each record into a [`FollowView`], and re-renders a small dashboard:
+//! sweep progress with an ETA, the live stage-breakdown percentages, the
+//! training loop's loss/epoch/tokens-per-second, and the expert-imbalance
+//! gauge. On a terminal the block redraws in place (ANSI cursor-up);
+//! piped/CI output gets one compact status line per change instead. The
+//! loop exits 0 when the writer's footer arrives (clean shutdown) and 1 if
+//! the log goes silent past a stall deadline.
+
+use std::io::{IsTerminal, Write as _};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use ftsim_obs::{Footer, LogReader, LogRecord};
+
+/// Aggregated state of the stream so far — pure fold, separately testable.
+#[derive(Debug, Default, Clone)]
+pub struct FollowView {
+    /// Records seen (all kinds).
+    pub events: u64,
+    /// Completed spans seen, and the most recent one's `cat/name`.
+    pub spans: u64,
+    pub last_span: String,
+    counters: std::collections::BTreeMap<String, u64>,
+    gauges: std::collections::BTreeMap<String, f64>,
+    /// Set once the writer shut down cleanly.
+    pub footer: Option<Footer>,
+}
+
+impl FollowView {
+    /// Folds one record into the view.
+    pub fn apply(&mut self, record: &LogRecord) {
+        self.events += 1;
+        match record {
+            LogRecord::Span { cat, name, .. } => {
+                self.spans += 1;
+                self.last_span = format!("{cat}/{name}");
+            }
+            LogRecord::Counter { name, delta } => {
+                *self.counters.entry(name.clone()).or_insert(0) += delta;
+            }
+            LogRecord::Gauge { name, value } => {
+                self.gauges.insert(name.clone(), *value);
+            }
+            LogRecord::Histogram { .. } => {}
+        }
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Sweep progress as `(done, total)`, when the stream carries a sweep.
+    pub fn sweep_progress(&self) -> Option<(u64, u64)> {
+        let total = self.gauge("sim.sweep.points_total")? as u64;
+        Some((self.counter("sim.sweep.points_done").min(total), total))
+    }
+
+    /// Naive ETA: elapsed scaled by the remaining fraction of sweep points.
+    pub fn eta_seconds(&self, elapsed_s: f64) -> Option<f64> {
+        let (done, total) = self.sweep_progress()?;
+        if done == 0 || done >= total {
+            return None;
+        }
+        Some(elapsed_s / done as f64 * (total - done) as f64)
+    }
+
+    /// Renders the dashboard block (no ANSI; the caller handles redraw).
+    pub fn render(&self, elapsed_s: f64) -> String {
+        let mut out = String::new();
+        let dropped = self.footer.map(|f| f.dropped_events).unwrap_or(0);
+        out.push_str(&format!(
+            "profile stream: {} events ({} spans, {} dropped)  [{elapsed_s:.1}s]\n",
+            self.events, self.spans, dropped
+        ));
+        if let Some((done, total)) = self.sweep_progress() {
+            let eta = match self.eta_seconds(elapsed_s) {
+                Some(eta) => format!("  ETA {eta:.0}s"),
+                None => String::new(),
+            };
+            let last = match (
+                self.gauge("sim.sweep.last_batch"),
+                self.gauge("sim.sweep.last_qps"),
+            ) {
+                (Some(b), Some(q)) => format!("  last batch {b:.0} @ {q:.2} qps"),
+                _ => String::new(),
+            };
+            out.push_str(&format!("sweep: {done}/{total} points{last}{eta}\n"));
+        }
+        if let (Some(fwd), Some(bwd), Some(opt)) = (
+            self.gauge("sim.step.forward_pct"),
+            self.gauge("sim.step.backward_pct"),
+            self.gauge("sim.step.optimizer_pct"),
+        ) {
+            out.push_str(&format!(
+                "stages: fwd {fwd:.1}%  bwd {bwd:.1}%  opt {opt:.1}%\n"
+            ));
+        }
+        let steps = self.counter("sim.train.steps");
+        if steps > 0 {
+            let epoch = self.gauge("sim.train.epoch").unwrap_or(0.0);
+            let loss = self.gauge("sim.train.loss").unwrap_or(f64::NAN);
+            let tps = self
+                .gauge("sim.train.tokens_per_sec")
+                .map(|t| format!("  {t:.0} tok/s"))
+                .unwrap_or_default();
+            let imb = self
+                .gauge("sim.train.imbalance")
+                .map(|v| format!("  imbalance {v:.4}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "train: epoch {epoch:.0}  step {steps}  loss {loss:.3}{tps}{imb}\n"
+            ));
+        }
+        if !self.last_span.is_empty() {
+            out.push_str(&format!("last span: {}\n", self.last_span));
+        }
+        if let Some(f) = self.footer {
+            out.push_str(&format!(
+                "done: {} events written, {} dropped\n",
+                f.events_written, f.dropped_events
+            ));
+        }
+        out
+    }
+}
+
+/// Tails `path` until the writer's footer (exit 0) or a stall/missing-file
+/// deadline (exit 1). `open_deadline` bounds the wait for the log file to
+/// appear; the stall deadline for a log that stops growing is fixed at 120s.
+pub fn follow(path: &Path, open_deadline: Duration) -> i32 {
+    let start = Instant::now();
+    let mut reader = loop {
+        match LogReader::open(path) {
+            Ok(r) => break r,
+            Err(_) if start.elapsed() < open_deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => {
+                eprintln!("follow: {} never appeared: {e}", path.display());
+                return 1;
+            }
+        }
+    };
+
+    let interactive = std::io::stdout().is_terminal();
+    let mut view = FollowView::default();
+    let mut last_render = String::new();
+    let mut rendered_lines = 0usize;
+    let mut last_progress = Instant::now();
+    let stall = Duration::from_secs(120);
+    loop {
+        let batch = match reader.poll() {
+            Ok(batch) => batch,
+            Err(e) => {
+                eprintln!("follow: {e}");
+                return 1;
+            }
+        };
+        if !batch.is_empty() {
+            last_progress = Instant::now();
+        }
+        for record in &batch {
+            view.apply(record);
+        }
+        view.footer = reader.footer();
+
+        let frame = view.render(start.elapsed().as_secs_f64());
+        if frame != last_render {
+            let mut stdout = std::io::stdout().lock();
+            if interactive {
+                // Redraw in place: cursor up over the previous block, clear
+                // to end of screen, reprint.
+                if rendered_lines > 0 {
+                    let _ = write!(stdout, "\x1b[{rendered_lines}A\x1b[J");
+                }
+                let _ = stdout.write_all(frame.as_bytes());
+                rendered_lines = frame.lines().count();
+            } else {
+                // Non-interactive: one compact line per change.
+                let _ = writeln!(stdout, "{}", frame.replace('\n', "  ").trim_end());
+            }
+            let _ = stdout.flush();
+            last_render = frame;
+        }
+
+        if view.footer.is_some() {
+            return 0;
+        }
+        if last_progress.elapsed() > stall {
+            eprintln!(
+                "follow: log stalled for {}s without a footer",
+                stall.as_secs()
+            );
+            return 1;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauge(name: &str, value: f64) -> LogRecord {
+        LogRecord::Gauge {
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    fn counter(name: &str, delta: u64) -> LogRecord {
+        LogRecord::Counter {
+            name: name.to_string(),
+            delta,
+        }
+    }
+
+    #[test]
+    fn view_folds_progress_and_computes_eta() {
+        let mut v = FollowView::default();
+        v.apply(&gauge("sim.sweep.points_total", 8.0));
+        for _ in 0..2 {
+            v.apply(&counter("sim.sweep.points_done", 1));
+        }
+        assert_eq!(v.sweep_progress(), Some((2, 8)));
+        // 2 points in 10s -> 6 more take ~30s.
+        assert!((v.eta_seconds(10.0).unwrap() - 30.0).abs() < 1e-9);
+        // Complete: no ETA.
+        for _ in 0..6 {
+            v.apply(&counter("sim.sweep.points_done", 1));
+        }
+        assert_eq!(v.eta_seconds(40.0), None);
+    }
+
+    #[test]
+    fn render_includes_each_section_only_when_data_arrived() {
+        let mut v = FollowView::default();
+        let empty = v.render(1.0);
+        assert!(empty.contains("profile stream"));
+        assert!(!empty.contains("sweep:"));
+        assert!(!empty.contains("train:"));
+
+        v.apply(&gauge("sim.sweep.points_total", 4.0));
+        v.apply(&counter("sim.sweep.points_done", 1));
+        v.apply(&gauge("sim.step.forward_pct", 60.0));
+        v.apply(&gauge("sim.step.backward_pct", 38.0));
+        v.apply(&gauge("sim.step.optimizer_pct", 2.0));
+        v.apply(&counter("sim.train.steps", 5));
+        v.apply(&gauge("sim.train.loss", 0.5));
+        v.apply(&gauge("sim.train.imbalance", 0.01));
+        v.apply(&LogRecord::Span {
+            cat: "sim.step".to_string(),
+            name: "simulate_step".to_string(),
+            ts_ns: 0,
+            dur_ns: 1,
+            tid: 0,
+            depth: 0,
+        });
+        let full = v.render(2.0);
+        assert!(full.contains("sweep: 1/4 points"), "{full}");
+        assert!(full.contains("fwd 60.0%"), "{full}");
+        assert!(full.contains("loss 0.500"), "{full}");
+        assert!(full.contains("imbalance 0.0100"), "{full}");
+        assert!(full.contains("last span: sim.step/simulate_step"), "{full}");
+    }
+
+    #[test]
+    fn footer_renders_the_done_line() {
+        let v = FollowView {
+            footer: Some(Footer {
+                events_written: 10,
+                dropped_events: 2,
+            }),
+            ..Default::default()
+        };
+        let out = v.render(1.0);
+        assert!(out.contains("done: 10 events written, 2 dropped"), "{out}");
+    }
+
+    #[test]
+    fn follow_exits_nonzero_when_the_log_never_appears() {
+        let path = std::env::temp_dir().join("ftsim-follow-missing.bin");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(follow(&path, Duration::from_millis(50)), 1);
+    }
+}

@@ -2,67 +2,152 @@
 //! stack.
 //!
 //! ```text
-//! repro all            # run everything, write results/*.json
-//! repro fig8 table4    # run selected experiments
-//! repro --list         # list experiment ids
+//! repro all                  # run everything, write results/*.json
+//! repro fig8 table4          # run selected experiments
+//! repro --list               # list experiment ids
+//! repro profile --follow     # profile with a live in-process dashboard
+//! repro --follow             # tail a live run from a second process
+//! repro obs-diff a.json b.json   # metrics regression gate (exit 1 on fail)
 //! ```
 //!
 //! Experiments are independent, so they fan out across the engine's worker
 //! threads (`FTSIM_THREADS`); reports and artifacts are emitted in input
-//! order, byte-identical to a serial run.
+//! order, byte-identical to a serial run. When the selection includes
+//! `profile`, every observability event additionally streams through a
+//! lock-free ring buffer into `<out>/profile_events.bin` while the run is
+//! live, and the log is replayed into `<out>/profile_flame.txt` afterwards.
 
-use ftsim_experiments::{experiment_ids, extra_experiment_ids, run, ARTIFACTS_KEY};
+use ftsim_experiments::cli::{self, Command};
+use ftsim_experiments::{follow, run, ARTIFACTS_KEY};
+use ftsim_obs::{BinLogWriter, RingBuffer, RingSink};
 use ftsim_sim::parallel_map;
 use serde_json::Value;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Event-log filename under the output directory (shared with `--follow`).
+const EVENT_LOG: &str = "profile_events.bin";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--list] [--out DIR] <all | id...>");
-        eprintln!("ids: {}", experiment_ids().join(" "));
-        eprintln!("extra (not in `all`): {}", extra_experiment_ids().join(" "));
-        std::process::exit(if args.is_empty() { 2 } else { 0 });
-    }
-    if args.iter().any(|a| a == "--list") {
-        for id in experiment_ids().into_iter().chain(extra_experiment_ids()) {
-            println!("{id}");
-        }
-        return;
-    }
-
-    let mut out_dir = String::from("results");
-    let mut ids: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--out" => {
-                out_dir = it.next().unwrap_or_else(|| {
-                    eprintln!("--out requires a directory");
-                    std::process::exit(2);
-                });
-            }
-            "all" => ids = experiment_ids().iter().map(|s| s.to_string()).collect(),
-            other => ids.push(other.to_string()),
-        }
-    }
-
-    let valid = experiment_ids();
-    let extra = extra_experiment_ids();
-    for id in &ids {
-        if !valid.contains(&id.as_str()) && !extra.contains(&id.as_str()) {
-            eprintln!("unknown experiment id {id:?}; use --list");
+    let command = match cli::parse(&args) {
+        Ok(command) => command,
+        Err(message) => {
+            eprintln!("{message}");
             std::process::exit(2);
         }
+    };
+    match command {
+        Command::Help { exit_code } => {
+            eprintln!("{}", cli::usage());
+            std::process::exit(exit_code);
+        }
+        Command::List => {
+            for id in ftsim_experiments::experiment_ids()
+                .into_iter()
+                .chain(ftsim_experiments::extra_experiment_ids())
+            {
+                println!("{id}");
+            }
+        }
+        Command::Follow { out_dir } => {
+            let path = Path::new(&out_dir).join(EVENT_LOG);
+            std::process::exit(follow::follow(&path, Duration::from_secs(60)));
+        }
+        Command::ObsDiff {
+            baseline,
+            current,
+            config,
+        } => {
+            let exit = obs_diff(&baseline, &current, &config);
+            std::process::exit(exit);
+        }
+        Command::Run {
+            ids,
+            out_dir,
+            follow,
+        } => {
+            let exit = run_experiments(&ids, &out_dir, follow);
+            std::process::exit(exit);
+        }
+    }
+}
+
+fn obs_diff(baseline: &str, current: &str, config: &ftsim_obs::DiffConfig) -> i32 {
+    let load = |path: &str| {
+        cli::load_snapshot(path).unwrap_or_else(|e| {
+            eprintln!("obs-diff: {e}");
+            std::process::exit(2);
+        })
+    };
+    let report = ftsim_obs::compare(&load(baseline), &load(current), config);
+    print!("{}", report.to_text());
+    i32::from(report.has_regressions())
+}
+
+fn run_experiments(ids: &[String], out_dir: &str, follow_requested: bool) -> i32 {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return 1;
     }
 
-    if let Err(e) = std::fs::create_dir_all(&out_dir) {
-        eprintln!("cannot create {out_dir}: {e}");
-        std::process::exit(1);
+    // The profile experiment streams: install the ring sink and the drain
+    // thread before anything runs, so the log carries events *while* the
+    // run is in progress (that is what `--follow` tails).
+    let log_path = Path::new(out_dir).join(EVENT_LOG);
+    let streaming = ids.iter().any(|id| id == "profile");
+    let writer = if streaming {
+        let ring = Arc::new(RingBuffer::with_capacity(1 << 16));
+        match BinLogWriter::spawn(&log_path, Arc::clone(&ring), Duration::from_millis(25)) {
+            Ok(writer) => {
+                ftsim_obs::set_sink(Arc::new(RingSink::new(ring)));
+                Some(writer)
+            }
+            Err(e) => {
+                eprintln!("warning: cannot open {}: {e}", log_path.display());
+                None
+            }
+        }
+    } else {
+        None
+    };
+    if follow_requested && writer.is_none() {
+        eprintln!("warning: --follow needs the `profile` experiment in the selection; ignoring");
     }
+    let follower = (follow_requested && writer.is_some()).then(|| {
+        let path = log_path.clone();
+        std::thread::spawn(move || follow::follow(&path, Duration::from_secs(60)))
+    });
 
     // Run the experiments in parallel, then report serially in input order.
-    let results = parallel_map(&ids, |id| run(id));
+    let results = parallel_map(ids, |id| run(id));
+
+    // Clean shutdown of the stream before reporting: drain, footer, flush —
+    // the follower (here or in another process) sees the footer and exits.
+    if let Some(writer) = writer {
+        ftsim_obs::clear_sink();
+        match writer.finish() {
+            Ok(stats) => {
+                println!(
+                    "[event log: {} — {} events, {} dropped]",
+                    log_path.display(),
+                    stats.events_written,
+                    stats.dropped_events
+                );
+            }
+            Err(e) => eprintln!("warning: event log shutdown failed: {e}"),
+        }
+        export_flamegraph(&log_path, out_dir);
+    }
+    if let Some(follower) = follower {
+        match follower.join() {
+            Ok(0) => {}
+            Ok(code) => eprintln!("warning: follower exited with {code}"),
+            Err(_) => eprintln!("warning: follower thread panicked"),
+        }
+    }
+
     for result in &results {
         println!("== {} ==", result.title);
         println!("{}", result.text);
@@ -76,7 +161,7 @@ fn main() {
         }
         if let Some(Value::Object(artifacts)) = result.json.get(ARTIFACTS_KEY) {
             for (name, value) in artifacts {
-                let path = Path::new(&out_dir).join(name);
+                let path = Path::new(out_dir).join(name);
                 // A string artifact is pre-rendered (raw file body); anything
                 // else is serialized as pretty JSON.
                 let body = match value {
@@ -97,7 +182,7 @@ fn main() {
             }
         }
 
-        let path = Path::new(&out_dir).join(format!("{}.json", result.id));
+        let path = Path::new(out_dir).join(format!("{}.json", result.id));
         match serde_json::to_string_pretty(&doc) {
             Ok(body) => {
                 if let Err(e) = std::fs::write(&path, body) {
@@ -108,5 +193,28 @@ fn main() {
             }
             Err(e) => eprintln!("warning: cannot serialize {}: {e}", result.id),
         }
+    }
+    0
+}
+
+/// Replays the event log into a collapsed-stack flamegraph
+/// (`profile_flame.txt`, `flamegraph.pl`/inferno-compatible).
+fn export_flamegraph(log_path: &Path, out_dir: &str) {
+    let records = match ftsim_obs::replay(log_path) {
+        Ok((records, _footer)) => records,
+        Err(e) => {
+            eprintln!("warning: cannot replay {}: {e}", log_path.display());
+            return;
+        }
+    };
+    let flame = ftsim_obs::collapse(&records);
+    let path = Path::new(out_dir).join("profile_flame.txt");
+    match std::fs::write(&path, flame.to_collapsed()) {
+        Ok(()) => println!(
+            "[artifact: {} — {} stacks]",
+            path.display(),
+            flame.stacks().len()
+        ),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 }

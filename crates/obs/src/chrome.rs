@@ -196,4 +196,89 @@ mod tests {
         assert_eq!(trace.len(), 1);
         assert!(!trace.is_empty());
     }
+
+    /// Names that stress every escaping class: quotes, backslashes, named
+    /// control escapes, raw control chars, and non-ASCII (multi-byte and
+    /// astral-plane).
+    fn hostile_names() -> Vec<&'static str> {
+        vec![
+            r#"quote " in the middle"#,
+            r#"trailing backslash \"#,
+            r#"\\"already escaped\\""#,
+            "newline\nand\ttab\rand\x08backspace",
+            "\x00\x01\x1f raw controls",
+            "expert-π: “curly” → données 数据 🧪",
+            "",
+        ]
+    }
+
+    #[test]
+    fn hostile_span_names_round_trip_through_the_parser() {
+        let mut trace = ChromeTrace::new();
+        for (i, name) in hostile_names().into_iter().enumerate() {
+            trace.add_complete(1, i as u64, name, name, i as f64, 1.0);
+        }
+        let json = trace.to_json_string();
+        let doc: serde_json::Value =
+            serde_json::from_str(&json).expect("escaped output must be valid JSON");
+        let events = match doc.get("traceEvents") {
+            Some(serde_json::Value::Array(events)) => events,
+            other => panic!("missing traceEvents: {other:?}"),
+        };
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match (e.get("ph"), e.get("name")) {
+                (Some(serde_json::Value::String(ph)), Some(serde_json::Value::String(n)))
+                    if ph == "X" =>
+                {
+                    Some(n.as_str())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, hostile_names(), "names survive escape + parse");
+        // Categories take the same path.
+        for (e, want) in events.iter().zip(hostile_names()) {
+            match e.get("cat") {
+                Some(serde_json::Value::String(cat)) => assert_eq!(cat, want),
+                other => panic!("missing cat: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_metadata_names_round_trip_through_the_parser() {
+        let mut trace = ChromeTrace::new();
+        let name = "proc \"sim\\trace\"\n\u{1F525} \x02";
+        trace.name_process(7, name);
+        trace.name_thread(7, 3, name);
+        let doc: serde_json::Value =
+            serde_json::from_str(&trace.to_json_string()).expect("valid JSON");
+        let events = match doc.get("traceEvents") {
+            Some(serde_json::Value::Array(events)) => events,
+            other => panic!("missing traceEvents: {other:?}"),
+        };
+        let meta_names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("args"))
+            .filter_map(|a| match a.get("name") {
+                Some(serde_json::Value::String(n)) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(meta_names, vec![name, name]);
+    }
+
+    #[test]
+    fn snapshot_export_escapes_hostile_metric_names() {
+        let mut out = String::new();
+        write_json_string(&mut out, "metric \"x\\y\"\u{7}: temps élevés");
+        let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON literal");
+        match parsed {
+            serde_json::Value::String(s) => {
+                assert_eq!(s, "metric \"x\\y\"\u{7}: temps élevés")
+            }
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
 }

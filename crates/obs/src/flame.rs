@@ -1,0 +1,230 @@
+//! Collapsed-stack flamegraph export over a replayed event log.
+//!
+//! [`collapse`] reconstructs each thread's span stack from the flat,
+//! start-ordered span records in a binary event log ([`crate::binlog`]) and
+//! accumulates *self time* (inclusive duration minus direct children) per
+//! stack path. [`FlameGraph::to_collapsed`] renders the result in the
+//! `flamegraph.pl` / inferno collapsed format — one `a;b;c <count>` line per
+//! stack, counts in nanoseconds — so `results/profile_flame.txt` feeds
+//! straight into either tool.
+//!
+//! Stacks are rooted by provenance: spans in the `sim.gpu` category (the
+//! profiler's *simulated* device timeline) collapse under a `gpu` root
+//! frame, everything else (wall-clock harness spans) under `ftsim`. That
+//! keeps modeled GPU nanoseconds and real host nanoseconds from summing
+//! into one meaningless flame.
+
+use std::collections::BTreeMap;
+
+use crate::binlog::LogRecord;
+
+/// Root frame for the profiler's simulated device timeline.
+pub const GPU_ROOT: &str = "gpu";
+/// Root frame for wall-clock (host) spans.
+pub const HOST_ROOT: &str = "ftsim";
+
+/// Category carrying simulated (modeled-latency) spans.
+pub const SIM_GPU_CAT: &str = "sim.gpu";
+
+/// Aggregated self-time per stack path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlameGraph {
+    /// `root;frame;frame` → self nanoseconds. Sorted, so output is stable.
+    stacks: BTreeMap<String, u64>,
+}
+
+impl FlameGraph {
+    /// The accumulated stacks (path → self nanoseconds).
+    pub fn stacks(&self) -> &BTreeMap<String, u64> {
+        &self.stacks
+    }
+
+    /// Total self-time under stacks whose path starts with `prefix` — e.g.
+    /// `"gpu;attention"` for one simulated stage's inclusive total.
+    pub fn total_under(&self, prefix: &str) -> u64 {
+        self.stacks
+            .iter()
+            .filter(|(path, _)| {
+                path.as_str() == prefix
+                    || path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b';')
+            })
+            .map(|(_, ns)| ns)
+            .sum()
+    }
+
+    /// Renders `flamegraph.pl`-compatible collapsed lines.
+    pub fn to_collapsed(&self) -> String {
+        let mut out = String::new();
+        for (path, ns) in &self.stacks {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Collapsed-format frame names must not contain the `;` separator, and the
+/// final space-separated field is the count.
+fn frame(name: &str) -> String {
+    name.replace(';', ":").replace(' ', "_")
+}
+
+struct Open {
+    path: String,
+    depth: u32,
+    dur_ns: u64,
+    child_ns: u64,
+}
+
+/// `(cat, name, ts_ns, dur_ns, depth)` of one replayed span.
+type SpanTuple<'a> = (&'a str, &'a str, u64, u64, u32);
+
+/// Builds a [`FlameGraph`] from replayed records (non-span records are
+/// ignored).
+pub fn collapse(records: &[LogRecord]) -> FlameGraph {
+    // Regroup the flat record stream per thread, preserving start order
+    // within each thread (parents precede children at equal timestamps
+    // because the writer serializes them depth-first per thread, and the
+    // profiler's synthetic timeline is emitted parent-first).
+    let mut per_tid: BTreeMap<u32, Vec<SpanTuple<'_>>> = BTreeMap::new();
+    for record in records {
+        if let LogRecord::Span {
+            cat,
+            name,
+            ts_ns,
+            dur_ns,
+            tid,
+            depth,
+        } = record
+        {
+            per_tid
+                .entry(*tid)
+                .or_default()
+                .push((cat, name, *ts_ns, *dur_ns, *depth));
+        }
+    }
+
+    let mut graph = FlameGraph::default();
+    for spans in per_tid.values_mut() {
+        spans.sort_by_key(|&(_, _, ts_ns, _, depth)| (ts_ns, depth));
+        let mut stack: Vec<Open> = Vec::new();
+        for &(cat, name, _ts_ns, dur_ns, depth) in spans.iter() {
+            while stack.last().is_some_and(|top| top.depth >= depth) {
+                close(&mut graph, stack.pop().expect("non-empty"));
+            }
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += dur_ns;
+            }
+            let path = match stack.last() {
+                Some(parent) => format!("{};{}", parent.path, frame(name)),
+                None => {
+                    let root = if cat == SIM_GPU_CAT {
+                        GPU_ROOT
+                    } else {
+                        HOST_ROOT
+                    };
+                    format!("{root};{}", frame(name))
+                }
+            };
+            stack.push(Open {
+                path,
+                depth,
+                dur_ns,
+                child_ns: 0,
+            });
+        }
+        while let Some(open) = stack.pop() {
+            close(&mut graph, open);
+        }
+    }
+    graph
+}
+
+fn close(graph: &mut FlameGraph, open: Open) {
+    let self_ns = open.dur_ns.saturating_sub(open.child_ns);
+    if self_ns > 0 {
+        *graph.stacks.entry(open.path).or_insert(0) += self_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(cat: &str, name: &str, ts_ns: u64, dur_ns: u64, tid: u32, depth: u32) -> LogRecord {
+        LogRecord::Span {
+            cat: cat.to_string(),
+            name: name.to_string(),
+            ts_ns,
+            dur_ns,
+            tid,
+            depth,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        // step(0..100) > attention(0..40) > qkv(0..30); moe(40..100).
+        let records = vec![
+            span(SIM_GPU_CAT, "step", 0, 100, 0, 0),
+            span(SIM_GPU_CAT, "attention", 0, 40, 0, 1),
+            span(SIM_GPU_CAT, "qkv", 0, 30, 0, 2),
+            span(SIM_GPU_CAT, "moe", 40, 60, 0, 1),
+        ];
+        let g = collapse(&records);
+        assert_eq!(g.stacks()["gpu;step;attention;qkv"], 30);
+        assert_eq!(g.stacks()["gpu;step;attention"], 10);
+        assert_eq!(g.stacks()["gpu;step;moe"], 60);
+        assert!(!g.stacks().contains_key("gpu;step"), "fully covered parent");
+        // Inclusive totals survive the self-time decomposition.
+        assert_eq!(g.total_under("gpu;step"), 100);
+        assert_eq!(g.total_under("gpu;step;attention"), 40);
+        assert_eq!(g.total_under("gpu"), 100);
+    }
+
+    #[test]
+    fn threads_and_roots_stay_separate() {
+        let records = vec![
+            span(SIM_GPU_CAT, "kernel", 0, 50, 0, 0),
+            span("ftsim.host", "pricing", 0, 70, 1, 0),
+        ];
+        let g = collapse(&records);
+        assert_eq!(g.stacks()["gpu;kernel"], 50);
+        assert_eq!(g.stacks()["ftsim;pricing"], 70);
+        assert_eq!(g.total_under("gpu"), 50);
+        assert_eq!(g.total_under("ftsim"), 70);
+    }
+
+    #[test]
+    fn collapsed_output_is_parseable_and_sanitized() {
+        let records = vec![span("c", "odd;name with space", 0, 5, 0, 0)];
+        let out = collapse(&records).to_collapsed();
+        assert_eq!(out, "ftsim;odd:name_with_space 5\n");
+        // flamegraph.pl contract: last space-separated field is the count,
+        // frames are ;-separated.
+        let (stack, count) = out.trim_end().rsplit_once(' ').unwrap();
+        assert_eq!(count.parse::<u64>().unwrap(), 5);
+        assert_eq!(stack.split(';').count(), 2);
+    }
+
+    #[test]
+    fn repeated_stacks_accumulate() {
+        let records = vec![
+            span("c", "work", 0, 5, 0, 0),
+            span("c", "work", 10, 7, 0, 0),
+        ];
+        let g = collapse(&records);
+        assert_eq!(g.stacks()["ftsim;work"], 12);
+    }
+
+    #[test]
+    fn non_span_records_are_ignored() {
+        let records = vec![LogRecord::Counter {
+            name: "c".to_string(),
+            delta: 1,
+        }];
+        assert!(collapse(&records).stacks().is_empty());
+    }
+}

@@ -16,6 +16,12 @@
 //! * [`sink::ObsSink`] — a hook trait for shipping events elsewhere; the
 //!   built-in tracer + registry are the default destination, and an installed
 //!   sink receives every span/counter/gauge/histogram event in addition.
+//! * [`ring`] / [`binlog`] — the streaming leg: a bounded lock-free MPSC
+//!   ring-buffer sink (producers never block or allocate; overload drops and
+//!   counts) drained by a background thread into a length-prefixed binary
+//!   event log that a second process can tail while the run is live.
+//! * [`flame`] / [`diff`] — offline exporters over that log: collapsed-stack
+//!   flamegraphs and a thresholded metrics regression gate.
 //!
 //! # Cost discipline
 //!
@@ -28,16 +34,24 @@
 //! No external dependencies: JSON is emitted by hand (the workspace's vendored
 //! `serde_json` is used only in tests, to parse the output back).
 
+pub mod binlog;
 pub mod chrome;
+pub mod diff;
+pub mod flame;
 pub mod metrics;
+pub mod ring;
 pub mod sink;
 pub mod span;
 pub mod tree;
 
+pub use binlog::{replay, BinLogWriter, Footer, LogReader, LogRecord, RingSink, WriterStats};
 pub use chrome::ChromeTrace;
+pub use diff::{compare, DiffConfig, DiffReport};
+pub use flame::{collapse, FlameGraph};
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry, Snapshot};
+pub use ring::{RingBuffer, RingEvent};
 pub use sink::{clear_sink, set_sink, ObsSink};
-pub use span::{drain_events, span, span_lazy, Event, SpanGuard};
+pub use span::{drain_events, emit_span, span, span_lazy, Event, SpanGuard};
 pub use tree::SpanTree;
 
 #[cfg(feature = "enabled")]

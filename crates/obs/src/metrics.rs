@@ -430,6 +430,46 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_json_export_is_deterministic_and_key_sorted() {
+        // obs-diff baselines and results/*.json metric blocks must be
+        // byte-stable across runs and thread schedules: same contents in any
+        // insertion order -> identical bytes, keys sorted.
+        let mut a = Snapshot::default();
+        let mut b = Snapshot::default();
+        for (k, v) in [("z.last", 1u64), ("a.first", 2), ("m.mid", 3)] {
+            a.counters.insert(k.to_string(), v);
+        }
+        for (k, v) in [("m.mid", 3u64), ("a.first", 2), ("z.last", 1)] {
+            b.counters.insert(k.to_string(), v);
+        }
+        a.gauges.insert("g.b".to_string(), 1.5);
+        a.gauges.insert("g.a".to_string(), 2.5);
+        b.gauges.insert("g.a".to_string(), 2.5);
+        b.gauges.insert("g.b".to_string(), 1.5);
+        let hist = HistogramSnapshot {
+            bounds: vec![1.0],
+            buckets: vec![1, 0],
+            count: 1,
+            sum: 0.5,
+        };
+        a.histograms.insert("h.two".to_string(), hist.clone());
+        a.histograms.insert("h.one".to_string(), hist.clone());
+        b.histograms.insert("h.one".to_string(), hist.clone());
+        b.histograms.insert("h.two".to_string(), hist);
+
+        let json = a.to_json_string();
+        assert_eq!(json, b.to_json_string(), "insertion order must not leak");
+        let pos = |needle: &str| {
+            json.find(needle)
+                .unwrap_or_else(|| panic!("{needle} missing"))
+        };
+        assert!(pos("a.first") < pos("m.mid"));
+        assert!(pos("m.mid") < pos("z.last"));
+        assert!(pos("g.a") < pos("g.b"));
+        assert!(pos("h.one") < pos("h.two"));
+    }
+
+    #[test]
     fn disabled_updates_are_dropped() {
         let _g = test_lock();
         crate::disable();

@@ -1,0 +1,342 @@
+//! Bounded lock-free MPSC ring buffer for streaming observability events.
+//!
+//! The hot-path contract is strict: [`RingBuffer::try_push`] never blocks,
+//! never allocates, and never spins unboundedly — when the ring is full the
+//! event is *dropped* and counted in [`RingBuffer::dropped_events`], so a
+//! slow (or absent) consumer can only cost visibility, never throughput.
+//! Capacity is rounded up to a power of two so slot indexing is a mask.
+//!
+//! The implementation is the classic bounded queue with per-slot sequence
+//! numbers (Vyukov): producers claim a slot by CAS on the tail, publish the
+//! payload with a release store of the slot's sequence; the consumer reads
+//! slots in head order, guarded by an acquire load of the same sequence.
+//! Payloads ([`RingEvent`]) are fixed-size `Copy` values — span/metric names
+//! are carried in an inline byte array ([`InlineStr`]), truncated rather
+//! than spilled to the heap — which is what keeps the producer path
+//! allocation-free.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Maximum bytes of a span/metric name carried through the ring. Longer
+/// names are truncated at a char boundary — acceptable for telemetry, and
+/// the price of a fixed-size, allocation-free slot.
+pub const NAME_CAP: usize = 47;
+
+/// A fixed-capacity inline string (`Copy`, no heap).
+#[derive(Clone, Copy)]
+pub struct InlineStr {
+    len: u8,
+    bytes: [u8; NAME_CAP],
+}
+
+impl InlineStr {
+    /// Copies at most [`NAME_CAP`] bytes of `s`, backing off to the nearest
+    /// char boundary so the result is always valid UTF-8.
+    pub fn truncate_from(s: &str) -> InlineStr {
+        let mut end = s.len().min(NAME_CAP);
+        while end > 0 && !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        let mut bytes = [0u8; NAME_CAP];
+        bytes[..end].copy_from_slice(&s.as_bytes()[..end]);
+        InlineStr {
+            len: end as u8,
+            bytes,
+        }
+    }
+
+    /// The stored text.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.bytes[..self.len as usize]).expect("built from &str prefixes")
+    }
+}
+
+impl std::fmt::Debug for InlineStr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl PartialEq for InlineStr {
+    fn eq(&self, other: &InlineStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for InlineStr {}
+
+/// One event carried through the ring: a completed span or a metric sample.
+/// Fixed-size and `Copy` so producing never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RingEvent {
+    /// A completed span (mirrors [`crate::Event`], names truncated).
+    Span {
+        cat: InlineStr,
+        name: InlineStr,
+        ts_ns: u64,
+        dur_ns: u64,
+        tid: u32,
+        depth: u32,
+    },
+    /// A counter increment.
+    Counter { name: InlineStr, delta: u64 },
+    /// A gauge update.
+    Gauge { name: InlineStr, value: f64 },
+    /// A histogram sample.
+    Histogram { name: InlineStr, value: f64 },
+}
+
+struct Slot {
+    /// Vyukov sequence: `index` when free for the producer of turn `index`,
+    /// `index + 1` once the payload is published, `index + capacity` after
+    /// the consumer frees it for the next lap.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<RingEvent>>,
+}
+
+/// The bounded lock-free MPSC ring (see module docs).
+pub struct RingBuffer {
+    mask: usize,
+    slots: Box<[Slot]>,
+    /// Consumer cursor.
+    head: AtomicUsize,
+    /// Producer cursor.
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slots are only written by the producer that claimed them via the
+// tail CAS and only read by the consumer after the release-published
+// sequence, so the UnsafeCell contents are never accessed concurrently.
+// RingEvent is Copy + Send.
+unsafe impl Send for RingBuffer {}
+unsafe impl Sync for RingBuffer {}
+
+impl RingBuffer {
+    /// Creates a ring with at least `capacity` slots (rounded up to a power
+    /// of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> RingBuffer {
+        let capacity = capacity.max(2).next_power_of_two();
+        let slots: Box<[Slot]> = (0..capacity)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        RingBuffer {
+            mask: capacity - 1,
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events rejected because the ring was full. Exact: every failed push
+    /// adds one.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Approximate number of queued events (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// `true` when no events are queued (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue `event`. Returns `false` (and counts a drop) when
+    /// the ring is full. Never blocks and never allocates; the only retry is
+    /// the CAS race against other producers, which is bounded by the number
+    /// of concurrently pushing threads.
+    pub fn try_push(&self, event: RingEvent) -> bool {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[tail & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - tail as isize;
+            if dif == 0 {
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave this thread exclusive claim
+                        // over the slot until the release store below.
+                        unsafe { (*slot.value.get()).write(event) };
+                        slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(seen) => tail = seen,
+                }
+            } else if dif < 0 {
+                // The consumer has not freed this slot: the ring is full.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                // Another producer claimed this slot; advance to the tail it
+                // published past.
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest event, or `None` when the ring is empty. Written
+    /// as a CAS loop so a misbehaving second consumer corrupts nothing, but
+    /// the intended topology is single-consumer (the drain thread).
+    pub fn try_pop(&self) -> Option<RingEvent> {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[head & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - (head.wrapping_add(1)) as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    head,
+                    head.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the producer published this slot (seq ==
+                        // head + 1) and the CAS gave us exclusive claim.
+                        let event = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(head.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(event);
+                    }
+                    Err(seen) => head = seen,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn counter(name: &str, delta: u64) -> RingEvent {
+        RingEvent::Counter {
+            name: InlineStr::truncate_from(name),
+            delta,
+        }
+    }
+
+    #[test]
+    fn inline_str_truncates_at_char_boundary() {
+        let s = InlineStr::truncate_from("short");
+        assert_eq!(s.as_str(), "short");
+        // 46 ASCII bytes then a 2-byte char straddling the 47-byte cap: the
+        // whole char must be dropped.
+        let long = format!("{}é tail", "x".repeat(46));
+        let t = InlineStr::truncate_from(&long);
+        assert_eq!(t.as_str(), "x".repeat(46));
+        assert!(t.as_str().len() <= NAME_CAP);
+    }
+
+    #[test]
+    fn push_pop_preserves_fifo_order() {
+        let ring = RingBuffer::with_capacity(8);
+        for i in 0..5 {
+            assert!(ring.try_push(counter("c", i)));
+        }
+        assert_eq!(ring.len(), 5);
+        for i in 0..5 {
+            assert_eq!(ring.try_pop(), Some(counter("c", i)));
+        }
+        assert_eq!(ring.try_pop(), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(RingBuffer::with_capacity(5).capacity(), 8);
+        assert_eq!(RingBuffer::with_capacity(8).capacity(), 8);
+        assert_eq!(RingBuffer::with_capacity(0).capacity(), 2);
+    }
+
+    #[test]
+    fn overfill_drops_exactly_and_never_blocks() {
+        let ring = RingBuffer::with_capacity(8);
+        let total = 100u64;
+        let mut accepted = 0u64;
+        for i in 0..total {
+            if ring.try_push(counter("c", i)) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 8, "ring accepts exactly its capacity");
+        assert_eq!(ring.dropped_events(), total - 8, "every reject is counted");
+        // The survivors are the oldest `capacity` events, in order.
+        for i in 0..8 {
+            assert_eq!(ring.try_pop(), Some(counter("c", i)));
+        }
+        // Space freed: pushes succeed again.
+        assert!(ring.try_push(counter("c", 999)));
+    }
+
+    #[test]
+    fn concurrent_producers_account_for_every_event() {
+        let ring = Arc::new(RingBuffer::with_capacity(64));
+        let producers = 4;
+        let per_thread = 10_000u64;
+        let popped = std::thread::scope(|scope| {
+            for t in 0..producers {
+                let ring = Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        // Never blocks: either lands or counts as dropped.
+                        ring.try_push(counter("mt", t * per_thread + i));
+                    }
+                });
+            }
+            let ring = Arc::clone(&ring);
+            scope
+                .spawn(move || {
+                    let mut popped = 0u64;
+                    let mut idle = 0;
+                    while idle < 1000 {
+                        match ring.try_pop() {
+                            Some(_) => {
+                                popped += 1;
+                                idle = 0;
+                            }
+                            None => {
+                                idle += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    popped
+                })
+                .join()
+                .expect("consumer thread")
+        });
+        let total = producers * per_thread;
+        assert_eq!(
+            popped + ring.dropped_events() + ring.len() as u64,
+            total,
+            "every push is either consumed, still queued, or counted dropped"
+        );
+    }
+}

@@ -167,6 +167,27 @@ impl Drop for SpanGuard {
     }
 }
 
+/// Forwards a synthetic, pre-timed span straight to the installed sink.
+///
+/// Unlike [`span`], this does not buffer into the thread-local drain and the
+/// timestamps are caller-supplied — it exists for *simulated* timelines
+/// (e.g. the profiler replaying a step's modeled GPU latency into the event
+/// stream), where wall-clock guards would record pricing time, not the
+/// modeled time. No-op when observability is disabled or no sink is set.
+pub fn emit_span(cat: &'static str, name: &str, ts_ns: u64, dur_ns: u64, tid: u64, depth: u32) {
+    if !crate::enabled() {
+        return;
+    }
+    sink::forward_span(&Event {
+        name: name.to_string(),
+        cat,
+        ts_ns,
+        dur_ns,
+        tid,
+        depth,
+    });
+}
+
 /// Collects (and clears) every thread's recorded spans, ordered by start
 /// time, then depth, then thread id — a parent always precedes its children.
 pub fn drain_events() -> Vec<Event> {

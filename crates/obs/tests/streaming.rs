@@ -1,0 +1,63 @@
+//! End-to-end streaming pipeline test: instrumented code → RingSink →
+//! drain thread → binary log → tailing LogReader, with the reader observing
+//! events *while the writer is still running* (the `--follow` topology).
+
+#![cfg(feature = "enabled")]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ftsim_obs::{BinLogWriter, LogReader, LogRecord, RingBuffer, RingSink};
+
+#[test]
+fn live_tail_sees_events_before_clean_shutdown() {
+    let dir = std::env::temp_dir().join(format!("ftsim-streaming-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("live.bin");
+
+    let ring = Arc::new(RingBuffer::with_capacity(1024));
+    let writer = BinLogWriter::spawn(&path, Arc::clone(&ring), Duration::from_millis(2)).unwrap();
+    let sink = RingSink::new(Arc::clone(&ring));
+
+    // First wave of events, via the ObsSink interface the hot paths use.
+    use ftsim_obs::ObsSink as _;
+    for i in 0..50u64 {
+        sink.on_counter("stream.test.progress", i);
+    }
+    sink.on_gauge("stream.test.qps", 2.5);
+
+    // A tailing reader must see those frames while the writer is still live
+    // (no footer yet).
+    let mut reader = LogReader::open(&path).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut seen = Vec::new();
+    while seen.len() < 51 && Instant::now() < deadline {
+        seen.extend(reader.poll().unwrap());
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(seen.len(), 51, "tail saw the first wave mid-run");
+    assert!(reader.footer().is_none(), "writer has not shut down");
+    assert!(matches!(
+        &seen[0],
+        LogRecord::Counter { name, delta: 0 } if name == "stream.test.progress"
+    ));
+
+    // Second wave, then clean shutdown: the same reader picks up the rest
+    // plus the footer.
+    sink.on_histogram("stream.test.lat", 1.25);
+    let stats = writer.finish().unwrap();
+    assert_eq!(stats.events_written, 52);
+    assert_eq!(stats.dropped_events, 0);
+
+    let mut rest = Vec::new();
+    while reader.footer().is_none() {
+        rest.extend(reader.poll().unwrap());
+        assert!(Instant::now() < deadline, "footer never arrived");
+    }
+    assert_eq!(rest.len(), 1);
+    let footer = reader.footer().unwrap();
+    assert_eq!(footer.events_written, 52);
+    assert_eq!(footer.dropped_events, 0);
+
+    std::fs::remove_file(&path).ok();
+}

@@ -270,7 +270,9 @@ pub fn train_with_kernels(
             loss.backward();
             opt.step(&params);
             ftsim_obs::registry().gauge_set("sim.train.loss", loss_value);
+            ftsim_obs::registry().counter_add("sim.train.steps", 1);
         }
+        ftsim_obs::registry().gauge_set("sim.train.epoch", epoch as f64);
         if let Some(start) = epoch_start {
             let secs = start.elapsed().as_secs_f64();
             if secs > 0.0 {

@@ -230,7 +230,7 @@ impl StepSimulator {
             opt
         };
 
-        StepTrace::from_segments(
+        let trace = StepTrace::from_segments(
             vec![
                 TraceSegment::once(prologue.records),
                 TraceSegment::repeated(fwd_layer, layers),
@@ -242,7 +242,29 @@ impl StepSimulator {
             batch,
             seq_len,
             self.model.is_attention(),
-        )
+        );
+        // Stage-share gauges so a live follower sees the Fig. 4 breakdown
+        // evolve mid-sweep, not only in the post-run summary.
+        if ftsim_obs::enabled() {
+            let total = trace.total_seconds();
+            if total > 0.0 {
+                let registry = ftsim_obs::registry();
+                registry.gauge_set("sim.step.total_s", total);
+                registry.gauge_set(
+                    "sim.step.forward_pct",
+                    100.0 * trace.stage_seconds(Stage::Forward) / total,
+                );
+                registry.gauge_set(
+                    "sim.step.backward_pct",
+                    100.0 * trace.stage_seconds(Stage::Backward) / total,
+                );
+                registry.gauge_set(
+                    "sim.step.optimizer_pct",
+                    100.0 * trace.stage_seconds(Stage::Optimizer) / total,
+                );
+            }
+        }
+        trace
     }
 
     /// Reference path: emits every layer's kernels individually, with no
