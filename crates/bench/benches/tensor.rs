@@ -1,10 +1,13 @@
-//! Benchmarks the tensor runtime: composed naive ops with buffer pooling
-//! disabled vs. the fused matmul+bias+activation and softmax kernels backed
-//! by the thread-local pool, plus one full MoE training step on both paths.
+//! Benchmarks the tensor runtime: the three matmul kernels (naive oracle,
+//! cache-blocked, register-tiled microkernel), composed naive ops with
+//! buffer pooling disabled vs. the fused matmul+bias+activation and softmax
+//! kernels backed by the thread-local pool, the streaming fused backward
+//! epilogue vs. the composed backward chain, plus one full MoE training
+//! step on both paths.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ftsim_tensor::nn::{AdamW, ExpertKind, Linear, MoeLayer};
-use ftsim_tensor::{ops, pool, Activation, Tensor, Var};
+use ftsim_tensor::{autograd, ops, parallel, pool, Activation, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -12,6 +15,80 @@ use std::hint::black_box;
 const M: usize = 256;
 const K: usize = 64;
 const N: usize = 256;
+
+/// Serial apples-to-apples comparison of the three kernels on identical
+/// buffers: the naive i-j-p oracle, the previous cache-blocked kernel, and
+/// the register-tiled microkernel now behind `Tensor::matmul`.
+fn matmul_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let lhs = Tensor::rand_normal([M, K], 1.0, &mut rng);
+    let rhs = Tensor::rand_normal([K, N], 0.5, &mut rng);
+    let mut out = vec![0.0f32; M * N];
+    c.bench_function("tensor/matmul_naive", |bch| {
+        bch.iter(|| {
+            parallel::matmul_naive_into(lhs.data(), rhs.data(), &mut out, M, K, N);
+            black_box(out[0])
+        })
+    });
+    c.bench_function("tensor/matmul_blocked", |bch| {
+        bch.iter(|| {
+            parallel::matmul_blocked_into(lhs.data(), rhs.data(), &mut out, M, K, N);
+            black_box(out[0])
+        })
+    });
+    c.bench_function("tensor/matmul_microkernel", |bch| {
+        bch.iter(|| {
+            parallel::matmul_microkernel_into(lhs.data(), rhs.data(), &mut out, M, K, N);
+            black_box(out[0])
+        })
+    });
+}
+
+/// One `linear_act` forward+backward at training-hot-loop scale, streaming
+/// fused epilogue vs. the composed matmul → add_row → activate chain.
+fn linear_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(29);
+    let xt = Tensor::rand_normal([64, 32], 1.0, &mut rng);
+    let wt = Tensor::rand_normal([32, 64], 0.5, &mut rng);
+    let bt = Tensor::rand_normal([1, 64], 0.5, &mut rng);
+    pool::set_enabled(true);
+    autograd::set_arena_enabled(true);
+    c.bench_function("tensor/linear_backward_fused", |bch| {
+        bch.iter(|| {
+            let (x, w, b) = (
+                Var::constant(xt.clone()),
+                Var::parameter(wt.clone()),
+                Var::parameter(bt.clone()),
+            );
+            let loss = x
+                .linear_act(&w, &b, Activation::Silu)
+                .expect("shapes")
+                .mean();
+            loss.backward();
+            black_box(loss.value().item())
+        })
+    });
+    c.bench_function("tensor/linear_backward_composed", |bch| {
+        bch.iter(|| {
+            let (x, w, b) = (
+                Var::constant(xt.clone()),
+                Var::parameter(wt.clone()),
+                Var::parameter(bt.clone()),
+            );
+            let loss = x
+                .matmul(&w)
+                .expect("shapes")
+                .add_row(&b)
+                .expect("shapes")
+                .activate(Activation::Silu)
+                .mean();
+            loss.backward();
+            black_box(loss.value().item())
+        })
+    });
+    pool::clear();
+    autograd::arena_clear();
+}
 
 fn kernel_inputs() -> (Tensor, Tensor, Tensor, Tensor) {
     let mut rng = StdRng::seed_from_u64(11);
@@ -121,6 +198,6 @@ fn train_steps(c: &mut Criterion) {
 criterion_group! {
     name = tensor;
     config = Criterion::default().sample_size(10);
-    targets = kernels, train_steps
+    targets = matmul_kernels, kernels, linear_backward, train_steps
 }
 criterion_main!(tensor);

@@ -522,7 +522,7 @@ fn fig8() -> ExperimentResult {
             seq,
             &batches,
         )
-        .expect("valid batch list");
+        .unwrap_or_else(|e| panic!("throughput sweep failed: {e}"));
         let pts: Vec<String> = sweep
             .points
             .iter()
@@ -1152,8 +1152,11 @@ fn bench_engine() -> ExperimentResult {
 /// steady state allocates no tensor storage after the warm-up step.
 /// Excluded from `repro all` because its output is wall-clock timings.
 fn bench_tensor() -> ExperimentResult {
+    /// Signature shared by the three matmul kernels under benchmark:
+    /// `(lhs, rhs, out, m, k, n)`.
+    type MatmulKernel<'a> = &'a dyn Fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
     use ftsim_tensor::nn::{AdamW, ExpertKind, Linear, MoeLayer};
-    use ftsim_tensor::{ops, pool, Activation, Tensor, Var};
+    use ftsim_tensor::{autograd, ops, parallel, pool, Activation, Tensor, Var};
     use rand::Rng;
     use std::hint::black_box;
     use std::time::Instant;
@@ -1185,10 +1188,15 @@ fn bench_tensor() -> ExperimentResult {
     };
 
     // Trains a freshly-seeded model for `steps` steps, recording per-step
-    // loss, wall-clock, and pool fresh-allocation count.
+    // loss, wall-clock, pool fresh-allocation count, and autograd-node
+    // fresh-allocation count. The node arena rides the same switch as the
+    // pool: the "naive" baseline allocates every graph node, the pooled
+    // configuration recycles them through the thread-local arena.
     let run = |fused: bool, pooled: bool| {
         pool::set_enabled(pooled);
         pool::clear();
+        autograd::set_arena_enabled(pooled);
+        autograd::arena_clear();
         let mut rng = StdRng::seed_from_u64(7);
         let moe = MoeLayer::new(ExpertKind::SwiGlu, hidden, ffn, experts, experts, &mut rng)
             .expect("valid MoE configuration");
@@ -1199,15 +1207,19 @@ fn bench_tensor() -> ExperimentResult {
         let mut losses = Vec::with_capacity(steps);
         let mut seconds = Vec::with_capacity(steps);
         let mut allocs = Vec::with_capacity(steps);
+        let mut node_allocs = Vec::with_capacity(steps);
         for _ in 0..steps {
             let before = pool::stats();
+            let nodes_before = autograd::arena_stats();
             let t = Instant::now();
             losses.push(step(&moe, &head, &mut opt, &params, fused));
             seconds.push(t.elapsed().as_secs_f64());
             allocs.push(pool::stats().allocs_since(&before));
+            node_allocs.push(autograd::arena_stats().allocs_since(&nodes_before));
         }
         pool::set_enabled(true);
-        (losses, seconds, allocs)
+        autograd::set_arena_enabled(true);
+        (losses, seconds, allocs, node_allocs)
     };
 
     fn median(xs: &[f64]) -> f64 {
@@ -1216,26 +1228,36 @@ fn bench_tensor() -> ExperimentResult {
         v[v.len() / 2]
     }
 
-    let (naive_loss, naive_s, naive_allocs) = run(false, false);
-    let (fused_loss, fused_s, fused_allocs) = run(true, true);
+    let (naive_loss, naive_s, naive_allocs, naive_nodes) = run(false, false);
+    let (fused_loss, fused_s, fused_allocs, fused_nodes) = run(true, true);
     let resident = pool::resident();
+    let nodes_resident = autograd::arena_resident();
     pool::clear();
+    autograd::arena_clear();
 
     let identical = naive_loss
         .iter()
         .zip(&fused_loss)
         .all(|(a, b)| a.to_bits() == b.to_bits());
     assert!(identical, "pooled-fused losses diverged from serial-naive");
-    let steady_allocs: u64 = fused_allocs[1..].iter().sum();
+    // Two warm-up steps: the first fills the pool shelves and node arena,
+    // the second settles the arena's one-step-deferred value release
+    // (a reclaimed node keeps its value tensor until it is reused).
+    let steady_allocs: u64 = fused_allocs[2..].iter().sum();
     assert_eq!(
         steady_allocs, 0,
         "pool allocated in steady state: {fused_allocs:?}"
     );
+    let steady_nodes: u64 = fused_nodes[2..].iter().sum();
+    assert_eq!(
+        steady_nodes, 0,
+        "graph nodes allocated in steady state: {fused_nodes:?}"
+    );
 
-    // Exclude the warm-up step from the timing comparison: it pays the
+    // Exclude the warm-up steps from the timing comparison: they pay the
     // one-time pool fill that later steps are measured without.
-    let naive_step = median(&naive_s[1..]);
-    let fused_step = median(&fused_s[1..]);
+    let naive_step = median(&naive_s[2..]);
+    let fused_step = median(&fused_s[2..]);
 
     // Kernel-level microbenchmark: the fusion and pooling win measured on
     // the kernels alone, undiluted by the routing/autograd bookkeeping that
@@ -1291,6 +1313,92 @@ fn bench_tensor() -> ExperimentResult {
     let fused_softmax = t.elapsed().as_secs_f64() / f64::from(iters);
     pool::clear();
 
+    // Matmul kernel family on identical raw buffers, serial: the naive
+    // i-j-p oracle, the previous cache-blocked kernel, and the
+    // register-tiled microkernel now behind `Tensor::matmul`. Median of
+    // several interleaved samples so frequency drift hits all three alike.
+    let mut mm_out = vec![0.0f32; km * kn];
+    let mut mm_samples: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let kernels: [MatmulKernel; 3] = [
+        &parallel::matmul_naive_into,
+        &parallel::matmul_blocked_into,
+        &parallel::matmul_microkernel_into,
+    ];
+    for _ in 0..2 {
+        for f in &kernels {
+            mm_out.fill(0.0);
+            f(kx.data(), kw.data(), &mut mm_out, km, kk, kn);
+        }
+    }
+    for _ in 0..5 {
+        for (f, samples) in kernels.iter().zip(&mut mm_samples) {
+            let t = Instant::now();
+            for _ in 0..iters {
+                mm_out.fill(0.0);
+                f(kx.data(), kw.data(), &mut mm_out, km, kk, kn);
+                black_box(mm_out[0]);
+            }
+            samples.push(t.elapsed().as_secs_f64() / f64::from(iters));
+        }
+    }
+    let mm_naive = median(&mm_samples[0]);
+    let mm_blocked = median(&mm_samples[1]);
+    let mm_micro = median(&mm_samples[2]);
+
+    // Fused backward epilogue vs the composed chain at the training hot-loop
+    // shape: one `linear_act` forward + backward per call, gradients for
+    // weight and bias. Both run pooled with the arena on, so the measured
+    // difference is the backward algorithm (streaming epilogue, no `dpre`
+    // materialization) and the two saved graph nodes, not the allocator.
+    let (bm, bk, bn, biters) = (batch, hidden, ffn, 200u32);
+    let mut rng = StdRng::seed_from_u64(17);
+    let bwx = Tensor::rand_normal([bm, bk], 1.0, &mut rng);
+    let bww = Tensor::rand_normal([bk, bn], 0.5, &mut rng);
+    let bwb = Tensor::rand_normal([1, bn], 0.5, &mut rng);
+    let backward_pass = |fused: bool| {
+        let x = Var::constant(bwx.clone());
+        let w = Var::parameter(bww.clone());
+        let b = Var::parameter(bwb.clone());
+        let out = if fused {
+            x.linear_act(&w, &b, Activation::Silu).expect("shapes")
+        } else {
+            x.matmul(&w)
+                .expect("shapes")
+                .add_row(&b)
+                .expect("shapes")
+                .activate(Activation::Silu)
+        };
+        let loss = out.mean();
+        loss.backward();
+        loss.with_value(Tensor::item)
+    };
+    for _ in 0..10 {
+        let fused_out = backward_pass(true);
+        let composed_out = backward_pass(false);
+        assert_eq!(
+            fused_out.to_bits(),
+            composed_out.to_bits(),
+            "fused backward loss diverged from composed chain"
+        );
+    }
+    let time_backward = |fused: bool| {
+        let t = Instant::now();
+        for _ in 0..biters {
+            black_box(backward_pass(fused));
+        }
+        t.elapsed().as_secs_f64() / f64::from(biters)
+    };
+    let mut bw_fused_samples = Vec::new();
+    let mut bw_composed_samples = Vec::new();
+    for _ in 0..5 {
+        bw_fused_samples.push(time_backward(true));
+        bw_composed_samples.push(time_backward(false));
+    }
+    let bw_fused = median(&bw_fused_samples);
+    let bw_composed = median(&bw_composed_samples);
+    pool::clear();
+    autograd::arena_clear();
+
     let mut text = String::new();
     let _ = writeln!(
         text,
@@ -1309,12 +1417,41 @@ fn bench_tensor() -> ExperimentResult {
     );
     let _ = writeln!(
         text,
-        "pool fresh allocs per step (fused): step 1 = {}, steps 2..{steps} = {} total",
-        fused_allocs[0], steady_allocs
+        "pool fresh allocs per step (fused): warmup = {} + {}, steps 3..{steps} = {} total",
+        fused_allocs[0], fused_allocs[1], steady_allocs
     );
     let _ = writeln!(
         text,
-        "pool resident buffers after run: {resident}; losses bit-identical across paths"
+        "graph-node fresh allocs per step (fused): warmup = {} + {}, steps 3..{steps} = {} total",
+        fused_nodes[0], fused_nodes[1], steady_nodes
+    );
+    let _ = writeln!(
+        text,
+        "pool resident buffers after run: {resident}; arena resident nodes: {nodes_resident}; losses bit-identical across paths"
+    );
+    let _ = writeln!(
+        text,
+        "matmul kernels ({km}x{kk}x{kn}, serial, {iters} iters x 5 samples):"
+    );
+    let _ = writeln!(
+        text,
+        "  naive {:>8.3} ms  blocked {:>8.3} ms  microkernel {:>8.3} ms  ({:.2}x vs blocked, {:.2}x vs naive)",
+        mm_naive * 1e3,
+        mm_blocked * 1e3,
+        mm_micro * 1e3,
+        mm_blocked / mm_micro,
+        mm_naive / mm_micro
+    );
+    let _ = writeln!(
+        text,
+        "linear_act forward+backward ({bm}x{bk}x{bn}, silu, {biters} iters x 5 samples):"
+    );
+    let _ = writeln!(
+        text,
+        "  fused epilogue {:>8.3} ms  composed chain {:>8.3} ms  ({:.2}x)",
+        bw_fused * 1e3,
+        bw_composed * 1e3,
+        bw_composed / bw_fused
     );
     let _ = writeln!(
         text,
@@ -1337,7 +1474,7 @@ fn bench_tensor() -> ExperimentResult {
 
     ExperimentResult {
         id: "bench_tensor",
-        title: "Tensor runtime benchmark: buffer pool + fused kernels + reusable tape",
+        title: "Tensor runtime benchmark: microkernel matmul + fused kernels + pool/arena",
         text,
         json: json!({
             "config": json!({
@@ -1358,10 +1495,40 @@ fn bench_tensor() -> ExperimentResult {
                 "serial_naive": naive_allocs,
                 "pooled_fused": fused_allocs,
             }),
+            "node_fresh_allocs_per_step": json!({
+                "serial_naive": naive_nodes,
+                "pooled_fused": fused_nodes,
+            }),
             "steady_state_fresh_allocs": steady_allocs,
+            "steady_state_fresh_nodes": steady_nodes,
             "resident_buffers_after_run": resident,
+            "resident_arena_nodes_after_run": nodes_resident,
             "bit_identical_losses": identical,
             "losses": fused_loss,
+            "matmul_kernels": json!({
+                "shape": json!({ "m": km, "k": kk, "n": kn }),
+                "iters": iters,
+                "samples": 5,
+                "seconds_per_call": json!({
+                    "naive": mm_naive,
+                    "blocked": mm_blocked,
+                    "microkernel": mm_micro,
+                }),
+                "speedup": json!({
+                    "microkernel_vs_blocked": mm_blocked / mm_micro,
+                    "microkernel_vs_naive": mm_naive / mm_micro,
+                }),
+            }),
+            "fused_backward": json!({
+                "shape": json!({ "m": bm, "k": bk, "n": bn }),
+                "iters": biters,
+                "samples": 5,
+                "seconds_per_call": json!({
+                    "fused_epilogue": bw_fused,
+                    "composed_chain": bw_composed,
+                }),
+                "speedup_fused_vs_composed": bw_composed / bw_fused,
+            }),
             "kernel_microbench": json!({
                 "linear_shape": json!({ "m": km, "k": kk, "n": kn }),
                 "softmax_shape": json!({ "rows": 2048, "cols": 64 }),
@@ -1479,8 +1646,8 @@ fn profile() -> ExperimentResult {
     // spans, trace-cache and record-pool counters, per-kernel-class cost
     // counters) ...
     let batches: Vec<usize> = (1..=mb).collect();
-    let sweep =
-        ThroughputSweep::run(&sim, "Mixtral-S/CS", seq, &batches).expect("ascending batches");
+    let sweep = ThroughputSweep::run(&sim, "Mixtral-S/CS", seq, &batches)
+        .unwrap_or_else(|e| panic!("throughput sweep failed: {e}"));
 
     // ... plus a genuine MoE training run (sim.train spans, loss and
     // tokens/sec gauges, the expert-token histogram and imbalance gauge).

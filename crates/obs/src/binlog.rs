@@ -51,6 +51,7 @@ pub struct RingSink {
 }
 
 impl RingSink {
+    /// Wrap a shared ring buffer as an installable sink.
     pub fn new(ring: Arc<RingBuffer>) -> RingSink {
         RingSink { ring }
     }
@@ -147,24 +148,40 @@ fn encode_footer(footer: &Footer, buf: &mut Vec<u8>) {
 /// A decoded log record (the owned, heap-side mirror of [`RingEvent`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogRecord {
+    /// A completed span.
     Span {
+        /// Span category (e.g. `"tensor.kernel"`).
         cat: String,
+        /// Span name (e.g. `"matmul"`).
         name: String,
+        /// Start timestamp, nanoseconds since the tracer epoch.
         ts_ns: u64,
+        /// Duration in nanoseconds.
         dur_ns: u64,
+        /// Stable thread id of the recording thread.
         tid: u32,
+        /// Nesting depth at record time (0 = top-level).
         depth: u32,
     },
+    /// A counter increment.
     Counter {
+        /// Counter name.
         name: String,
+        /// Amount added to the counter.
         delta: u64,
     },
+    /// A gauge update.
     Gauge {
+        /// Gauge name.
         name: String,
+        /// New gauge value.
         value: f64,
     },
+    /// A histogram sample.
     Histogram {
+        /// Histogram name.
         name: String,
+        /// Sampled value.
         value: f64,
     },
 }
@@ -266,7 +283,9 @@ fn decode_payload(payload: &[u8]) -> io::Result<Decoded> {
 /// Statistics returned by [`BinLogWriter::finish`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriterStats {
+    /// Events appended to the log file.
     pub events_written: u64,
+    /// Events the ring dropped under overload (never written).
     pub dropped_events: u64,
 }
 

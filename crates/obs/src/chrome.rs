@@ -15,12 +15,17 @@ use crate::span::Event;
 /// One complete (`ph:"X"`) event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChromeEvent {
+    /// Event name shown on the trace slice.
     pub name: String,
+    /// Event category (Chrome's `cat` field, used for filtering).
     pub cat: String,
+    /// Process row the event renders under.
     pub pid: u64,
+    /// Thread row within the process.
     pub tid: u64,
     /// Start in microseconds (Chrome's native trace unit).
     pub ts_us: f64,
+    /// Duration in microseconds.
     pub dur_us: f64,
 }
 
@@ -35,6 +40,7 @@ pub struct ChromeTrace {
 }
 
 impl ChromeTrace {
+    /// Creates an empty trace document.
     pub fn new() -> Self {
         Self::default()
     }
@@ -44,6 +50,7 @@ impl ChromeTrace {
         self.events.len()
     }
 
+    /// Whether no duration events have been added yet.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }

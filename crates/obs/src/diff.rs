@@ -69,6 +69,7 @@ pub struct Entry {
     /// Symmetric relative difference in `[0, 1]` (0 when either side is
     /// absent or both are zero).
     pub rel_change: f64,
+    /// Classification of this metric's change.
     pub status: Status,
 }
 

@@ -6,7 +6,7 @@
 //! substrate — the simulated analogue of the paper's profiling toolchain —
 //! and the self-profiling harness for the repo's own hot paths:
 //!
-//! * [`span`] / [`SpanGuard`] — thread-local RAII span tracing with nesting,
+//! * [`fn@span`] / [`SpanGuard`] — thread-local RAII span tracing with nesting,
 //!   monotonic timestamps, and stable thread ids. Recorded spans serialize to
 //!   Chrome Trace Event JSON ([`chrome::ChromeTrace`], loadable in Perfetto or
 //!   `chrome://tracing`) and aggregate into an in-process tree
@@ -33,6 +33,7 @@
 //!
 //! No external dependencies: JSON is emitted by hand (the workspace's vendored
 //! `serde_json` is used only in tests, to parse the output back).
+#![deny(missing_docs)]
 
 pub mod binlog;
 pub mod chrome;

@@ -303,8 +303,11 @@ impl HistogramSnapshot {
 /// Point-in-time copy of the whole registry.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Snapshot {
+    /// Counter values keyed by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge values keyed by name.
     pub gauges: BTreeMap<String, f64>,
+    /// Histogram state keyed by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 

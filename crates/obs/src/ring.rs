@@ -73,19 +73,40 @@ impl Eq for InlineStr {}
 pub enum RingEvent {
     /// A completed span (mirrors [`crate::Event`], names truncated).
     Span {
+        /// Span category, truncated to the inline capacity.
         cat: InlineStr,
+        /// Span name, truncated to the inline capacity.
         name: InlineStr,
+        /// Start timestamp, nanoseconds since the tracer epoch.
         ts_ns: u64,
+        /// Duration in nanoseconds.
         dur_ns: u64,
+        /// Stable thread id of the recording thread.
         tid: u32,
+        /// Nesting depth at record time (0 = top-level).
         depth: u32,
     },
     /// A counter increment.
-    Counter { name: InlineStr, delta: u64 },
+    Counter {
+        /// Counter name, truncated to the inline capacity.
+        name: InlineStr,
+        /// Amount added to the counter.
+        delta: u64,
+    },
     /// A gauge update.
-    Gauge { name: InlineStr, value: f64 },
+    Gauge {
+        /// Gauge name, truncated to the inline capacity.
+        name: InlineStr,
+        /// New gauge value.
+        value: f64,
+    },
     /// A histogram sample.
-    Histogram { name: InlineStr, value: f64 },
+    Histogram {
+        /// Histogram name, truncated to the inline capacity.
+        name: InlineStr,
+        /// Sampled value.
+        value: f64,
+    },
 }
 
 struct Slot {

@@ -157,9 +157,12 @@ impl Classifier {
     }
 
     /// Forward pass with an explicit kernel choice: `fused = true` runs
-    /// every linear layer through the fused matmul+bias+activation kernel
-    /// (the production path), `fused = false` composes the naive ops. The
-    /// two are bit-identical in values and gradients.
+    /// every linear layer through `Var::linear_act` — the fused
+    /// matmul+bias+activation forward on the register-tiled microkernel,
+    /// with the streaming backward epilogue that never materializes the
+    /// pre-activation gradient (the production path) — while
+    /// `fused = false` composes the naive ops. The two are bit-identical
+    /// in values and gradients.
     fn forward_with(&self, x: &Var, fused: bool) -> Var {
         let hidden = if fused {
             self.input.forward_act(x, Activation::Relu)
@@ -195,7 +198,9 @@ impl Classifier {
 }
 
 /// Trains the classifier on `task` and measures everything the paper's
-/// Fig. 3 / Fig. 11 report. Uses the fused zero-allocation kernel path.
+/// Fig. 3 / Fig. 11 report. Uses the fused kernel path, which is
+/// zero-allocation in steady state: tensor storage recycles through the
+/// shape-keyed buffer pool and autograd graph nodes through the node arena.
 pub fn train(
     task: &SyntheticTask,
     cfg: &MoeTrainConfig,
@@ -233,7 +238,7 @@ fn publish_routing(dist: &TokenDistribution) {
 /// outcome stays bit-identical): per-epoch and per-step spans under the
 /// `sim.train` category, a `sim.train.loss` gauge updated every optimizer
 /// step, a `sim.train.tokens_per_sec` gauge updated every epoch, and the
-/// expert-token histogram + imbalance gauge of [`publish_routing`].
+/// expert-token histogram + imbalance gauge of `publish_routing`.
 pub fn train_with_kernels(
     task: &SyntheticTask,
     cfg: &MoeTrainConfig,

@@ -10,7 +10,7 @@ use crate::ops;
 use crate::ops::Activation;
 use crate::shape::Shape;
 use crate::tensor::{Tensor, TensorError};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::rc::Rc;
 
@@ -22,6 +22,87 @@ struct Node {
     requires_grad: bool,
     parents: Vec<Var>,
     backward: Option<BackwardFn>,
+}
+
+/// Maximum reclaimed graph nodes kept per thread; beyond this, dead nodes
+/// are simply freed. Sized well above the node count of one bench-scale MoE
+/// training step so a whole step's graph recycles.
+const ARENA_CAP: usize = 4096;
+
+/// Snapshot of the node-arena event counters (see [`arena_stats`]).
+///
+/// The arena is to graph *nodes* what [`crate::pool`] is to tensor
+/// *storage*: with it enabled (the default), a steady-state training step
+/// performs zero `Rc<RefCell<Node>>` heap allocations — every node handle
+/// is popped from the free list refilled when the previous step's graph was
+/// dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Nodes created with a fresh heap allocation (arena misses).
+    pub fresh_allocs: u64,
+    /// Nodes served from the arena free list (arena hits).
+    pub reuses: u64,
+    /// Dead nodes reclaimed onto the free list.
+    pub returns: u64,
+    /// Dead nodes dropped because the free list was full.
+    pub discards: u64,
+}
+
+impl ArenaStats {
+    /// Fresh node allocations that happened between `earlier` and `self`.
+    pub fn allocs_since(&self, earlier: &ArenaStats) -> u64 {
+        self.fresh_allocs - earlier.fresh_allocs
+    }
+}
+
+thread_local! {
+    /// Free list of dead graph nodes awaiting reuse.
+    static NODE_ARENA: RefCell<Vec<Rc<RefCell<Node>>>> = const { RefCell::new(Vec::new()) };
+    static ARENA_ENABLED: Cell<bool> = const { Cell::new(true) };
+    static ARENA_COUNTS: Cell<ArenaStats> = const { Cell::new(ArenaStats {
+        fresh_allocs: 0,
+        reuses: 0,
+        returns: 0,
+        discards: 0,
+    }) };
+}
+
+fn arena_bump(f: impl FnOnce(&mut ArenaStats)) {
+    let _ = ARENA_COUNTS.try_with(|c| {
+        let mut s = c.get();
+        f(&mut s);
+        c.set(s);
+    });
+}
+
+/// Enables or disables the node arena on the current thread. While
+/// disabled, every graph node is a fresh `Rc` allocation and dead nodes are
+/// freed instead of reclaimed — the configuration used as the
+/// "serial-naive" baseline in `repro bench_tensor`. Disabling does not
+/// drop already-reclaimed nodes; call [`arena_clear`] for that.
+pub fn set_arena_enabled(enabled: bool) {
+    let _ = ARENA_ENABLED.try_with(|e| e.set(enabled));
+}
+
+/// Whether the node arena is enabled on the current thread.
+pub fn arena_enabled() -> bool {
+    ARENA_ENABLED.try_with(Cell::get).unwrap_or(false)
+}
+
+/// Counter snapshot for the current thread's node arena.
+pub fn arena_stats() -> ArenaStats {
+    ARENA_COUNTS.try_with(Cell::get).unwrap_or_default()
+}
+
+/// Drops every node held by the current thread's arena free list
+/// (counters are preserved).
+pub fn arena_clear() {
+    let _ = NODE_ARENA.try_with(|a| a.borrow_mut().clear());
+}
+
+/// Number of dead nodes currently held by the arena free list.
+pub fn arena_resident() -> usize {
+    NODE_ARENA.try_with(|a| a.borrow().len()).unwrap_or(0)
 }
 
 /// A differentiable tensor variable.
@@ -51,8 +132,59 @@ impl std::fmt::Debug for Var {
     }
 }
 
+impl Drop for Var {
+    /// Arena reclamation hook: when the *last* handle to a node drops, the
+    /// node's gradient goes back to the buffer pool, its parent edges and
+    /// closure drop — which may recursively reclaim ancestors — and the
+    /// now-inert `Rc<RefCell<Node>>` is parked on the thread-local free
+    /// list for `Var::from_node` to reuse. The value tensor stays in
+    /// place (swapping in a placeholder would itself allocate a shape);
+    /// it is released to the pool when the parked node is overwritten at
+    /// reuse time, one step later in steady state.
+    fn drop(&mut self) {
+        if Rc::strong_count(&self.node) != 1 || !arena_enabled() {
+            return;
+        }
+        // A node being overwritten for reuse holds its borrow while its old
+        // contents drop; those contents have no edges, but stay defensive:
+        // never reclaim through an active borrow.
+        let Ok(mut n) = self.node.try_borrow_mut() else {
+            return;
+        };
+        let parents = std::mem::take(&mut n.parents);
+        let backward = n.backward.take();
+        n.grad = None;
+        n.requires_grad = false;
+        drop(n);
+        // Dropping the edges may cascade into further reclamations; the
+        // borrow above is released first so those run against other nodes.
+        drop(parents);
+        drop(backward);
+        let _ = NODE_ARENA.try_with(|a| {
+            let mut arena = a.borrow_mut();
+            if arena.len() < ARENA_CAP {
+                arena.push(Rc::clone(&self.node));
+                drop(arena);
+                arena_bump(|s| s.returns += 1);
+            } else {
+                drop(arena);
+                arena_bump(|s| s.discards += 1);
+            }
+        });
+    }
+}
+
 impl Var {
     fn from_node(node: Node) -> Var {
+        if arena_enabled() {
+            let reused = NODE_ARENA.try_with(|a| a.borrow_mut().pop()).ok().flatten();
+            if let Some(rc) = reused {
+                arena_bump(|s| s.reuses += 1);
+                *rc.borrow_mut() = node;
+                return Var { node: rc };
+            }
+        }
+        arena_bump(|s| s.fresh_allocs += 1);
         Var {
             node: Rc::new(RefCell::new(node)),
         }
@@ -176,6 +308,22 @@ impl Var {
                 .add_assign(g)
                 .expect("gradient shape must match value shape"),
             None => n.grad = Some(g.clone()),
+        }
+    }
+
+    /// [`Var::accumulate_grad`] taking ownership: the first accumulation
+    /// stores `g` directly instead of cloning it. Bit-identical (a clone is
+    /// a bitwise copy) with one fewer pool round-trip.
+    fn accumulate_grad_owned(&self, g: Tensor) {
+        let mut n = self.node.borrow_mut();
+        if !n.requires_grad {
+            return;
+        }
+        match &mut n.grad {
+            Some(existing) => existing
+                .add_assign(&g)
+                .expect("gradient shape must match value shape"),
+            None => n.grad = Some(g),
         }
     }
 
@@ -429,12 +577,31 @@ impl Var {
     /// epilogue applies the bias and activation while each output tile is
     /// cache-hot, saving the pre-activation values for the backward pass.
     ///
+    /// The backward pass is fused too: at training-step scale it streams
+    /// `act'` row by row into the `d bias` / `d self` / `d weight` sweeps
+    /// (see `parallel::linear_act_backward_into`), so the intermediate
+    /// `dpre = up ⊙ act'(pre)` tensor — and the operand transposes the
+    /// materialized path needs — are never built. Above the parallel-matmul
+    /// threshold it falls back to the materialized path, whose row-
+    /// partitioned matmuls win at those shapes; the two are bit-identical.
+    ///
     /// Bit-identical — values and accumulated gradients — to the composed
     /// chain `self.matmul(weight)?.add_row(bias)?.activate(act)`: the kernel
     /// keeps the matmul accumulation order, the epilogue performs the same
     /// per-element `+ bias` / `act(·)`, and the backward pass delivers
     /// `d bias → d self → d weight` in the reverse topological order the
     /// composed chain would (add_row node first, then the matmul node).
+    ///
+    /// ```
+    /// use ftsim_tensor::{Activation, Tensor, Var};
+    /// let x = Var::constant(Tensor::from_rows(&[&[1.0, 2.0]]).unwrap());
+    /// let w = Var::parameter(Tensor::from_rows(&[&[0.5], &[-0.25]]).unwrap());
+    /// let b = Var::parameter(Tensor::from_rows(&[&[0.1]]).unwrap());
+    /// let y = x.linear_act(&w, &b, Activation::Relu).unwrap();
+    /// assert!((y.value().item() - 0.1).abs() < 1e-6); // relu(0.5 - 0.5 + 0.1)
+    /// y.mean().backward();
+    /// assert!(w.grad().is_some() && b.grad().is_some());
+    /// ```
     ///
     /// # Errors
     ///
@@ -493,42 +660,13 @@ impl Var {
             parents: vec![self.clone(), weight.clone(), bias.clone()],
             backward: if requires {
                 Some(Box::new(move |up| {
-                    // dpre = up ⊙ act'(pre); for Identity, up itself.
-                    let owned;
-                    let dpre: &Tensor = match &pre {
-                        Some(pre_t) => {
-                            owned = up
-                                .zip(pre_t, "linear_act", |g, p| g * act.grad(p))
-                                .expect("same shape");
-                            &owned
-                        }
-                        None => up,
-                    };
-                    let (m, n) = dpre.shape().as_matrix().expect("matrix");
-                    if b2.requires_grad() {
-                        let mut db = Tensor::zeros(Shape::matrix(1, n));
-                        for r in 0..m {
-                            for c in 0..n {
-                                db.set2(0, c, db.get2(0, c) + dpre.get2(r, c));
-                            }
-                        }
-                        b2.accumulate_grad(&db);
-                    }
-                    if x2.requires_grad() {
-                        let dx = w2.with_value(|wv| {
-                            dpre.matmul(&wv.transpose().expect("matrix"))
-                                .expect("conforming")
-                        });
-                        x2.accumulate_grad(&dx);
-                    }
-                    if w2.requires_grad() {
-                        let dw = x2.with_value(|xv| {
-                            xv.transpose()
-                                .expect("matrix")
-                                .matmul(dpre)
-                                .expect("conforming")
-                        });
-                        w2.accumulate_grad(&dw);
+                    let (m, n) = up.shape().as_matrix().expect("matrix");
+                    let k = x2.with_value(|xv| xv.shape().as_matrix().expect("matrix").1);
+                    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+                    if flops < crate::parallel::PARALLEL_FLOP_THRESHOLD {
+                        linear_act_backward_streaming(&x2, &w2, &b2, pre.as_ref(), act, up);
+                    } else {
+                        linear_act_backward_materialized(&x2, &w2, &b2, pre.as_ref(), act, up);
                     }
                 }))
             } else {
@@ -680,6 +818,114 @@ impl Var {
     }
 }
 
+/// The streaming fused backward path for [`Var::linear_act`]: folds `act'`
+/// into the `d bias` / `d self` / `d weight` sweeps without materializing
+/// `dpre` or the operand transposes. Serial — used below the parallel
+/// threshold, where it wins by skipping four full-tensor temporaries.
+fn linear_act_backward_streaming(
+    x2: &Var,
+    w2: &Var,
+    b2: &Var,
+    pre: Option<&Tensor>,
+    act: Activation,
+    up: &Tensor,
+) {
+    let (db, dx, dw) = x2.with_value(|xv| {
+        w2.with_value(|wv| {
+            let (m, k) = xv.shape().as_matrix().expect("matrix");
+            let (_, n) = wv.shape().as_matrix().expect("matrix");
+            let mut db = b2
+                .requires_grad()
+                .then(|| Tensor::zeros(Shape::matrix(1, n)));
+            let mut dx = x2
+                .requires_grad()
+                .then(|| Tensor::zeros(Shape::matrix(m, k)));
+            let mut dw = w2
+                .requires_grad()
+                .then(|| Tensor::zeros(Shape::matrix(k, n)));
+            let mut scratch = crate::pool::take_shaped_zeroed(&[n]);
+            crate::parallel::linear_act_backward_into(
+                up.data(),
+                pre.map(Tensor::data),
+                act,
+                xv.data(),
+                wv.data(),
+                db.as_mut().map(Tensor::data_mut),
+                dx.as_mut().map(Tensor::data_mut),
+                dw.as_mut().map(Tensor::data_mut),
+                &mut scratch,
+                m,
+                k,
+                n,
+            );
+            crate::pool::give_shaped(&[n], scratch);
+            (db, dx, dw)
+        })
+    });
+    // Same accumulation order as the composed chain: bias, input, weight.
+    if let Some(db) = db {
+        b2.accumulate_grad_owned(db);
+    }
+    if let Some(dx) = dx {
+        x2.accumulate_grad_owned(dx);
+    }
+    if let Some(dw) = dw {
+        w2.accumulate_grad_owned(dw);
+    }
+}
+
+/// The materialized fused backward path for [`Var::linear_act`]: builds
+/// `dpre = up ⊙ act'(pre)` and runs the two gradient matmuls through the
+/// (row-partitionable) microkernel. Bit-identical to the streaming path —
+/// both accumulate each gradient element in the same order — and preferred
+/// above the parallel threshold where threaded matmuls dominate.
+fn linear_act_backward_materialized(
+    x2: &Var,
+    w2: &Var,
+    b2: &Var,
+    pre: Option<&Tensor>,
+    act: Activation,
+    up: &Tensor,
+) {
+    // dpre = up ⊙ act'(pre); for Identity, up itself.
+    let owned;
+    let dpre: &Tensor = match pre {
+        Some(pre_t) => {
+            owned = up
+                .zip(pre_t, "linear_act", |g, p| g * act.grad(p))
+                .expect("same shape");
+            &owned
+        }
+        None => up,
+    };
+    let (m, n) = dpre.shape().as_matrix().expect("matrix");
+    if b2.requires_grad() {
+        let mut db = Tensor::zeros(Shape::matrix(1, n));
+        for r in 0..m {
+            for c in 0..n {
+                db.set2(0, c, db.get2(0, c) + dpre.get2(r, c));
+            }
+        }
+        b2.accumulate_grad(&db);
+    }
+    if x2.requires_grad() {
+        let dx = w2.with_value(|wv| {
+            dpre.matmul(&wv.transpose().expect("matrix"))
+                .expect("conforming")
+        });
+        x2.accumulate_grad(&dx);
+    }
+    if w2.requires_grad() {
+        let dw = x2.with_value(|xv| {
+            xv.transpose()
+                .expect("matrix")
+                .matmul(dpre)
+                .expect("conforming")
+        });
+        w2.accumulate_grad(&dw);
+    }
+}
+
 thread_local! {
     /// The step-scoped tape reused by every [`Var::backward`] on this thread.
     static STEP_TAPE: RefCell<Tape> = RefCell::new(Tape::new());
@@ -772,6 +1018,7 @@ impl Tape {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -1064,6 +1311,130 @@ mod tests {
         assert!(w.grad().is_some());
         w.zero_grad();
         assert!(w.grad().is_none());
+    }
+
+    #[test]
+    fn arena_recycles_graph_nodes_across_steps() {
+        set_arena_enabled(true);
+        let w = Var::parameter(Tensor::from_rows(&[&[1.0, -2.0]]).unwrap());
+        // Warm-up step fills the free list with this graph's node count.
+        {
+            let loss = w.mul(&w).unwrap().mean();
+            loss.backward();
+            w.zero_grad();
+        }
+        let before = arena_stats();
+        for _ in 0..3 {
+            let loss = w.mul(&w).unwrap().mean();
+            loss.backward();
+            w.zero_grad();
+        }
+        let after = arena_stats();
+        assert_eq!(
+            after.allocs_since(&before),
+            0,
+            "steady-state steps must pop every node from the arena"
+        );
+        assert!(after.reuses > before.reuses, "expected arena hits");
+        assert!(after.returns > before.returns, "expected reclamations");
+    }
+
+    #[test]
+    fn arena_disabled_allocates_and_frees_nodes() {
+        set_arena_enabled(false);
+        let before = arena_stats();
+        let w = Var::parameter(Tensor::scalar(2.0));
+        {
+            let loss = w.mul(&w).unwrap().mean();
+            loss.backward();
+        }
+        let after = arena_stats();
+        set_arena_enabled(true);
+        assert_eq!(
+            after.returns, before.returns,
+            "no reclamation while disabled"
+        );
+        assert!(
+            after.fresh_allocs >= before.fresh_allocs + 3,
+            "parameter, mul and mean nodes must allocate fresh"
+        );
+    }
+
+    #[test]
+    fn arena_reuse_does_not_change_training_results() {
+        let run = |arena: bool| {
+            set_arena_enabled(arena);
+            let w = Var::parameter(Tensor::from_rows(&[&[0.8, -0.3], &[0.1, 0.6]]).unwrap());
+            let x = Var::constant(Tensor::from_rows(&[&[1.0, 2.0], &[-0.5, 0.25]]).unwrap());
+            let mut losses = Vec::new();
+            for _ in 0..4 {
+                let loss = x.matmul(&w).unwrap().gelu().mean();
+                loss.backward();
+                losses.push(loss.value().item());
+                w.update_with_grad(|v, g| {
+                    for (vi, gi) in v.data_mut().iter_mut().zip(g.data()) {
+                        *vi -= 0.1 * gi;
+                    }
+                });
+            }
+            set_arena_enabled(true);
+            (losses, w.value())
+        };
+        let (l_on, w_on) = run(true);
+        let (l_off, w_off) = run(false);
+        assert!(
+            l_on.iter()
+                .zip(&l_off)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "losses must be bit-identical with and without the arena"
+        );
+        assert_eq!(w_on, w_off, "trained weights must match");
+    }
+
+    proptest! {
+        /// Satellite coverage for the fused backward epilogue: across all
+        /// activation kinds and non-square shapes, the fused node's value
+        /// and every gradient (input, weight, bias) are bit-identical to
+        /// the composed matmul → add_row → activate chain.
+        #[test]
+        fn prop_linear_act_grads_bit_identical_to_composed(
+            m in 1usize..7,
+            k in 1usize..9,
+            n in 1usize..6,
+            act_idx in 0usize..5,
+            seed in 0u64..200,
+        ) {
+            let act = [
+                Activation::Identity,
+                Activation::Relu,
+                Activation::Gelu,
+                Activation::Silu,
+                Activation::Tanh,
+            ][act_idx];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xt = Tensor::rand_uniform([m, k], 1.0, &mut rng);
+            let wt = Tensor::rand_uniform([k, n], 1.0, &mut rng);
+            let bt = Tensor::rand_uniform([1, n], 1.0, &mut rng);
+            let (x1, w1, b1) = (
+                Var::parameter(xt.clone()),
+                Var::parameter(wt.clone()),
+                Var::parameter(bt.clone()),
+            );
+            let fused = x1.linear_act(&w1, &b1, act).unwrap();
+            fused.mean().backward();
+            let (x2, w2, b2) = (
+                Var::parameter(xt),
+                Var::parameter(wt),
+                Var::parameter(bt),
+            );
+            let naive = composed_linear(&x2, &w2, &b2, act);
+            naive.mean().backward();
+            let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+            prop_assert_eq!(bits(&fused.value()), bits(&naive.value()));
+            prop_assert_eq!(bits(&x1.grad().unwrap()), bits(&x2.grad().unwrap()));
+            prop_assert_eq!(bits(&w1.grad().unwrap()), bits(&w2.grad().unwrap()));
+            prop_assert_eq!(bits(&b1.grad().unwrap()), bits(&b2.grad().unwrap()));
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! loss.backward();
 //! assert_eq!(w.grad().unwrap().shape().dims(), &[2, 2]);
 //! ```
+#![deny(missing_docs)]
 
 pub mod autograd;
 pub mod nn;

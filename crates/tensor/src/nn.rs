@@ -662,6 +662,7 @@ mod tests {
         let mut opt = AdamW::new(0.02, params.len());
         let mut step = |expect_zero: bool, tag: &str| {
             let before = crate::pool::stats();
+            let nodes_before = crate::autograd::arena_stats();
             let xv = Var::constant(x.clone());
             let (h, _) = moe.forward(&xv).unwrap();
             let loss = head.forward(&h).unwrap().cross_entropy(&labels).unwrap();
@@ -671,11 +672,20 @@ mod tests {
             drop(h);
             drop(xv);
             let fresh = crate::pool::stats().allocs_since(&before);
+            let fresh_nodes = crate::autograd::arena_stats().allocs_since(&nodes_before);
             if expect_zero {
                 assert_eq!(fresh, 0, "{tag}: {fresh} fresh allocations in steady state");
+                assert_eq!(
+                    fresh_nodes, 0,
+                    "{tag}: {fresh_nodes} fresh graph nodes in steady state"
+                );
             }
         };
+        // Two warm-up steps: the first populates the pool shelves, the
+        // second settles the arena's one-step-deferred value release
+        // (a reclaimed node keeps its value tensor until it is reused).
         step(false, "warmup");
+        step(false, "warmup 2");
         for i in 0..3 {
             step(true, &format!("steady step {i}"));
         }

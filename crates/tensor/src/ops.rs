@@ -97,6 +97,19 @@ impl Activation {
 /// performs the same `+ bias[j]` then `act(·)` per element in the same
 /// order; see the property tests.
 ///
+/// # Examples
+///
+/// ```
+/// use ftsim_tensor::{ops, Activation, Tensor};
+///
+/// let x = Tensor::from_rows(&[&[1.0, 2.0]]).unwrap();
+/// let w = Tensor::from_rows(&[&[0.5], &[-1.0]]).unwrap();
+/// let b = Tensor::from_rows(&[&[0.25]]).unwrap();
+/// let y = ops::matmul_bias_act(&x, &w, Some(&b), Activation::Relu).unwrap();
+/// // relu(1.0 * 0.5 + 2.0 * -1.0 + 0.25) = relu(-1.25) = 0.0
+/// assert_eq!(y.data(), &[0.0]);
+/// ```
+///
 /// # Errors
 ///
 /// Returns a shape error if the operands are not conforming matrices or the

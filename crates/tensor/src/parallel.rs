@@ -1,11 +1,27 @@
-//! Thread configuration and the blocked matmul kernel.
+//! Thread configuration and the matmul microkernel family.
 //!
 //! `ftsim-tensor` cannot depend on `ftsim-sim`'s engine (the dependency
 //! points the other way), so it reads the same `FTSIM_THREADS` environment
-//! variable itself. The matmul kernel here is cache-blocked over the inner
-//! dimension and row-partitioned across scoped threads; because each output
-//! row accumulates its products in the same ascending-`p` order regardless
-//! of partitioning, results are bit-identical at every thread count.
+//! variable itself.
+//!
+//! Three kernels live here, all bound by the same accumulation-order
+//! contract (see DESIGN.md "Kernel contracts"):
+//!
+//! * [`matmul_naive_into`] — the i-p-j oracle. Slow, obviously correct,
+//!   and the reference every other kernel must match bit-for-bit.
+//! * [`matmul_blocked_into`] — the pre-microkernel cache-blocked kernel,
+//!   retained as the perf baseline for `repro bench_tensor`.
+//! * [`matmul_microkernel_into`] — the production kernel: cache-blocked
+//!   over the inner dimension and tiled into fixed `MR`×`NR` register
+//!   accumulators so the autovectorizer emits 8-lane FMAs.
+//!
+//! The contract: every output element accumulates its products in
+//! ascending inner-index (`p`) order, skipping terms whose *lhs* factor is
+//! exactly `0.0`. Because each element's addition sequence is fixed,
+//! results are bit-identical across all three kernels and at every thread
+//! count (row partitioning never reorders a single element's sums).
+//! `linear_act_backward_into` extends the same contract to the fused
+//! backward epilogue.
 
 /// Environment variable overriding the worker-thread count (shared with
 /// `ftsim-sim`'s engine).
@@ -15,9 +31,23 @@ pub const THREADS_ENV: &str = "FTSIM_THREADS";
 /// rhs rows resident in L1/L2 while a row block streams over it.
 const K_BLOCK: usize = 64;
 
+/// Microkernel lane width: 8 f32 lanes, one AVX2 `ymm` register (or two
+/// NEON `q` registers). Output columns are walked in strips of `NR` so the
+/// inner loop is a fixed-width FMA the autovectorizer cannot miss.
+const NR: usize = 8;
+
+/// Microkernel register-tile height: each inner-kernel invocation carries
+/// `MR` rows of accumulators (6×8 f32 = 12 SSE `xmm` or 6 AVX2 `ymm`
+/// registers), so one load of an rhs lane strip is reused `MR` times before
+/// the next `p` step. 6 beat 4 and 8 on the baseline x86-64 target: 8
+/// spills accumulators, 4 under-uses the register file.
+const MR: usize = 6;
+
 /// Below this many multiply-adds the thread-spawn overhead outweighs the
-/// work; run on the calling thread.
-const PARALLEL_FLOP_THRESHOLD: usize = 1 << 20;
+/// work; run on the calling thread. The autograd fused backward uses the
+/// same threshold to decide between the streaming epilogue and the
+/// materialized (threadable) matmul path.
+pub(crate) const PARALLEL_FLOP_THRESHOLD: usize = 1 << 20;
 
 /// Worker threads to use: `FTSIM_THREADS` if set to a positive integer,
 /// otherwise the machine's available parallelism.
@@ -36,27 +66,227 @@ fn resolve_thread_count(env_value: Option<&str>) -> usize {
         })
 }
 
-/// `out[m×n] += lhs[m×k] @ rhs[k×n]` for a contiguous block of rows
-/// starting at `row0`. `out_rows` holds exactly the output rows of the
-/// block. Accumulation order per output element is ascending `p`, matching
-/// the naive i-k-j kernel bit-for-bit.
-fn matmul_rows(lhs: &[f32], rhs: &[f32], out_rows: &mut [f32], row0: usize, k: usize, n: usize) {
+/// `out[m×n] = lhs[m×k] @ rhs[k×n]` via the naive i-p-j triple loop.
+///
+/// This is the accumulation-order *oracle*: ascending `p` per output
+/// element, with terms skipped when the lhs factor is exactly `0.0`. Every
+/// other matmul kernel in the crate is tested bit-identical to this one.
+/// `out` must be zero-initialized and of length `m*n`.
+pub fn matmul_naive_into(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(lhs.len(), m * k, "lhs length");
+    assert_eq!(rhs.len(), k * n, "rhs length");
+    assert_eq!(out.len(), m * n, "out length");
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let a = lhs[i * k + p];
+            if a == 0.0 {
+                continue;
+            }
+            let rhs_row = &rhs[p * n..(p + 1) * n];
+            for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                *o += a * b;
+            }
+        }
+    }
+}
+
+/// `out[m×n] = lhs[m×k] @ rhs[k×n]` via the pre-microkernel cache-blocked
+/// kernel (serial), retained as the `repro bench_tensor` perf baseline.
+///
+/// Identical accumulation order to [`matmul_naive_into`]: the `K_BLOCK`
+/// panel split keeps ascending-`p` order per element, it only reorders
+/// work *between* elements. `out` must be zero-initialized, length `m*n`.
+pub fn matmul_blocked_into(
+    lhs: &[f32],
+    rhs: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(lhs.len(), m * k, "lhs length");
+    assert_eq!(rhs.len(), k * n, "rhs length");
+    assert_eq!(out.len(), m * n, "out length");
+    matmul_rows_blocked(lhs, rhs, out, 0, k, n);
+}
+
+/// `out[m×n] = lhs[m×k] @ rhs[k×n]` via the register-tile microkernel
+/// (serial). This is the kernel the crate-internal `matmul_into` dispatcher drives under threads; it is
+/// public so benches can time it against [`matmul_blocked_into`] without
+/// thread-count noise. `out` must be zero-initialized, length `m*n`.
+pub fn matmul_microkernel_into(
+    lhs: &[f32],
+    rhs: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(lhs.len(), m * k, "lhs length");
+    assert_eq!(rhs.len(), k * n, "rhs length");
+    assert_eq!(out.len(), m * n, "out length");
+    matmul_rows(lhs, rhs, out, 0, k, n);
+}
+
+/// The pre-microkernel inner kernel: for each `K_BLOCK` panel, each output
+/// row is re-read and re-written once per `p` step. Kept (a) as the perf
+/// baseline and (b) as the remainder path for row counts below [`MR`].
+fn matmul_rows_blocked(
+    lhs: &[f32],
+    rhs: &[f32],
+    out_rows: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
     let rows = out_rows.len() / n.max(1);
     for p0 in (0..k).step_by(K_BLOCK) {
         let p1 = (p0 + K_BLOCK).min(k);
         for i in 0..rows {
-            let lhs_row = &lhs[(row0 + i) * k..(row0 + i + 1) * k];
-            let out_row = &mut out_rows[i * n..(i + 1) * n];
-            for p in p0..p1 {
-                let a = lhs_row[p];
-                if a == 0.0 {
+            blocked_row_panel(lhs, rhs, out_rows, row0, i, p0, p1, k, n);
+        }
+    }
+}
+
+/// One row × one `K_BLOCK` panel of the blocked kernel: ascending `p`, lhs
+/// zero-skip, full column span. Shared by the blocked kernel and the
+/// microkernel's row-remainder path so both stay order-identical.
+#[allow(clippy::too_many_arguments)]
+fn blocked_row_panel(
+    lhs: &[f32],
+    rhs: &[f32],
+    out_rows: &mut [f32],
+    row0: usize,
+    i: usize,
+    p0: usize,
+    p1: usize,
+    k: usize,
+    n: usize,
+) {
+    let lhs_row = &lhs[(row0 + i) * k..(row0 + i + 1) * k];
+    let out_row = &mut out_rows[i * n..(i + 1) * n];
+    for p in p0..p1 {
+        let a = lhs_row[p];
+        if a == 0.0 {
+            continue;
+        }
+        let rhs_row = &rhs[p * n..(p + 1) * n];
+        for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+            *o += a * b;
+        }
+    }
+}
+
+/// The inner microkernel: walks one `MR`-row band across all `NR`-wide
+/// column strips for one K panel, carrying each `MR`×`NR` tile in a
+/// fixed-size accumulator array (registers) and touching `out_rows` only at
+/// tile load/store.
+///
+/// `ZERO_SKIP` monomorphizes the lhs `a == 0.0` skip in or out: the caller
+/// scans the band's panels and picks `false` (straight-line FMAs, fully
+/// vectorizable) when no exact zero exists — bit-identical because the skip
+/// would never fire — and `true` otherwise.
+fn band_tiles<const ZERO_SKIP: bool>(
+    lhs_panels: &[&[f32]; MR],
+    rhs: &[f32],
+    out_rows: &mut [f32],
+    i: usize,
+    p0: usize,
+    n_main: usize,
+    n: usize,
+) {
+    let panel_len = lhs_panels[0].len();
+    let mut j0 = 0;
+    while j0 < n_main {
+        // Load the MR×NR accumulator tile from the output.
+        let mut acc = [[0.0f32; NR]; MR];
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            let base = (i + r) * n + j0;
+            acc_r.copy_from_slice(&out_rows[base..base + NR]);
+        }
+        for off in 0..panel_len {
+            let p = p0 + off;
+            let lane: &[f32; NR] = rhs[p * n + j0..p * n + j0 + NR]
+                .try_into()
+                .expect("NR-wide rhs strip");
+            for (acc_r, lhs_panel) in acc.iter_mut().zip(lhs_panels) {
+                let a = lhs_panel[off];
+                if ZERO_SKIP && a == 0.0 {
                     continue;
                 }
-                let rhs_row = &rhs[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
+                for (acc_v, &b) in acc_r.iter_mut().zip(lane) {
+                    *acc_v += a * b;
                 }
             }
+        }
+        for (r, acc_r) in acc.iter().enumerate() {
+            let base = (i + r) * n + j0;
+            out_rows[base..base + NR].copy_from_slice(acc_r);
+        }
+        j0 += NR;
+    }
+}
+
+/// `out[m×n] += lhs[m×k] @ rhs[k×n]` for a contiguous block of rows
+/// starting at `row0`, via the register-tile microkernel. `out_rows` holds
+/// exactly the output rows of the block.
+///
+/// Geometry: for each `K_BLOCK` inner panel, rows are walked in bands of
+/// [`MR`] and columns in strips of [`NR`]; each `MR`×`NR` tile is loaded
+/// into a fixed-size accumulator array, updated with ascending-`p` FMAs
+/// across the panel, and stored back once. Loading the tile from `out` at
+/// panel entry (rather than zeroing it) means each element performs exactly
+/// the same addition sequence as the blocked kernel and the naive oracle —
+/// ascending `p` with the lhs `0.0` skip — so results stay bit-identical.
+/// Column remainders (`n % NR`) and row remainders (`rows % MR`) fall back
+/// to the scalar panel loop in the same order.
+fn matmul_rows(lhs: &[f32], rhs: &[f32], out_rows: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = out_rows.len() / n.max(1);
+    let n_main = n - n % NR;
+    for p0 in (0..k).step_by(K_BLOCK) {
+        let p1 = (p0 + K_BLOCK).min(k);
+        let mut i = 0;
+        while i + MR <= rows {
+            let band = (row0 + i) * k;
+            // Pre-slice each row's K panel so the p loop is bounds-check free.
+            let lhs_panels: [&[f32]; MR] =
+                std::array::from_fn(|r| &lhs[band + r * k + p0..band + r * k + p1]);
+            // The zero-skip contract (`a == 0.0` contributes nothing, not
+            // `acc + 0.0*b`) only fires when a panel holds an exact zero.
+            // Scan once per band×panel and dispatch: the dense path drops
+            // the per-element branch so the FMA tile stays straight-line,
+            // and is trivially bit-identical because no element would have
+            // been skipped anyway.
+            if lhs_panels
+                .iter()
+                .all(|panel| panel.iter().all(|&a| a != 0.0))
+            {
+                band_tiles::<false>(&lhs_panels, rhs, out_rows, i, p0, n_main, n);
+            } else {
+                band_tiles::<true>(&lhs_panels, rhs, out_rows, i, p0, n_main, n);
+            }
+            // Scalar column tail: same ascending-p order over j >= n_main.
+            if n_main < n {
+                for (r, lhs_panel) in lhs_panels.iter().enumerate() {
+                    let out_row = &mut out_rows[(i + r) * n + n_main..(i + r + 1) * n];
+                    for (off, p) in (p0..p1).enumerate() {
+                        let a = lhs_panel[off];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let rhs_tail = &rhs[p * n + n_main..(p + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(rhs_tail) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+            i += MR;
+        }
+        // Row remainder: the shared scalar panel loop.
+        for ii in i..rows {
+            blocked_row_panel(lhs, rhs, out_rows, row0, ii, p0, p1, k, n);
         }
     }
 }
@@ -110,8 +340,8 @@ fn epilogue_rows(
     }
 }
 
-/// Fused `out = act(lhs @ rhs + bias)` using the same blocked matmul kernel
-/// as [`matmul_into`], with the bias/activation epilogue running inside each
+/// Fused `out = act(lhs @ rhs + bias)` using the same microkernel matmul as
+/// [`matmul_into`], with the bias/activation epilogue running inside each
 /// worker's row block. `pre`, when given, receives the pre-activation
 /// (post-bias) values — the autograd fused node needs them for `act'`.
 ///
@@ -154,23 +384,119 @@ pub(crate) fn matmul_bias_act_into(
     });
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn naive(lhs: &[f32], rhs: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = lhs[i * k + p];
+/// Streaming fused backward epilogue for `y = act(x @ w + b)`.
+///
+/// Given the upstream gradient `up[m×n]` and the saved pre-activation
+/// `pre[m×n]` (`None` means the activation was `Identity`), accumulates
+///
+/// * `db[n]    += Σ_r dpre[r]`                (bias gradient)
+/// * `dx[m×k]  = dpre @ wᵀ`                   (input gradient)
+/// * `dw[k×n]  = xᵀ @ dpre`                   (weight gradient)
+///
+/// where `dpre[r][j] = up[r][j] · act'(pre[r][j])` — but `dpre` is never
+/// materialized as an `m×n` tensor. Instead a single row (`dpre_row`,
+/// caller-provided scratch of length `n`) is recomputed per input row and
+/// folded straight into the three accumulations. Each output is optional:
+/// pass `None` for operands that do not require gradients and the
+/// corresponding sweep is skipped entirely.
+///
+/// Bit-identity with the composed path (`dpre = up ⊙ act'(pre)` followed by
+/// `dpre @ wᵀ` / `xᵀ @ dpre` matmuls and the row-sum bias reduction):
+///
+/// * `db[j]` adds `dpre[r][j]` in ascending `r` — the row-sum order.
+/// * `dx[r][c]` accumulates `dpre[r][p] · w[c][p]` in ascending `p`,
+///   skipping zero `dpre` factors — the matmul contract with `dpre` as lhs.
+/// * `dw[c][j]` accumulates `x[r][c] · dpre[r][j]` in ascending `r`,
+///   skipping zero `x` factors — the matmul contract with `xᵀ` as lhs.
+///
+/// All three outputs must be zero-initialized. Serial by design: this is
+/// the small/medium-shape path (the per-step training hot loop); callers
+/// fall back to the materialized matmul path — bit-identical by the above —
+/// when shapes are large enough for row-partitioned threading to win.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn linear_act_backward_into(
+    up: &[f32],
+    pre: Option<&[f32]>,
+    act: crate::ops::Activation,
+    x: &[f32],
+    w: &[f32],
+    mut db: Option<&mut [f32]>,
+    mut dx: Option<&mut [f32]>,
+    mut dw: Option<&mut [f32]>,
+    dpre_row: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(up.len(), m * n, "upstream gradient length");
+    assert_eq!(x.len(), m * k, "input length");
+    assert_eq!(w.len(), k * n, "weight length");
+    assert_eq!(dpre_row.len(), n, "dpre scratch length");
+    if let Some(d) = db.as_deref() {
+        assert_eq!(d.len(), n, "bias gradient length");
+    }
+    if let Some(d) = dx.as_deref() {
+        assert_eq!(d.len(), m * k, "input gradient length");
+    }
+    if let Some(d) = dw.as_deref() {
+        assert_eq!(d.len(), k * n, "weight gradient length");
+    }
+    if let Some(p) = pre {
+        assert_eq!(p.len(), m * n, "pre-activation length");
+    }
+    for r in 0..m {
+        let up_row = &up[r * n..(r + 1) * n];
+        match pre {
+            Some(pre_all) => {
+                let pre_row = &pre_all[r * n..(r + 1) * n];
+                for ((d, &g), &p) in dpre_row.iter_mut().zip(up_row).zip(pre_row) {
+                    *d = g * act.grad(p);
+                }
+            }
+            None => dpre_row.copy_from_slice(up_row),
+        }
+        if let Some(db) = db.as_deref_mut() {
+            for (d, &g) in db.iter_mut().zip(dpre_row.iter()) {
+                *d += g;
+            }
+        }
+        if let Some(dx) = dx.as_deref_mut() {
+            let dx_row = &mut dx[r * k..(r + 1) * k];
+            for (c, slot) in dx_row.iter_mut().enumerate() {
+                let w_row = &w[c * n..(c + 1) * n];
+                let mut acc = *slot;
+                for (p, &g) in dpre_row.iter().enumerate() {
+                    if g == 0.0 {
+                        continue;
+                    }
+                    acc += g * w_row[p];
+                }
+                *slot = acc;
+            }
+        }
+        if let Some(dw) = dw.as_deref_mut() {
+            let x_row = &x[r * k..(r + 1) * k];
+            for (c, &a) in x_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                for j in 0..n {
-                    out[i * n + j] += a * rhs[p * n + j];
+                let dw_row = &mut dw[c * n..(c + 1) * n];
+                for (d, &g) in dw_row.iter_mut().zip(dpre_row.iter()) {
+                    *d += a * g;
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive(lhs: &[f32], rhs: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        matmul_naive_into(lhs, rhs, &mut out, m, k, n);
         out
     }
 
@@ -185,6 +511,22 @@ mod tests {
                 ((state >> 40) as f32 / (1u32 << 23) as f32) - 0.5
             })
             .collect()
+    }
+
+    /// Like `pseudo_data`, but with roughly a quarter of the entries exactly
+    /// zero so kernels exercise the lhs zero-skip branch.
+    fn sparse_data(len: usize, seed: u64) -> Vec<f32> {
+        let mut data = pseudo_data(len, seed);
+        let mut state = seed ^ 0x9e3779b97f4a7c15;
+        for v in &mut data {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if state.is_multiple_of(4) {
+                *v = 0.0;
+            }
+        }
+        data
     }
 
     #[test]
@@ -205,16 +547,62 @@ mod tests {
             (64, 64, 64),
             (33, 200, 41),
         ] {
-            let lhs = pseudo_data(m * k, 11);
+            let lhs = sparse_data(m * k, 11);
             let rhs = pseudo_data(k * n, 23);
-            let mut out = vec![0.0f32; m * n];
-            matmul_rows(&lhs, &rhs, &mut out, 0, k, n);
+            let mut blocked = vec![0.0f32; m * n];
+            matmul_blocked_into(&lhs, &rhs, &mut blocked, m, k, n);
+            let mut micro = vec![0.0f32; m * n];
+            matmul_rows(&lhs, &rhs, &mut micro, 0, k, n);
             let expect = naive(&lhs, &rhs, m, k, n);
             assert!(
-                out.iter()
+                blocked
+                    .iter()
                     .zip(&expect)
                     .all(|(a, b)| a.to_bits() == b.to_bits()),
                 "blocked kernel diverged at ({m},{k},{n})"
+            );
+            assert!(
+                micro
+                    .iter()
+                    .zip(&expect)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "microkernel diverged at ({m},{k},{n})"
+            );
+        }
+    }
+
+    proptest! {
+        /// The accumulation-order contract, machine-enforced: for arbitrary
+        /// shapes (remainders included) and sparse data, the microkernel,
+        /// the blocked reference, and the naive oracle agree bit-for-bit.
+        #[test]
+        fn prop_microkernel_matches_naive_and_blocked_bitwise(
+            m in 1usize..14,
+            k in 1usize..150,
+            n in 1usize..28,
+            seed in 0u64..512,
+            sparse in 0usize..2,
+        ) {
+            // Sparse lhs drives the zero-skip tile path; dense lhs drives
+            // the straight-line dispatch. Both must match the oracle.
+            let lhs = if sparse == 1 {
+                sparse_data(m * k, seed.wrapping_mul(2).wrapping_add(1))
+            } else {
+                pseudo_data(m * k, seed.wrapping_mul(2).wrapping_add(1))
+            };
+            let rhs = pseudo_data(k * n, seed.wrapping_mul(3).wrapping_add(7));
+            let expect = naive(&lhs, &rhs, m, k, n);
+            let mut blocked = vec![0.0f32; m * n];
+            matmul_blocked_into(&lhs, &rhs, &mut blocked, m, k, n);
+            let mut micro = vec![0.0f32; m * n];
+            matmul_microkernel_into(&lhs, &rhs, &mut micro, m, k, n);
+            prop_assert!(
+                blocked.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "blocked kernel diverged at ({},{},{})", m, k, n
+            );
+            prop_assert!(
+                micro.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "microkernel diverged at ({},{},{})", m, k, n
             );
         }
     }
@@ -313,7 +701,7 @@ mod tests {
         // Simulate the parallel split at several worker counts by calling
         // the row-block kernel directly on disjoint chunks.
         let (m, k, n) = (37, 96, 29);
-        let lhs = pseudo_data(m * k, 5);
+        let lhs = sparse_data(m * k, 5);
         let rhs = pseudo_data(k * n, 9);
         let mut reference = vec![0.0f32; m * n];
         matmul_rows(&lhs, &rhs, &mut reference, 0, k, n);
@@ -329,6 +717,97 @@ mod tests {
                     .all(|(a, b)| a.to_bits() == b.to_bits()),
                 "{workers}-way split diverged"
             );
+        }
+    }
+
+    /// Composed reference for the fused backward epilogue: materialize dpre,
+    /// then run the three grad products through the naive oracle exactly as
+    /// the pre-fusion autograd closure did.
+    #[allow(clippy::too_many_arguments)]
+    fn composed_backward(
+        up: &[f32],
+        pre: Option<&[f32]>,
+        act: crate::ops::Activation,
+        x: &[f32],
+        w: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let dpre: Vec<f32> = match pre {
+            Some(pre_all) => up
+                .iter()
+                .zip(pre_all)
+                .map(|(&g, &p)| g * act.grad(p))
+                .collect(),
+            None => up.to_vec(),
+        };
+        let mut db = vec![0.0f32; n];
+        for r in 0..m {
+            for (d, &g) in db.iter_mut().zip(&dpre[r * n..(r + 1) * n]) {
+                *d += g;
+            }
+        }
+        let mut wt = vec![0.0f32; n * k];
+        for c in 0..k {
+            for j in 0..n {
+                wt[j * k + c] = w[c * n + j];
+            }
+        }
+        let mut dx = vec![0.0f32; m * k];
+        matmul_naive_into(&dpre, &wt, &mut dx, m, n, k);
+        let mut xt = vec![0.0f32; k * m];
+        for r in 0..m {
+            for c in 0..k {
+                xt[c * m + r] = x[r * k + c];
+            }
+        }
+        let mut dw = vec![0.0f32; k * n];
+        matmul_naive_into(&xt, &dpre, &mut dw, k, m, n);
+        (db, dx, dw)
+    }
+
+    #[test]
+    fn streaming_backward_epilogue_matches_composed_path_bitwise() {
+        use crate::ops::Activation;
+        for (m, k, n) in [(1, 1, 1), (5, 3, 7), (13, 70, 9), (8, 8, 8)] {
+            for act in [
+                Activation::Identity,
+                Activation::Relu,
+                Activation::Gelu,
+                Activation::Silu,
+                Activation::Tanh,
+            ] {
+                let up = sparse_data(m * n, 51);
+                let pre_data = pseudo_data(m * n, 53);
+                let pre = (act != Activation::Identity).then_some(pre_data.as_slice());
+                let x = sparse_data(m * k, 57);
+                let w = pseudo_data(k * n, 59);
+                let (db_ref, dx_ref, dw_ref) = composed_backward(&up, pre, act, &x, &w, m, k, n);
+                let mut db = vec![0.0f32; n];
+                let mut dx = vec![0.0f32; m * k];
+                let mut dw = vec![0.0f32; k * n];
+                let mut scratch = vec![0.0f32; n];
+                linear_act_backward_into(
+                    &up,
+                    pre,
+                    act,
+                    &x,
+                    &w,
+                    Some(&mut db),
+                    Some(&mut dx),
+                    Some(&mut dw),
+                    &mut scratch,
+                    m,
+                    k,
+                    n,
+                );
+                let same =
+                    |a: &[f32], b: &[f32]| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same(&db, &db_ref), "db diverged for {act:?} ({m},{k},{n})");
+                assert!(same(&dx, &dx_ref), "dx diverged for {act:?} ({m},{k},{n})");
+                assert!(same(&dw, &dw_ref), "dw diverged for {act:?} ({m},{k},{n})");
+            }
         }
     }
 }

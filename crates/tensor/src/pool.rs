@@ -22,8 +22,46 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+/// Multiply-xor hasher (the rustc-hash construction) for the shelf maps.
+/// Shelf keys are tiny — a `usize` capacity or a short dimension list — and
+/// sit on the take/give hot path of every tensor, where the default
+/// SipHash's per-call overhead is measurable. Keys are never adversarial
+/// (they are tensor shapes), so DoS resistance is not needed.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// Maximum spare buffers kept per distinct capacity; returns beyond this are
 /// dropped (and counted as discards) so the pool cannot grow without bound.
@@ -83,7 +121,14 @@ impl PoolStats {
 /// ```
 #[derive(Debug)]
 pub struct Pool<T> {
-    shelves: Mutex<HashMap<usize, Vec<Vec<T>>>>,
+    shelves: Mutex<FxMap<usize, Vec<Vec<T>>>>,
+    /// Shape-keyed shelves: buffers returned through [`Pool::give_shaped`]
+    /// are indexed by the exact dimension list of the tensor they backed, so
+    /// a steady-state training step — same shapes, step after step — hits
+    /// this map without consulting the capacity shelves at all. The key
+    /// `Vec<usize>` is allocated once per distinct shape (warm-up), never on
+    /// the hot path: lookups borrow the caller's `&[usize]`.
+    shape_shelves: Mutex<FxMap<Vec<usize>, Vec<Vec<T>>>>,
     fresh_allocs: AtomicU64,
     reuses: AtomicU64,
     returns: AtomicU64,
@@ -118,7 +163,8 @@ impl<T> Pool<T> {
     /// `{label}.fresh_allocs` etc.
     pub fn with_label(label: &'static str) -> Self {
         Pool {
-            shelves: Mutex::new(HashMap::new()),
+            shelves: Mutex::new(FxMap::default()),
+            shape_shelves: Mutex::new(FxMap::default()),
             fresh_allocs: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
             returns: AtomicU64::new(0),
@@ -214,19 +260,95 @@ impl<T> Pool<T> {
         }
     }
 
+    /// Like [`Pool::take`], but preferring a buffer that previously backed a
+    /// tensor of exactly `dims`. Falls back to the capacity shelf for the
+    /// same element count, then to a fresh allocation. Returns an **empty**
+    /// vector with capacity for `dims.iter().product()` elements.
+    ///
+    /// ```
+    /// use ftsim_tensor::pool::BufferPool;
+    /// let pool = BufferPool::new();
+    /// let buf = pool.take_shaped(&[4, 8]);
+    /// assert!(buf.is_empty() && buf.capacity() >= 32);
+    /// pool.give_shaped(&[4, 8], buf);
+    /// // Same shape next step: served from the shape shelf, no allocation.
+    /// let again = pool.take_shaped(&[4, 8]);
+    /// assert_eq!(pool.stats().reuses, 1);
+    /// # drop(again);
+    /// ```
+    pub fn take_shaped(&self, dims: &[usize]) -> Vec<T> {
+        let len: usize = dims.iter().product();
+        if len == 0 {
+            return Vec::new();
+        }
+        let reused = self
+            .shape_shelves
+            .lock()
+            .expect("pool mutex")
+            .get_mut(dims)
+            .and_then(Vec::pop);
+        match reused {
+            Some(mut v) => {
+                self.bump(&self.reuses, REUSE);
+                v.clear();
+                v
+            }
+            None => self.take(len),
+        }
+    }
+
+    /// Returns a buffer that backed a tensor of shape `dims` to the
+    /// shape-keyed shelf. Zero-capacity and oversized buffers, and returns
+    /// to a full shelf, are dropped instead, exactly as in [`Pool::give`].
+    pub fn give_shaped(&self, dims: &[usize], mut buf: Vec<T>) {
+        let cap = buf.capacity();
+        if cap == 0 || cap > MAX_POOLED_LEN {
+            if cap > 0 {
+                self.bump(&self.discards, DISCARD);
+            }
+            return;
+        }
+        buf.clear();
+        let mut shelves = self.shape_shelves.lock().expect("pool mutex");
+        match shelves.get_mut(dims) {
+            Some(shelf) if shelf.len() >= SHELF_CAP => {
+                self.bump(&self.discards, DISCARD);
+            }
+            Some(shelf) => {
+                shelf.push(buf);
+                self.bump(&self.returns, RETURN);
+            }
+            None => {
+                // First return of this shape: the only key allocation.
+                shelves.insert(dims.to_vec(), vec![buf]);
+                self.bump(&self.returns, RETURN);
+            }
+        }
+    }
+
     /// Drops all shelved buffers (counters are preserved).
     pub fn clear(&self) {
         self.shelves.lock().expect("pool mutex").clear();
+        self.shape_shelves.lock().expect("pool mutex").clear();
     }
 
-    /// Number of buffers currently shelved.
+    /// Number of buffers currently shelved (capacity and shape shelves).
     pub fn resident(&self) -> usize {
-        self.shelves
+        let by_cap: usize = self
+            .shelves
             .lock()
             .expect("pool mutex")
             .values()
             .map(Vec::len)
-            .sum()
+            .sum();
+        let by_shape: usize = self
+            .shape_shelves
+            .lock()
+            .expect("pool mutex")
+            .values()
+            .map(Vec::len)
+            .sum();
+        by_cap + by_shape
     }
 
     /// Snapshot of the event counters.
@@ -307,6 +429,54 @@ pub fn give(buf: Vec<f32>) {
     let _ = POOL.try_with(|p| p.give(buf));
 }
 
+/// [`BufferPool::take_shaped`] on the current thread's pool: an **empty**
+/// vector with capacity for a tensor of shape `dims`.
+pub fn take_shaped(dims: &[usize]) -> Vec<f32> {
+    let len: usize = dims.iter().product();
+    if !enabled() {
+        bump_fresh();
+        return Vec::with_capacity(len);
+    }
+    POOL.try_with(|p| p.take_shaped(dims))
+        .unwrap_or_else(|_| Vec::with_capacity(len))
+}
+
+/// A vector of `dims.iter().product()` zeros from the current thread's
+/// shape-keyed pool.
+pub fn take_shaped_zeroed(dims: &[usize]) -> Vec<f32> {
+    let len: usize = dims.iter().product();
+    let mut v = take_shaped(dims);
+    v.resize(len, 0.0);
+    v
+}
+
+/// A vector of `dims.iter().product()` copies of `value` from the current
+/// thread's shape-keyed pool.
+pub fn take_shaped_filled(dims: &[usize], value: f32) -> Vec<f32> {
+    let len: usize = dims.iter().product();
+    let mut v = take_shaped(dims);
+    v.resize(len, value);
+    v
+}
+
+/// A copy of `src` (which backs a tensor of shape `dims`) drawn from the
+/// current thread's shape-keyed pool.
+pub fn take_shaped_copy(dims: &[usize], src: &[f32]) -> Vec<f32> {
+    let mut v = take_shaped(dims);
+    v.extend_from_slice(src);
+    v
+}
+
+/// [`BufferPool::give_shaped`] on the current thread's pool. Safe to call
+/// during thread teardown (the buffer is simply dropped once the pool is
+/// gone).
+pub fn give_shaped(dims: &[usize], buf: Vec<f32>) {
+    if !enabled() {
+        return;
+    }
+    let _ = POOL.try_with(|p| p.give_shaped(dims, buf));
+}
+
 /// Counter snapshot for the current thread's pool.
 pub fn stats() -> PoolStats {
     POOL.try_with(BufferPool::stats).unwrap_or_default()
@@ -364,6 +534,29 @@ mod tests {
         }
         assert_eq!(pool.resident(), SHELF_CAP);
         assert_eq!(pool.stats().discards, 3);
+    }
+
+    #[test]
+    fn shape_shelf_roundtrip_reuses_storage() {
+        let pool = BufferPool::new();
+        let mut a = pool.take_shaped(&[2, 6]);
+        a.resize(12, 7.0);
+        let ptr = a.as_ptr();
+        pool.give_shaped(&[2, 6], a);
+        let b = pool.take_shaped(&[2, 6]);
+        assert_eq!(b.as_ptr(), ptr, "expected the same storage back");
+        assert!(b.is_empty(), "recycled buffer must arrive cleared");
+        let s = pool.stats();
+        assert_eq!((s.fresh_allocs, s.reuses, s.returns), (1, 1, 1));
+    }
+
+    #[test]
+    fn shaped_take_falls_back_to_capacity_shelf() {
+        let pool = BufferPool::new();
+        pool.give(pool.take_zeroed(12));
+        let v = pool.take_shaped(&[3, 4]);
+        assert_eq!(v.capacity(), 12);
+        assert_eq!(pool.stats().reuses, 1);
     }
 
     #[test]

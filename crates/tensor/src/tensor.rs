@@ -67,14 +67,14 @@ impl Clone for Tensor {
     fn clone(&self) -> Self {
         Tensor {
             shape: self.shape.clone(),
-            data: pool::take_copy(&self.data),
+            data: pool::take_shaped_copy(self.shape.dims(), &self.data),
         }
     }
 }
 
 impl Drop for Tensor {
     fn drop(&mut self) {
-        pool::give(std::mem::take(&mut self.data));
+        pool::give_shaped(self.shape.dims(), std::mem::take(&mut self.data));
     }
 }
 
@@ -98,11 +98,8 @@ impl Tensor {
     /// A tensor filled with zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        let n = shape.numel();
-        Tensor {
-            shape,
-            data: pool::take_zeroed(n),
-        }
+        let data = pool::take_shaped_zeroed(shape.dims());
+        Tensor { shape, data }
     }
 
     /// A tensor filled with ones.
@@ -113,19 +110,15 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        let n = shape.numel();
-        Tensor {
-            shape,
-            data: pool::take_filled(n, value),
-        }
+        let data = pool::take_shaped_filled(shape.dims(), value);
+        Tensor { shape, data }
     }
 
     /// A rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor {
-            shape: Shape::scalar(),
-            data: pool::take_filled(1, value),
-        }
+        let shape = Shape::scalar();
+        let data = pool::take_shaped_filled(shape.dims(), value);
+        Tensor { shape, data }
     }
 
     /// Builds a matrix from row slices.
@@ -141,7 +134,7 @@ impl Tensor {
             ));
         };
         let cols = first.len();
-        let mut data = pool::take(rows.len() * cols);
+        let mut data = pool::take_shaped(&[rows.len(), cols]);
         for row in rows {
             if row.len() != cols {
                 return Err(TensorError::InvalidArgument(format!(
@@ -160,7 +153,7 @@ impl Tensor {
     /// A matrix with independent samples from `U(-scale, scale)`.
     pub fn rand_uniform(shape: impl Into<Shape>, scale: f32, rng: &mut impl Rng) -> Self {
         let shape = shape.into();
-        let mut data = pool::take(shape.numel());
+        let mut data = pool::take_shaped(shape.dims());
         data.extend((0..shape.numel()).map(|_| rng.gen_range(-scale..=scale)));
         Tensor { shape, data }
     }
@@ -169,7 +162,7 @@ impl Tensor {
     /// using a 12-uniform-sum approximation (adequate for initialization).
     pub fn rand_normal(shape: impl Into<Shape>, std: f32, rng: &mut impl Rng) -> Self {
         let shape = shape.into();
-        let mut data = pool::take(shape.numel());
+        let mut data = pool::take_shaped(shape.dims());
         data.extend((0..shape.numel()).map(|_| {
             let s: f32 = (0..12).map(|_| rng.gen_range(0.0..1.0f32)).sum();
             (s - 6.0) * std
@@ -282,7 +275,7 @@ impl Tensor {
 
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let mut data = pool::take(self.data.len());
+        let mut data = pool::take_shaped(self.shape.dims());
         data.extend(self.data.iter().map(|&x| f(x)));
         Tensor {
             shape: self.shape.clone(),
@@ -313,7 +306,7 @@ impl Tensor {
                 rhs: other.shape.clone(),
             });
         }
-        let mut data = pool::take(self.data.len());
+        let mut data = pool::take_shaped(self.shape.dims());
         data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
         Ok(Tensor {
             shape: self.shape.clone(),
@@ -411,11 +404,12 @@ impl Tensor {
 
     /// Matrix product `self @ rhs`.
     ///
-    /// Uses a cache-blocked i-k-j kernel, row-partitioned across scoped
-    /// threads for large products (see [`crate::parallel`]; thread count
-    /// from `FTSIM_THREADS`). Each output element accumulates in the same
-    /// ascending-inner-index order at any thread count, so results are
-    /// bit-identical to the serial kernel.
+    /// Uses the register-tiled microkernel (6×8 accumulator tiles over
+    /// cache-sized K panels), row-partitioned across scoped threads for
+    /// large products (see [`crate::parallel`]; thread count from
+    /// `FTSIM_THREADS`). Each output element accumulates in the same
+    /// ascending-inner-index order at any tile shape and thread count, so
+    /// results are bit-identical to the serial naive oracle.
     ///
     /// # Errors
     ///
