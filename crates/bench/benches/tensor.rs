@@ -1,5 +1,6 @@
 //! Benchmarks the tensor runtime: the three matmul kernels (naive oracle,
-//! cache-blocked, register-tiled microkernel), composed naive ops with
+//! cache-blocked, register-tiled microkernel), the microkernel with its
+//! SIMD dispatch forced to each side, composed naive ops with
 //! buffer pooling disabled vs. the fused matmul+bias+activation and softmax
 //! kernels backed by the thread-local pool, the streaming fused backward
 //! epilogue vs. the composed backward chain, plus one full MoE training
@@ -42,6 +43,31 @@ fn matmul_kernels(c: &mut Criterion) {
             black_box(out[0])
         })
     });
+}
+
+/// The microkernel with its dispatch pinned to each side: forced scalar vs.
+/// forced AVX2 (which downgrades to scalar on hosts without AVX2, making
+/// the pair read ~1.0x there). Both sides produce bit-identical outputs.
+fn matmul_simd_dispatch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let lhs = Tensor::rand_normal([M, K], 1.0, &mut rng);
+    let rhs = Tensor::rand_normal([K, N], 0.5, &mut rng);
+    let mut out = vec![0.0f32; M * N];
+    ftsim_tensor::simd::force(Some(false));
+    c.bench_function("tensor/matmul_microkernel_scalar", |bch| {
+        bch.iter(|| {
+            parallel::matmul_microkernel_into(lhs.data(), rhs.data(), &mut out, M, K, N);
+            black_box(out[0])
+        })
+    });
+    ftsim_tensor::simd::force(Some(true));
+    c.bench_function("tensor/matmul_microkernel_simd", |bch| {
+        bch.iter(|| {
+            parallel::matmul_microkernel_into(lhs.data(), rhs.data(), &mut out, M, K, N);
+            black_box(out[0])
+        })
+    });
+    ftsim_tensor::simd::force(None);
 }
 
 /// One `linear_act` forward+backward at training-hot-loop scale, streaming
@@ -198,6 +224,6 @@ fn train_steps(c: &mut Criterion) {
 criterion_group! {
     name = tensor;
     config = Criterion::default().sample_size(10);
-    targets = matmul_kernels, kernels, linear_backward, train_steps
+    targets = matmul_kernels, matmul_simd_dispatch, kernels, linear_backward, train_steps
 }
 criterion_main!(tensor);

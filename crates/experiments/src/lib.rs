@@ -1345,6 +1345,68 @@ fn bench_tensor() -> ExperimentResult {
     let mm_blocked = median(&mm_samples[1]);
     let mm_micro = median(&mm_samples[2]);
 
+    // Scalar-forced vs SIMD-forced microkernel at the same shape. On a host
+    // without AVX2 the forced-SIMD mode downgrades to scalar, so the
+    // speedup honestly reads ~1.0 there; the JSON host block records which
+    // case this run measured. Bit-equality is asserted before timing —
+    // the AVX2 bodies round identically to scalar by construction.
+    use ftsim_tensor::simd;
+    let mut mm_scalar_out = vec![0.0f32; km * kn];
+    simd::force(Some(false));
+    parallel::matmul_microkernel_into(kx.data(), kw.data(), &mut mm_scalar_out, km, kk, kn);
+    simd::force(Some(true));
+    mm_out.fill(0.0);
+    parallel::matmul_microkernel_into(kx.data(), kw.data(), &mut mm_out, km, kk, kn);
+    assert_eq!(
+        mm_scalar_out, mm_out,
+        "SIMD microkernel diverged from scalar"
+    );
+    let mut dispatch_samples: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for _ in 0..5 {
+        for (forced, samples) in [false, true].into_iter().zip(&mut dispatch_samples) {
+            simd::force(Some(forced));
+            let t = Instant::now();
+            for _ in 0..iters {
+                mm_out.fill(0.0);
+                parallel::matmul_microkernel_into(kx.data(), kw.data(), &mut mm_out, km, kk, kn);
+                black_box(mm_out[0]);
+            }
+            samples.push(t.elapsed().as_secs_f64() / f64::from(iters));
+        }
+    }
+    simd::force(None);
+    let mm_forced_scalar = median(&dispatch_samples[0]);
+    let mm_forced_simd = median(&dispatch_samples[1]);
+
+    // Data-parallel step scaling: one short end-to-end training run per
+    // worker count. The microbatch grid fixes the reduction order, so every
+    // row of this table is the same bit-exact run — only wall-clock moves.
+    // On a single-core host the curve is honestly flat.
+    let mut scale_cfg = ftsim_sim::MoeTrainConfig::mixtral_like(2);
+    scale_cfg.epochs = 1;
+    scale_cfg.train_examples = 64;
+    scale_cfg.eval_examples = 32;
+    scale_cfg.batch = 32;
+    scale_cfg.microbatch = 8;
+    let scale_task = ftsim_workload::task::SyntheticTask::commonsense(16, 4, 4242);
+    let mut step_scaling: Vec<(usize, f64)> = Vec::new();
+    let mut scale_reference: Option<ftsim_sim::MoeTrainOutcome> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let t = Instant::now();
+        let out = ftsim_sim::moetrain::train_with_options(
+            &scale_task,
+            &scale_cfg,
+            "bench",
+            true,
+            threads,
+        );
+        step_scaling.push((threads, t.elapsed().as_secs_f64()));
+        match &scale_reference {
+            None => scale_reference = Some(out),
+            Some(r) => assert_eq!(*r, out, "training diverged at {threads} threads"),
+        }
+    }
+
     // Fused backward epilogue vs the composed chain at the training hot-loop
     // shape: one `linear_act` forward + backward per call, gradients for
     // weight and bias. Both run pooled with the arena on, so the measured
@@ -1444,6 +1506,27 @@ fn bench_tensor() -> ExperimentResult {
     );
     let _ = writeln!(
         text,
+        "  forced scalar {:>8.3} ms  forced simd {:>8.3} ms  ({:.2}x, host avx2+fma: {})",
+        mm_forced_scalar * 1e3,
+        mm_forced_simd * 1e3,
+        mm_forced_scalar / mm_forced_simd,
+        simd::host_supported()
+    );
+    let _ = writeln!(
+        text,
+        "data-parallel step scaling (batch {}, microbatch {}, bit-identical at every width):",
+        scale_cfg.batch, scale_cfg.microbatch
+    );
+    for (threads, secs) in &step_scaling {
+        let _ = writeln!(
+            text,
+            "  {threads} thread(s) {:>9.3} ms/run  ({:.2}x vs 1 thread)",
+            secs * 1e3,
+            step_scaling[0].1 / secs
+        );
+    }
+    let _ = writeln!(
+        text,
         "linear_act forward+backward ({bm}x{bk}x{bn}, silu, {biters} iters x 5 samples):"
     );
     let _ = writeln!(
@@ -1518,6 +1601,42 @@ fn bench_tensor() -> ExperimentResult {
                     "microkernel_vs_blocked": mm_blocked / mm_micro,
                     "microkernel_vs_naive": mm_naive / mm_micro,
                 }),
+            }),
+            "simd_dispatch": json!({
+                "shape": json!({ "m": km, "k": kk, "n": kn }),
+                "iters": iters,
+                "samples": 5,
+                "seconds_per_call": json!({
+                    "forced_scalar": mm_forced_scalar,
+                    "forced_simd": mm_forced_simd,
+                }),
+                "speedup_simd_vs_scalar": mm_forced_scalar / mm_forced_simd,
+                "bit_identical": true,
+            }),
+            "step_scaling": json!({
+                "config": json!({
+                    "batch": scale_cfg.batch,
+                    "microbatch": scale_cfg.microbatch,
+                    "epochs": scale_cfg.epochs,
+                    "train_examples": scale_cfg.train_examples,
+                }),
+                "seconds_per_run": Value::Object(
+                    step_scaling
+                        .iter()
+                        .map(|(t, s)| (format!("threads_{t}"), json!(s)))
+                        .collect(),
+                ),
+                "bit_identical_across_widths": true,
+            }),
+            "host": json!({
+                "simd_host_supported": simd::host_supported(),
+                "simd_active": simd::active(),
+                "no_simd_env": std::env::var(simd::NO_SIMD_ENV).ok(),
+                "threads_env": std::env::var("FTSIM_THREADS").ok(),
+                "thread_count": ftsim_sim::thread_count(),
+                "available_parallelism": std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1),
             }),
             "fused_backward": json!({
                 "shape": json!({ "m": bm, "k": bk, "n": bn }),

@@ -35,6 +35,16 @@ pub struct MoeTrainConfig {
     pub lr: f32,
     /// Mini-batch size.
     pub batch: usize,
+    /// Microbatch size for the data-parallel training step: each batch is
+    /// split into a fixed grid of `microbatch`-sized slices whose gradients
+    /// are computed by up to `FTSIM_THREADS` workers and combined by a
+    /// deterministic tree reduction. `0` (the serde default, for configs
+    /// written before this field existed) means one microbatch per batch —
+    /// bit-identical to the historical single-threaded full-batch step.
+    /// The grid depends only on this value, never on the worker count, so
+    /// results are bit-identical at any thread count.
+    #[serde(default)]
+    pub microbatch: usize,
     /// Training examples drawn from the task.
     pub train_examples: usize,
     /// Held-out evaluation examples.
@@ -55,6 +65,7 @@ impl MoeTrainConfig {
             epochs: 10,
             lr: 8e-3,
             batch: 64,
+            microbatch: 16,
             train_examples: 512,
             eval_examples: 256,
             seed: 1234,
@@ -145,6 +156,24 @@ impl Classifier {
         }
     }
 
+    /// Rebuilds the classifier from a parameter snapshot, in the order
+    /// [`Classifier::parameters`] reports it. `Var` graphs are thread-local
+    /// (`Rc`-based), so each data-parallel worker reconstructs its own
+    /// replica from the `Send` tensor snapshot instead of sharing variables.
+    fn from_parameters(cfg: &MoeTrainConfig, params: &mut impl Iterator<Item = Tensor>) -> Self {
+        let input = Linear::from_parts(
+            params.next().expect("input weight"),
+            params.next().expect("input bias"),
+        );
+        let moe = MoeLayer::from_parameters(cfg.expert_kind, cfg.num_experts, cfg.top_k, params)
+            .expect("valid MoE configuration");
+        let head = Linear::from_parts(
+            params.next().expect("head weight"),
+            params.next().expect("head bias"),
+        );
+        Classifier { input, moe, head }
+    }
+
     fn parameters(&self) -> Vec<Var> {
         let mut p = self.input.parameters();
         p.extend(self.moe.parameters());
@@ -200,7 +229,8 @@ impl Classifier {
 /// Trains the classifier on `task` and measures everything the paper's
 /// Fig. 3 / Fig. 11 report. Uses the fused kernel path, which is
 /// zero-allocation in steady state: tensor storage recycles through the
-/// shape-keyed buffer pool and autograd graph nodes through the node arena.
+/// capacity-bucketed buffer pool and autograd graph nodes through the node
+/// arena.
 pub fn train(
     task: &SyntheticTask,
     cfg: &MoeTrainConfig,
@@ -235,9 +265,11 @@ fn publish_routing(dist: &TokenDistribution) {
 /// testable directly) — only the wall-clock and allocation behavior differ.
 ///
 /// When observability is on, the run is instrumented observation-only (the
-/// outcome stays bit-identical): per-epoch and per-step spans under the
-/// `sim.train` category, a `sim.train.loss` gauge updated every optimizer
-/// step, a `sim.train.tokens_per_sec` gauge updated every epoch, and the
+/// outcome stays bit-identical): per-epoch, per-step, and per-microbatch
+/// spans under the `sim.train` category, a `sim.train.loss` gauge updated
+/// every optimizer step, `sim.train.threads` / `sim.train.simd_active`
+/// gauges recording the execution configuration, a
+/// `sim.train.tokens_per_sec` gauge updated every epoch, and the
 /// expert-token histogram + imbalance gauge of `publish_routing`.
 pub fn train_with_kernels(
     task: &SyntheticTask,
@@ -245,7 +277,28 @@ pub fn train_with_kernels(
     label: impl Into<String>,
     fused: bool,
 ) -> MoeTrainOutcome {
+    train_with_options(task, cfg, label, fused, crate::engine::thread_count())
+}
+
+/// [`train_with_kernels`] with an explicit worker-thread count for the
+/// data-parallel step (instead of `FTSIM_THREADS`). The outcome is
+/// bit-identical at every `threads` value: the microbatch grid is fixed by
+/// `cfg.microbatch`, per-microbatch gradients are computed on thread-local
+/// model replicas, and the combine is a fixed-order pairwise tree over the
+/// microbatch index — the reduction shape never depends on `threads`.
+pub fn train_with_options(
+    task: &SyntheticTask,
+    cfg: &MoeTrainConfig,
+    label: impl Into<String>,
+    fused: bool,
+    threads: usize,
+) -> MoeTrainOutcome {
     let _run = ftsim_obs::span("sim.train", "train");
+    ftsim_obs::registry().gauge_set("sim.train.threads", threads.max(1) as f64);
+    ftsim_obs::registry().gauge_set(
+        "sim.train.simd_active",
+        f64::from(u8::from(ftsim_tensor::simd::active())),
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let model = Classifier::new(task.dim(), task.classes(), cfg, &mut rng);
     let params = model.parameters();
@@ -267,13 +320,8 @@ pub fn train_with_kernels(
         let mut losses = Vec::new();
         for chunk in order.chunks(cfg.batch) {
             let _step_span = ftsim_obs::span("sim.train", "step");
-            let (bx, by) = gather(&train_set, chunk);
-            let logits = model.forward_with(&Var::constant(bx), fused);
-            let loss = logits.cross_entropy(&by).expect("labels in range");
-            let loss_value = loss.value().item() as f64;
+            let loss_value = train_step(cfg, &params, &mut opt, &train_set, chunk, fused, threads);
             losses.push(loss_value);
-            loss.backward();
-            opt.step(&params);
             ftsim_obs::registry().gauge_set("sim.train.loss", loss_value);
             ftsim_obs::registry().counter_add("sim.train.steps", 1);
         }
@@ -301,6 +349,103 @@ pub fn train_with_kernels(
         routing_before,
         routing_after,
     }
+}
+
+/// One data-parallel optimizer step over `chunk` (indices into the
+/// training set); returns the chunk loss.
+///
+/// Deterministic-reduction contract (DESIGN.md "Kernel contracts"):
+///
+/// 1. The microbatch grid is `chunk.chunks(cfg.microbatch)` — fixed by the
+///    config, independent of `threads`.
+/// 2. Each microbatch's loss is scaled by its token share
+///    (`mb_len / chunk_len`), so the chunk gradient is the same weighted
+///    mean the full-batch step computes, and a single-microbatch grid
+///    (`microbatch == 0`) reproduces the historical full-batch step
+///    bitwise (`scale(1.0)` is exact).
+/// 3. Workers compute gradients on thread-local model replicas rebuilt
+///    from a parameter snapshot; [`crate::engine::parallel_map_with`]
+///    returns results in input order regardless of scheduling.
+/// 4. Per-parameter gradients and the loss are combined by a fixed-order
+///    pairwise tree over the microbatch index — adjacent pairs (0,1),
+///    (2,3), … reduced repeatedly — so the floating-point addition
+///    sequence is a function of the grid alone, never the thread count.
+fn train_step(
+    cfg: &MoeTrainConfig,
+    params: &[Var],
+    opt: &mut AdamW,
+    train_set: &TaskSample,
+    chunk: &[usize],
+    fused: bool,
+    threads: usize,
+) -> f64 {
+    let mb_len = if cfg.microbatch == 0 {
+        chunk.len()
+    } else {
+        cfg.microbatch.min(chunk.len())
+    };
+    let micro: Vec<(usize, &[usize])> = chunk.chunks(mb_len).enumerate().collect();
+    let chunk_len = chunk.len() as f32;
+    // Snapshot the parameter tensors once: `Tensor` is `Send`, `Var` is not.
+    let snapshot: Vec<Tensor> = params.iter().map(Var::value).collect();
+    let results = crate::engine::parallel_map_with(threads.min(micro.len()), &micro, |(w, idx)| {
+        let _mb_span = ftsim_obs::span_lazy("sim.train", || format!("microbatch:{w}"));
+        let (bx, by) = gather(train_set, idx);
+        let replica = Classifier::from_parameters(cfg, &mut snapshot.iter().cloned());
+        let rparams = replica.parameters();
+        let logits = replica.forward_with(&Var::constant(bx), fused);
+        let loss = logits
+            .cross_entropy(&by)
+            .expect("labels in range")
+            .scale(idx.len() as f32 / chunk_len);
+        let loss_value = loss.value().item();
+        loss.backward();
+        // Hand the accumulated grads back as Send tensors; parameters the
+        // microbatch never touched (inactive experts) stay `None`.
+        let grads: Vec<Option<Tensor>> = rparams.iter().map(Var::take_grad).collect();
+        (loss_value, grads)
+    });
+    let (loss, grads) = tree_reduce(results);
+    for (p, g) in params.iter().zip(grads) {
+        if let Some(g) = g {
+            p.seed_grad(g);
+        }
+    }
+    opt.step(params);
+    f64::from(loss)
+}
+
+/// Fixed-order pairwise tree reduction over per-microbatch results: reduces
+/// adjacent pairs (0,1), (2,3), … repeatedly until one remains. The
+/// addition order per parameter element depends only on the number of
+/// microbatches, which is what makes the step thread-count invariant.
+fn tree_reduce(mut layer: Vec<(f32, Vec<Option<Tensor>>)>) -> (f32, Vec<Option<Tensor>>) {
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut pairs = layer.into_iter();
+        while let Some((loss_a, grads_a)) = pairs.next() {
+            match pairs.next() {
+                Some((loss_b, grads_b)) => {
+                    let grads = grads_a
+                        .into_iter()
+                        .zip(grads_b)
+                        .map(|(a, b)| match (a, b) {
+                            (Some(mut a), Some(b)) => {
+                                a.add_assign(&b).expect("gradient shapes match");
+                                Some(a)
+                            }
+                            (Some(a), None) => Some(a),
+                            (None, b) => b,
+                        })
+                        .collect();
+                    next.push((loss_a + loss_b, grads));
+                }
+                None => next.push((loss_a, grads_a)),
+            }
+        }
+        layer = next;
+    }
+    layer.pop().expect("at least one microbatch")
 }
 
 fn gather(sample: &TaskSample, idx: &[usize]) -> (Tensor, Vec<usize>) {
@@ -479,6 +624,66 @@ mod tests {
         assert_eq!(fused.initial_accuracy, naive.initial_accuracy);
         assert_eq!(fused.curve, naive.curve);
         assert_eq!(fused.routing_after, naive.routing_after);
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_thread_counts() {
+        // The deterministic-reduction contract, end to end: the microbatch
+        // grid and tree reduction fix the floating-point addition order, so
+        // worker count changes scheduling but never a single bit of the
+        // outcome — for both kernel paths.
+        let task = SyntheticTask::commonsense(16, 4, 55);
+        let mut cfg = small(MoeTrainConfig::mixtral_like(2));
+        cfg.train_examples = 96;
+        cfg.eval_examples = 64;
+        cfg.epochs = 2;
+        cfg.microbatch = 8;
+        for fused in [true, false] {
+            let reference = train_with_options(&task, &cfg, "threads", fused, 1);
+            for threads in [2, 4, 8] {
+                let run = train_with_options(&task, &cfg, "threads", fused, threads);
+                assert_eq!(
+                    run, reference,
+                    "outcome diverged at {threads} threads (fused={fused})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_simd_dispatch() {
+        // Scalar and AVX2 kernel bodies round identically (mul+add, never
+        // fmadd), so a full training run must not differ by a single bit.
+        // On hosts without AVX2 the forced-SIMD run downgrades to scalar
+        // and the assertion holds trivially.
+        let task = SyntheticTask::commonsense(16, 4, 56);
+        let mut cfg = small(MoeTrainConfig::mixtral_like(2));
+        cfg.train_examples = 96;
+        cfg.eval_examples = 64;
+        cfg.epochs = 2;
+        ftsim_tensor::simd::force(Some(false));
+        let scalar = train(&task, &cfg, "simd");
+        ftsim_tensor::simd::force(Some(true));
+        let simd = train(&task, &cfg, "simd");
+        ftsim_tensor::simd::force(None);
+        assert_eq!(scalar, simd, "scalar and SIMD training outcomes diverged");
+    }
+
+    #[test]
+    fn single_microbatch_grid_matches_full_batch_step() {
+        // microbatch == batch produces a one-slice grid; microbatch == 0 is
+        // the explicit full-batch escape. Both must be bitwise the same run
+        // (scale(1.0) and the replica indirection are exact).
+        let task = SyntheticTask::commonsense(16, 4, 57);
+        let mut cfg = small(MoeTrainConfig::mixtral_like(2));
+        cfg.train_examples = 96;
+        cfg.eval_examples = 64;
+        cfg.epochs = 2;
+        cfg.microbatch = 0;
+        let full = train(&task, &cfg, "mb");
+        cfg.microbatch = cfg.batch;
+        let one_slice = train(&task, &cfg, "mb");
+        assert_eq!(full, one_slice);
     }
 
     #[test]

@@ -261,6 +261,25 @@ impl Var {
         self.node.borrow_mut().grad = None;
     }
 
+    /// Removes and returns the accumulated gradient, leaving `None` behind.
+    ///
+    /// This is the hand-off point of the data-parallel training step: a
+    /// microbatch worker takes the gradients off its thread-local replica
+    /// (as plain [`Tensor`]s, which are `Send`) so the main thread can
+    /// tree-reduce them across workers.
+    pub fn take_grad(&self) -> Option<Tensor> {
+        self.node.borrow_mut().grad.take()
+    }
+
+    /// Adds `g` into the accumulated gradient, creating it if absent — the
+    /// same element-wise accumulation the backward pass performs, so
+    /// seeding reduced worker gradients here is bit-identical to having run
+    /// the backward pass on this variable directly. No-op when the variable
+    /// does not require gradients.
+    pub fn seed_grad(&self, g: Tensor) {
+        self.accumulate_grad_owned(g);
+    }
+
     /// Replaces the value in place (used by optimizers).
     ///
     /// # Panics

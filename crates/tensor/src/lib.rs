@@ -33,6 +33,7 @@ pub mod parallel;
 pub mod pool;
 pub mod quant;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use autograd::Var;

@@ -64,6 +64,30 @@ impl Linear {
         })
     }
 
+    /// Rebuilds a layer from snapshot tensors, in the order
+    /// [`Linear::parameters`] reports them (weight, then bias).
+    ///
+    /// This is how the data-parallel trainer constructs per-thread model
+    /// replicas: `Var` graphs are thread-local (`Rc`-based), so workers
+    /// rebuild the model from a `Send` parameter snapshot instead of
+    /// sharing variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not a matrix or `bias` does not hold one
+    /// element per output column.
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Self {
+        let (_, out_dim) = weight
+            .shape()
+            .as_matrix()
+            .expect("linear weight must be a matrix");
+        assert_eq!(bias.numel(), out_dim, "bias length must match out_dim");
+        Linear {
+            weight: Var::parameter(weight),
+            bias: Var::parameter(bias),
+        }
+    }
+
     /// The trainable parameters of this layer.
     pub fn parameters(&self) -> Vec<Var> {
         vec![self.weight.clone(), self.bias.clone()]
@@ -163,6 +187,33 @@ impl Expert {
         }
         p
     }
+
+    /// Rebuilds an expert from snapshot tensors drawn off `params`, in the
+    /// order [`Expert::parameters`] reports them (w1, w2, then w3 for
+    /// SwiGLU experts; weight before bias within each layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields too few tensors or tensors of
+    /// inconsistent shapes.
+    pub fn from_parameters(kind: ExpertKind, params: &mut impl Iterator<Item = Tensor>) -> Self {
+        let mut linear = |which: &str| {
+            let weight = params
+                .next()
+                .unwrap_or_else(|| panic!("missing {which} weight"));
+            let bias = params
+                .next()
+                .unwrap_or_else(|| panic!("missing {which} bias"));
+            Linear::from_parts(weight, bias)
+        };
+        let w1 = linear("w1");
+        let w2 = linear("w2");
+        let w3 = match kind {
+            ExpertKind::SwiGlu => Some(linear("w3")),
+            ExpertKind::GeluFfn => None,
+        };
+        Expert { kind, w1, w2, w3 }
+    }
 }
 
 /// Routing decision for one forward pass of an [`MoeLayer`].
@@ -236,6 +287,49 @@ impl MoeLayer {
             experts: (0..num_experts)
                 .map(|_| Expert::new(kind, hidden, inner, rng))
                 .collect(),
+            top_k,
+        })
+    }
+
+    /// Rebuilds an MoE layer from snapshot tensors drawn off `params`, in
+    /// the order [`MoeLayer::parameters`] reports them (gate first, then
+    /// experts in order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for the same `top_k` /
+    /// `num_experts` violations as [`MoeLayer::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields too few tensors or tensors of
+    /// inconsistent shapes.
+    pub fn from_parameters(
+        kind: ExpertKind,
+        num_experts: usize,
+        top_k: usize,
+        params: &mut impl Iterator<Item = Tensor>,
+    ) -> Result<Self, TensorError> {
+        if num_experts == 0 {
+            return Err(TensorError::InvalidArgument(
+                "num_experts must be > 0".into(),
+            ));
+        }
+        if top_k == 0 || top_k > num_experts {
+            return Err(TensorError::InvalidArgument(format!(
+                "top_k {top_k} out of range 1..={num_experts}"
+            )));
+        }
+        let gate = Linear::from_parts(
+            params.next().expect("missing gate weight"),
+            params.next().expect("missing gate bias"),
+        );
+        let experts = (0..num_experts)
+            .map(|_| Expert::from_parameters(kind, params))
+            .collect();
+        Ok(MoeLayer {
+            gate,
+            experts,
             top_k,
         })
     }
@@ -688,6 +782,97 @@ mod tests {
         step(false, "warmup 2");
         for i in 0..3 {
             step(true, &format!("steady step {i}"));
+        }
+    }
+
+    #[test]
+    fn steady_state_sparse_training_steps_allocate_nothing() {
+        // The sparse analogue of the dense steady-state test above, enabled
+        // by the pool's power-of-two capacity buckets: with top-2 routing
+        // the set of active experts varies step to step, and the batch size
+        // alternates between 15 and 16 rows so tensor lengths change too.
+        // Exact-capacity shelving missed on every size flip; same-bucket
+        // buffers are fungible, so after warm-up covers both batch shapes
+        // and the peak expert count, steps stay allocation-free.
+        let mut rng = StdRng::seed_from_u64(43);
+        let moe = MoeLayer::new(ExpertKind::SwiGlu, 4, 8, 4, 2, &mut rng).unwrap();
+        let head = Linear::new(4, 3, &mut rng);
+        let batches: Vec<(Tensor, Vec<usize>)> = [15usize, 16]
+            .iter()
+            .map(|&rows| {
+                (
+                    Tensor::rand_uniform([rows, 4], 1.0, &mut rng),
+                    (0..rows).map(|i| i % 3).collect(),
+                )
+            })
+            .collect();
+        let mut params = moe.parameters();
+        params.extend(head.parameters());
+        let mut opt = AdamW::new(0.02, params.len());
+        let mut step = |batch: &(Tensor, Vec<usize>), expect_zero: bool, tag: &str| {
+            let before = crate::pool::stats();
+            let nodes_before = crate::autograd::arena_stats();
+            let xv = Var::constant(batch.0.clone());
+            let (h, stats) = moe.forward(&xv).unwrap();
+            assert_eq!(
+                stats.tokens_per_expert.iter().sum::<usize>(),
+                batch.1.len() * 2,
+                "top-2 routing must stay sparse"
+            );
+            let loss = head.forward(&h).unwrap().cross_entropy(&batch.1).unwrap();
+            loss.backward();
+            opt.step(&params);
+            drop(loss);
+            drop(h);
+            drop(xv);
+            let fresh = crate::pool::stats().allocs_since(&before);
+            let fresh_nodes = crate::autograd::arena_stats().allocs_since(&nodes_before);
+            if expect_zero {
+                assert_eq!(fresh, 0, "{tag}: {fresh} fresh allocations in steady state");
+                assert_eq!(
+                    fresh_nodes, 0,
+                    "{tag}: {fresh_nodes} fresh graph nodes in steady state"
+                );
+            }
+        };
+        // Warm-up must cycle through every batch shape (and settle the
+        // arena's one-step-deferred value release) before the counters are
+        // armed; two full cycles cover both.
+        for cycle in 0..2 {
+            for batch in &batches {
+                step(batch, false, &format!("warmup cycle {cycle}"));
+            }
+        }
+        for i in 0..4 {
+            let batch = &batches[i % batches.len()];
+            step(batch, true, &format!("sparse steady step {i}"));
+        }
+    }
+
+    #[test]
+    fn replica_from_parameters_trains_bit_identically() {
+        // The data-parallel trainer rebuilds models from parameter
+        // snapshots; a rebuilt replica must be indistinguishable from the
+        // original — same forward values, same gradients.
+        let mut rng = StdRng::seed_from_u64(44);
+        let moe = MoeLayer::new(ExpertKind::SwiGlu, 4, 8, 4, 2, &mut rng).unwrap();
+        let x = Tensor::rand_uniform([9, 4], 1.0, &mut rng);
+        let labels: Vec<usize> = (0..9).map(|i| i % 3).collect();
+        let snapshot: Vec<Tensor> = moe.parameters().iter().map(Var::value).collect();
+        let replica =
+            MoeLayer::from_parameters(ExpertKind::SwiGlu, 4, 2, &mut snapshot.into_iter()).unwrap();
+        let run = |m: &MoeLayer| -> (f32, Vec<Option<Tensor>>) {
+            let (h, _) = m.forward(&Var::constant(x.clone())).unwrap();
+            let loss = h.cross_entropy(&labels).unwrap();
+            let out = loss.value().item();
+            loss.backward();
+            (out, m.parameters().iter().map(Var::take_grad).collect())
+        };
+        let (loss_a, grads_a) = run(&moe);
+        let (loss_b, grads_b) = run(&replica);
+        assert_eq!(loss_a.to_bits(), loss_b.to_bits(), "loss diverged");
+        for (i, (a, b)) in grads_a.iter().zip(&grads_b).enumerate() {
+            assert_eq!(a, b, "gradient {i} diverged between original and replica");
         }
     }
 

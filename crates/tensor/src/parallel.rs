@@ -13,15 +13,20 @@
 //!   retained as the perf baseline for `repro bench_tensor`.
 //! * [`matmul_microkernel_into`] — the production kernel: cache-blocked
 //!   over the inner dimension and tiled into fixed `MR`×`NR` register
-//!   accumulators so the autovectorizer emits 8-lane FMAs.
+//!   accumulators. Its band tiles, the fused epilogue's bias add, and the
+//!   backward epilogue's `db`/`dw` sweeps dispatch at runtime to explicit
+//!   AVX2 bodies in [`crate::simd`] when the host supports them, with the
+//!   scalar tiles as the always-compiled fallback (`FTSIM_NO_SIMD=1`
+//!   forces it).
 //!
 //! The contract: every output element accumulates its products in
 //! ascending inner-index (`p`) order, skipping terms whose *lhs* factor is
 //! exactly `0.0`. Because each element's addition sequence is fixed,
-//! results are bit-identical across all three kernels and at every thread
-//! count (row partitioning never reorders a single element's sums).
-//! `linear_act_backward_into` extends the same contract to the fused
-//! backward epilogue.
+//! results are bit-identical across all three kernels, across the scalar
+//! and SIMD bodies (which round identically — see `crate::simd`), and at
+//! every thread count (row partitioning never reorders a single element's
+//! sums). `linear_act_backward_into` extends the same contract to the
+//! fused backward epilogue.
 
 /// Environment variable overriding the worker-thread count (shared with
 /// `ftsim-sim`'s engine).
@@ -29,19 +34,19 @@ pub const THREADS_ENV: &str = "FTSIM_THREADS";
 
 /// Inner-dimension panel width: 64 lhs columns × 4 B keeps a panel of the
 /// rhs rows resident in L1/L2 while a row block streams over it.
-const K_BLOCK: usize = 64;
+pub(crate) const K_BLOCK: usize = 64;
 
 /// Microkernel lane width: 8 f32 lanes, one AVX2 `ymm` register (or two
 /// NEON `q` registers). Output columns are walked in strips of `NR` so the
 /// inner loop is a fixed-width FMA the autovectorizer cannot miss.
-const NR: usize = 8;
+pub(crate) const NR: usize = 8;
 
 /// Microkernel register-tile height: each inner-kernel invocation carries
 /// `MR` rows of accumulators (6×8 f32 = 12 SSE `xmm` or 6 AVX2 `ymm`
 /// registers), so one load of an rhs lane strip is reused `MR` times before
 /// the next `p` step. 6 beat 4 and 8 on the baseline x86-64 target: 8
 /// spills accumulators, 4 under-uses the register file.
-const MR: usize = 6;
+pub(crate) const MR: usize = 6;
 
 /// Below this many multiply-adds the thread-spawn overhead outweighs the
 /// work; run on the calling thread. The autograd fused backward uses the
@@ -244,6 +249,8 @@ fn band_tiles<const ZERO_SKIP: bool>(
 fn matmul_rows(lhs: &[f32], rhs: &[f32], out_rows: &mut [f32], row0: usize, k: usize, n: usize) {
     let rows = out_rows.len() / n.max(1);
     let n_main = n - n % NR;
+    // One dispatch decision per kernel call, hoisted out of the band loops.
+    let simd = crate::simd::active();
     for p0 in (0..k).step_by(K_BLOCK) {
         let p1 = (p0 + K_BLOCK).min(k);
         let mut i = 0;
@@ -258,10 +265,17 @@ fn matmul_rows(lhs: &[f32], rhs: &[f32], out_rows: &mut [f32], row0: usize, k: u
             // the per-element branch so the FMA tile stays straight-line,
             // and is trivially bit-identical because no element would have
             // been skipped anyway.
-            if lhs_panels
+            let dense = lhs_panels
                 .iter()
-                .all(|panel| panel.iter().all(|&a| a != 0.0))
-            {
+                .all(|panel| panel.iter().all(|&a| a != 0.0));
+            if simd {
+                // SAFETY: `simd::active()` returned true, so the host was
+                // runtime-verified to support the AVX2 bodies; the slice
+                // geometry is exactly what the scalar `band_tiles` uses.
+                unsafe {
+                    crate::simd::band_tiles(!dense, &lhs_panels, rhs, out_rows, i, p0, n_main, n);
+                }
+            } else if dense {
                 band_tiles::<false>(&lhs_panels, rhs, out_rows, i, p0, n_main, n);
             } else {
                 band_tiles::<true>(&lhs_panels, rhs, out_rows, i, p0, n_main, n);
@@ -291,11 +305,25 @@ fn matmul_rows(lhs: &[f32], rhs: &[f32], out_rows: &mut [f32], row0: usize, k: u
     }
 }
 
+/// Counts which kernel body the dispatcher selected, so obs profiles (and
+/// the obs-diff CI gate) surface silent fallbacks to the scalar path.
+fn record_kernel_dispatch() {
+    if ftsim_obs::enabled() {
+        let name = if crate::simd::active() {
+            "tensor.kernel.dispatch.simd"
+        } else {
+            "tensor.kernel.dispatch.scalar"
+        };
+        ftsim_obs::registry().counter_add(name, 1);
+    }
+}
+
 /// Fills `out` (zero-initialized, length `m*n`) with `lhs[m×k] @ rhs[k×n]`,
 /// splitting row blocks across up to [`thread_count`] scoped threads when
 /// the product is large enough to amortize the spawns.
 pub(crate) fn matmul_into(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     let _span = ftsim_obs::span("tensor.kernel", "matmul");
+    record_kernel_dispatch();
     let threads = thread_count().min(m).max(1);
     let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
     if threads <= 1 || flops < PARALLEL_FLOP_THRESHOLD {
@@ -312,10 +340,44 @@ pub(crate) fn matmul_into(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, k
     });
 }
 
+/// `dst[j] += src[j]`, SIMD-dispatched. Lane-parallel adds touch each
+/// element independently, so the SIMD body is bit-identical to this scalar
+/// loop — no accumulation order exists to preserve.
+pub(crate) fn add_assign_slices(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    if crate::simd::active() {
+        // SAFETY: runtime-verified AVX2 support; equal lengths asserted.
+        unsafe { crate::simd::add_assign(dst, src) }
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// `dst[j] += a * src[j]`, SIMD-dispatched with mul-then-add rounding on
+/// both paths (never fmadd), so the two bodies are bit-identical.
+pub(crate) fn axpy_slices(dst: &mut [f32], a: f32, src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    if crate::simd::active() {
+        // SAFETY: runtime-verified AVX2 support; equal lengths asserted.
+        unsafe { crate::simd::axpy(dst, a, src) }
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += a * s;
+    }
+}
+
 /// Bias + activation epilogue over a block of freshly-computed matmul output
 /// rows, applied while the tile is still cache-hot: each element becomes
 /// `act(v + bias[j])`, and the post-bias pre-activation value is optionally
 /// saved into `pre_rows` (same layout as `out_rows`) for the backward pass.
+///
+/// The bias add is the SIMD-dispatched [`add_assign_slices`]; the
+/// activation stays scalar on purpose — `Gelu`/`Silu`/`Tanh` go through
+/// libm and `Relu` relies on `f32::max` NaN/`-0.0` semantics that
+/// `_mm256_max_ps` does not reproduce.
 fn epilogue_rows(
     out_rows: &mut [f32],
     mut pre_rows: Option<&mut [f32]>,
@@ -327,15 +389,15 @@ fn epilogue_rows(
         return;
     }
     for (ri, row) in out_rows.chunks_mut(n).enumerate() {
-        for (j, o) in row.iter_mut().enumerate() {
-            let mut v = *o;
-            if let Some(b) = bias {
-                v += b[j];
-            }
-            if let Some(pre) = pre_rows.as_deref_mut() {
-                pre[ri * n + j] = v;
-            }
-            *o = act.apply(v);
+        if let Some(b) = bias {
+            // Same per-element `v + bias[j]` add the scalar epilogue did.
+            add_assign_slices(row, b);
+        }
+        if let Some(pre) = pre_rows.as_deref_mut() {
+            pre[ri * n..(ri + 1) * n].copy_from_slice(row);
+        }
+        for o in row.iter_mut() {
+            *o = act.apply(*o);
         }
     }
 }
@@ -360,6 +422,7 @@ pub(crate) fn matmul_bias_act_into(
     k: usize,
     n: usize,
 ) {
+    record_kernel_dispatch();
     let threads = thread_count().min(m).max(1);
     let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
     if threads <= 1 || flops < PARALLEL_FLOP_THRESHOLD {
@@ -456,11 +519,14 @@ pub(crate) fn linear_act_backward_into(
             None => dpre_row.copy_from_slice(up_row),
         }
         if let Some(db) = db.as_deref_mut() {
-            for (d, &g) in db.iter_mut().zip(dpre_row.iter()) {
-                *d += g;
-            }
+            // Lane-parallel over j: ascending-r order per element preserved.
+            add_assign_slices(db, dpre_row);
         }
         if let Some(dx) = dx.as_deref_mut() {
+            // Stays scalar on purpose: dx[r][c] reduces along the would-be
+            // vector axis (a dot product in ascending p), and any lane-wise
+            // horizontal reduction would reorder those sums and break the
+            // bit-identity contract.
             let dx_row = &mut dx[r * k..(r + 1) * k];
             for (c, slot) in dx_row.iter_mut().enumerate() {
                 let w_row = &w[c * n..(c + 1) * n];
@@ -480,10 +546,10 @@ pub(crate) fn linear_act_backward_into(
                 if a == 0.0 {
                     continue;
                 }
-                let dw_row = &mut dw[c * n..(c + 1) * n];
-                for (d, &g) in dw_row.iter_mut().zip(dpre_row.iter()) {
-                    *d += a * g;
-                }
+                // Lane-parallel axpy over j: ascending-r order per element,
+                // with the xᵀ-as-lhs zero-skip handled on the broadcast
+                // factor above — identical to the scalar sweep.
+                axpy_slices(&mut dw[c * n..(c + 1) * n], a, dpre_row);
             }
         }
     }
@@ -607,6 +673,88 @@ mod tests {
         }
     }
 
+    proptest! {
+        /// Scalar vs SIMD dispatch, machine-enforced: for arbitrary shapes —
+        /// including non-multiple-of-8 column counts (tail lanes), widths
+        /// crossing the 16-wide main tile, and sparse (zero-band) lhs — the
+        /// forced-scalar and forced-SIMD kernels both match the oracle
+        /// bit-for-bit. On hosts without AVX2 the forced-SIMD run downgrades
+        /// to scalar, so the assertion still holds.
+        #[test]
+        fn prop_simd_dispatch_matches_scalar_bitwise(
+            m in 1usize..14,
+            k in 1usize..150,
+            n in 1usize..40,
+            seed in 0u64..256,
+            sparse in 0usize..2,
+        ) {
+            let lhs = if sparse == 1 {
+                sparse_data(m * k, seed.wrapping_mul(5).wrapping_add(3))
+            } else {
+                pseudo_data(m * k, seed.wrapping_mul(5).wrapping_add(3))
+            };
+            let rhs = pseudo_data(k * n, seed.wrapping_mul(7).wrapping_add(11));
+            let expect = naive(&lhs, &rhs, m, k, n);
+            // Both forced modes are compared against the oracle (not each
+            // other) so concurrent tests racing on the global override can
+            // never invalidate the assertion: every body is bit-identical.
+            crate::simd::force(Some(false));
+            let mut scalar = vec![0.0f32; m * n];
+            matmul_microkernel_into(&lhs, &rhs, &mut scalar, m, k, n);
+            crate::simd::force(Some(true));
+            let mut simd = vec![0.0f32; m * n];
+            matmul_microkernel_into(&lhs, &rhs, &mut simd, m, k, n);
+            crate::simd::force(None);
+            prop_assert!(
+                scalar.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "forced-scalar kernel diverged at ({},{},{})", m, k, n
+            );
+            prop_assert!(
+                simd.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "forced-SIMD kernel diverged at ({},{},{})", m, k, n
+            );
+        }
+    }
+
+    #[test]
+    fn simd_helpers_match_scalar_sweeps_bitwise() {
+        // add_assign / axpy across lengths covering the vector body and the
+        // scalar tail, under both forced dispatch modes.
+        for len in [1usize, 7, 8, 9, 16, 31, 64, 100] {
+            let src = pseudo_data(len, 71);
+            let base = pseudo_data(len, 73);
+            let mut expect_add = base.clone();
+            for (d, &s) in expect_add.iter_mut().zip(&src) {
+                *d += s;
+            }
+            let a = 0.37f32;
+            let mut expect_axpy = base.clone();
+            for (d, &s) in expect_axpy.iter_mut().zip(&src) {
+                *d += a * s;
+            }
+            for forced in [Some(false), Some(true)] {
+                crate::simd::force(forced);
+                let mut add = base.clone();
+                add_assign_slices(&mut add, &src);
+                let mut axpy = base.clone();
+                axpy_slices(&mut axpy, a, &src);
+                assert!(
+                    add.iter()
+                        .zip(&expect_add)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "add_assign diverged at len {len} (forced {forced:?})"
+                );
+                assert!(
+                    axpy.iter()
+                        .zip(&expect_axpy)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "axpy diverged at len {len} (forced {forced:?})"
+                );
+            }
+            crate::simd::force(None);
+        }
+    }
+
     #[test]
     fn fused_epilogue_matches_composed_passes() {
         use crate::ops::Activation;
@@ -614,39 +762,43 @@ mod tests {
         let lhs = pseudo_data(m * k, 3);
         let rhs = pseudo_data(k * n, 7);
         let bias = pseudo_data(n, 13);
-        for act in [
-            Activation::Identity,
-            Activation::Relu,
-            Activation::Gelu,
-            Activation::Silu,
-            Activation::Tanh,
-        ] {
-            let mut fused = vec![0.0f32; m * n];
-            let mut pre = vec![0.0f32; m * n];
-            matmul_bias_act_into(
-                &lhs,
-                &rhs,
-                Some(&bias),
-                act,
-                &mut fused,
-                Some(&mut pre),
-                m,
-                k,
-                n,
-            );
-            let mut composed = naive(&lhs, &rhs, m, k, n);
-            for (i, v) in composed.iter_mut().enumerate() {
-                *v += bias[i % n];
-            }
-            for i in 0..m * n {
-                assert_eq!(pre[i].to_bits(), composed[i].to_bits(), "pre diverged");
-                assert_eq!(
-                    fused[i].to_bits(),
-                    act.apply(composed[i]).to_bits(),
-                    "fused output diverged for {act:?}"
+        for forced in [Some(false), Some(true)] {
+            crate::simd::force(forced);
+            for act in [
+                Activation::Identity,
+                Activation::Relu,
+                Activation::Gelu,
+                Activation::Silu,
+                Activation::Tanh,
+            ] {
+                let mut fused = vec![0.0f32; m * n];
+                let mut pre = vec![0.0f32; m * n];
+                matmul_bias_act_into(
+                    &lhs,
+                    &rhs,
+                    Some(&bias),
+                    act,
+                    &mut fused,
+                    Some(&mut pre),
+                    m,
+                    k,
+                    n,
                 );
+                let mut composed = naive(&lhs, &rhs, m, k, n);
+                for (i, v) in composed.iter_mut().enumerate() {
+                    *v += bias[i % n];
+                }
+                for i in 0..m * n {
+                    assert_eq!(pre[i].to_bits(), composed[i].to_bits(), "pre diverged");
+                    assert_eq!(
+                        fused[i].to_bits(),
+                        act.apply(composed[i]).to_bits(),
+                        "fused output diverged for {act:?} (forced {forced:?})"
+                    );
+                }
             }
         }
+        crate::simd::force(None);
     }
 
     #[test]
@@ -770,7 +922,16 @@ mod tests {
     #[test]
     fn streaming_backward_epilogue_matches_composed_path_bitwise() {
         use crate::ops::Activation;
-        for (m, k, n) in [(1, 1, 1), (5, 3, 7), (13, 70, 9), (8, 8, 8)] {
+        for (forced, (m, k, n)) in [Some(false), Some(true), None]
+            .into_iter()
+            .flat_map(|f| {
+                [(1, 1, 1), (5, 3, 7), (13, 70, 9), (8, 8, 8), (6, 9, 21)]
+                    .into_iter()
+                    .map(move |shape| (f, shape))
+            })
+            .collect::<Vec<_>>()
+        {
+            crate::simd::force(forced);
             for act in [
                 Activation::Identity,
                 Activation::Relu,
@@ -809,5 +970,6 @@ mod tests {
                 assert!(same(&dw, &dw_ref), "dw diverged for {act:?} ({m},{k},{n})");
             }
         }
+        crate::simd::force(None);
     }
 }

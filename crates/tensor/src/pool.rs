@@ -2,12 +2,22 @@
 //! tensor runtime.
 //!
 //! Every [`crate::Tensor`] draws its backing `Vec<f32>` from a [`BufferPool`]
-//! and returns it on drop, so a steady-state training step — identical
-//! shapes, step after step — performs **no heap allocation** for tensor data
-//! after the first (warm-up) step. The pool keeps shelves of spare buffers
-//! keyed by exact capacity and counts fresh allocations, reuses, returns,
-//! and discards, which is how the `repro bench_tensor` experiment proves
-//! the zero-steady-state-allocation property.
+//! and returns it on drop, so a steady-state training step performs **no
+//! heap allocation** for tensor data after the first (warm-up) steps. The
+//! pool keeps shelves of spare buffers keyed by **power-of-two capacity
+//! bucket** — a request for `len` elements is served by any shelved buffer
+//! whose capacity reaches the next power of two ≥ `len` — and counts fresh
+//! allocations, reuses, returns, and discards, which is how the
+//! `repro bench_tensor` experiment proves the zero-steady-state-allocation
+//! property.
+//!
+//! Bucketing (rather than exact-capacity keying) is what extends the
+//! zero-allocation invariant to *sparse* mixture-of-experts training: under
+//! top-k routing the set of active experts — and with it the exact tensor
+//! shapes and counts in flight — varies step to step, so exact-capacity
+//! shelves keep missing. Same-bucket buffers are fully fungible across
+//! shapes, so once warm-up has populated each bucket the shapes can churn
+//! freely without a fresh allocation.
 //!
 //! [`BufferPool`] itself is thread-safe (internally synchronized), so a
 //! single instance may be shared across threads. The crate-global pool used
@@ -94,11 +104,20 @@ impl PoolStats {
     }
 }
 
-/// A thread-safe pool of `Vec<T>` storage keyed by exact capacity.
+/// A thread-safe pool of `Vec<T>` storage keyed by power-of-two capacity
+/// bucket.
 ///
 /// [`BufferPool`] (= `Pool<f32>`) is the tensor-storage instantiation; the
 /// simulator reuses the same mechanism for non-`f32` scratch (e.g. priced
 /// kernel-record buffers in the sweep hot path).
+///
+/// Invariant: a shelved buffer sits in the bucket `B = floor_pow2(cap)`,
+/// so its capacity is in `[B, 2B)`; a request for `len` elements looks in
+/// bucket `ceil_pow2(len)`, and any buffer found there has `cap ≥ B ≥ len`.
+/// Fresh allocations are rounded up to the full bucket
+/// (`Vec::with_capacity(ceil_pow2(len))`) so a buffer returns to the same
+/// bucket it was taken from; foreign buffers with non-power-of-two
+/// capacities shelve into their floor bucket and stay usable.
 ///
 /// When observability is on ([`ftsim_obs::enabled`]), every pool event is
 /// mirrored into the global metrics registry under
@@ -121,14 +140,11 @@ impl PoolStats {
 /// ```
 #[derive(Debug)]
 pub struct Pool<T> {
+    /// Spare buffers keyed by power-of-two capacity bucket. One `usize` key
+    /// per bucket also hashes cheaper than the per-shape `Vec<usize>` keys
+    /// the pool used before bucketing, and collapses what used to be two
+    /// maps (shape-keyed plus exact-capacity) into one.
     shelves: Mutex<FxMap<usize, Vec<Vec<T>>>>,
-    /// Shape-keyed shelves: buffers returned through [`Pool::give_shaped`]
-    /// are indexed by the exact dimension list of the tensor they backed, so
-    /// a steady-state training step — same shapes, step after step — hits
-    /// this map without consulting the capacity shelves at all. The key
-    /// `Vec<usize>` is allocated once per distinct shape (warm-up), never on
-    /// the hot path: lookups borrow the caller's `&[usize]`.
-    shape_shelves: Mutex<FxMap<Vec<usize>, Vec<Vec<T>>>>,
     fresh_allocs: AtomicU64,
     reuses: AtomicU64,
     returns: AtomicU64,
@@ -140,6 +156,24 @@ pub struct Pool<T> {
 
 /// The tensor-storage pool: recycled `Vec<f32>` buffers.
 pub type BufferPool = Pool<f32>;
+
+/// Shelf bucket a request for `len` elements draws from: the smallest power
+/// of two ≥ `len`. Fresh allocations are sized to this bucket too, so a
+/// pool-born buffer always returns to the bucket it was taken from.
+#[inline]
+fn bucket_for_len(len: usize) -> usize {
+    len.next_power_of_two()
+}
+
+/// Shelf bucket a buffer of capacity `cap ≥ 1` is stored in: the largest
+/// power of two ≤ `cap`. Guarantees every buffer in bucket `B` can serve
+/// every request routed to `B` (`cap ≥ B ≥ len`), including foreign buffers
+/// whose capacity is not a power of two.
+#[inline]
+fn bucket_for_cap(cap: usize) -> usize {
+    debug_assert!(cap >= 1);
+    1 << (usize::BITS - 1 - cap.leading_zeros())
+}
 
 /// Indices into the obs counter array.
 const FRESH: usize = 0;
@@ -164,7 +198,6 @@ impl<T> Pool<T> {
     pub fn with_label(label: &'static str) -> Self {
         Pool {
             shelves: Mutex::new(FxMap::default()),
-            shape_shelves: Mutex::new(FxMap::default()),
             fresh_allocs: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
             returns: AtomicU64::new(0),
@@ -192,28 +225,32 @@ impl<T> Pool<T> {
     }
 
     /// An **empty** vector with capacity at least `len`, reusing shelved
-    /// storage when a buffer of that exact capacity is available. The caller
-    /// must fill it (e.g. with `extend`) — length starts at zero, so stale
-    /// contents are unreachable.
+    /// storage when the matching power-of-two bucket holds a spare buffer.
+    /// The caller must fill it (e.g. with `extend`) — length starts at
+    /// zero, so stale contents are unreachable.
     pub fn take(&self, len: usize) -> Vec<T> {
         if len == 0 {
             return Vec::new();
         }
+        let bucket = bucket_for_len(len);
         let reused = self
             .shelves
             .lock()
             .expect("pool mutex")
-            .get_mut(&len)
+            .get_mut(&bucket)
             .and_then(Vec::pop);
         match reused {
             Some(mut v) => {
+                debug_assert!(v.capacity() >= len, "bucket invariant violated");
                 self.bump(&self.reuses, REUSE);
                 v.clear();
                 v
             }
             None => {
                 self.bump(&self.fresh_allocs, FRESH);
-                Vec::with_capacity(len)
+                // Round fresh storage up to the full bucket so the buffer
+                // returns to the bucket this request was routed to.
+                Vec::with_capacity(bucket)
             }
         }
     }
@@ -238,9 +275,10 @@ impl<T> Pool<T> {
         v
     }
 
-    /// Returns a buffer to the pool for reuse. Zero-capacity and oversized
-    /// buffers, and returns to a full shelf, are dropped instead. The buffer
-    /// is cleared first, so element destructors run now, not at reuse time.
+    /// Returns a buffer to its capacity bucket for reuse. Zero-capacity and
+    /// oversized buffers, and returns to a full shelf, are dropped instead.
+    /// The buffer is cleared first, so element destructors run now, not at
+    /// reuse time.
     pub fn give(&self, mut buf: Vec<T>) {
         let cap = buf.capacity();
         if cap == 0 || cap > MAX_POOLED_LEN {
@@ -251,7 +289,7 @@ impl<T> Pool<T> {
         }
         buf.clear();
         let mut shelves = self.shelves.lock().expect("pool mutex");
-        let shelf = shelves.entry(cap).or_default();
+        let shelf = shelves.entry(bucket_for_cap(cap)).or_default();
         if shelf.len() >= SHELF_CAP {
             self.bump(&self.discards, DISCARD);
         } else {
@@ -260,10 +298,10 @@ impl<T> Pool<T> {
         }
     }
 
-    /// Like [`Pool::take`], but preferring a buffer that previously backed a
-    /// tensor of exactly `dims`. Falls back to the capacity shelf for the
-    /// same element count, then to a fresh allocation. Returns an **empty**
-    /// vector with capacity for `dims.iter().product()` elements.
+    /// [`Pool::take`] for a tensor of shape `dims`: an **empty** vector with
+    /// capacity for `dims.iter().product()` elements. Shape is irrelevant to
+    /// the bucketed shelves — any same-bucket buffer serves any shape — so
+    /// this is a convenience wrapper kept for call-site clarity.
     ///
     /// ```
     /// use ftsim_tensor::pool::BufferPool;
@@ -271,84 +309,36 @@ impl<T> Pool<T> {
     /// let buf = pool.take_shaped(&[4, 8]);
     /// assert!(buf.is_empty() && buf.capacity() >= 32);
     /// pool.give_shaped(&[4, 8], buf);
-    /// // Same shape next step: served from the shape shelf, no allocation.
-    /// let again = pool.take_shaped(&[4, 8]);
+    /// // Next step may use a *different* shape with the same bucket:
+    /// // served from the shelf, no allocation.
+    /// let again = pool.take_shaped(&[7, 4]);
     /// assert_eq!(pool.stats().reuses, 1);
     /// # drop(again);
     /// ```
     pub fn take_shaped(&self, dims: &[usize]) -> Vec<T> {
-        let len: usize = dims.iter().product();
-        if len == 0 {
-            return Vec::new();
-        }
-        let reused = self
-            .shape_shelves
-            .lock()
-            .expect("pool mutex")
-            .get_mut(dims)
-            .and_then(Vec::pop);
-        match reused {
-            Some(mut v) => {
-                self.bump(&self.reuses, REUSE);
-                v.clear();
-                v
-            }
-            None => self.take(len),
-        }
+        self.take(dims.iter().product())
     }
 
-    /// Returns a buffer that backed a tensor of shape `dims` to the
-    /// shape-keyed shelf. Zero-capacity and oversized buffers, and returns
-    /// to a full shelf, are dropped instead, exactly as in [`Pool::give`].
-    pub fn give_shaped(&self, dims: &[usize], mut buf: Vec<T>) {
-        let cap = buf.capacity();
-        if cap == 0 || cap > MAX_POOLED_LEN {
-            if cap > 0 {
-                self.bump(&self.discards, DISCARD);
-            }
-            return;
-        }
-        buf.clear();
-        let mut shelves = self.shape_shelves.lock().expect("pool mutex");
-        match shelves.get_mut(dims) {
-            Some(shelf) if shelf.len() >= SHELF_CAP => {
-                self.bump(&self.discards, DISCARD);
-            }
-            Some(shelf) => {
-                shelf.push(buf);
-                self.bump(&self.returns, RETURN);
-            }
-            None => {
-                // First return of this shape: the only key allocation.
-                shelves.insert(dims.to_vec(), vec![buf]);
-                self.bump(&self.returns, RETURN);
-            }
-        }
+    /// Returns a buffer that backed a tensor of shape `dims`; equivalent to
+    /// [`Pool::give`] (the bucketed shelves ignore shape).
+    pub fn give_shaped(&self, dims: &[usize], buf: Vec<T>) {
+        let _ = dims;
+        self.give(buf);
     }
 
     /// Drops all shelved buffers (counters are preserved).
     pub fn clear(&self) {
         self.shelves.lock().expect("pool mutex").clear();
-        self.shape_shelves.lock().expect("pool mutex").clear();
     }
 
-    /// Number of buffers currently shelved (capacity and shape shelves).
+    /// Number of buffers currently shelved across all buckets.
     pub fn resident(&self) -> usize {
-        let by_cap: usize = self
-            .shelves
+        self.shelves
             .lock()
             .expect("pool mutex")
             .values()
             .map(Vec::len)
-            .sum();
-        let by_shape: usize = self
-            .shape_shelves
-            .lock()
-            .expect("pool mutex")
-            .values()
-            .map(Vec::len)
-            .sum();
-        by_cap + by_shape
+            .sum()
     }
 
     /// Snapshot of the event counters.
@@ -516,13 +506,48 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_size_allocates_fresh() {
+    fn mismatched_bucket_allocates_fresh() {
+        // 8 and 16 land in different power-of-two buckets: no reuse.
         let pool = BufferPool::new();
         pool.give(pool.take_zeroed(8));
         let v = pool.take_zeroed(16);
         assert_eq!(v.len(), 16);
         assert_eq!(pool.stats().fresh_allocs, 2);
         assert_eq!(pool.stats().reuses, 0);
+    }
+
+    #[test]
+    fn same_bucket_different_len_reuses_storage() {
+        // 33..=64 all share the 64 bucket: a buffer taken for one length
+        // serves any other, which is what keeps sparse-routing training
+        // (varying shapes step to step) allocation-free after warm-up.
+        let pool = BufferPool::new();
+        let a = pool.take_zeroed(33);
+        assert_eq!(a.capacity(), 64, "fresh allocs are rounded to the bucket");
+        let ptr = a.as_ptr();
+        pool.give(a);
+        let b = pool.take_zeroed(64);
+        assert_eq!(b.as_ptr(), ptr, "expected the same storage back");
+        pool.give(b);
+        let c = pool.take_zeroed(40);
+        assert_eq!(c.as_ptr(), ptr, "expected the same storage back");
+        let s = pool.stats();
+        assert_eq!((s.fresh_allocs, s.reuses), (1, 2));
+    }
+
+    #[test]
+    fn foreign_non_pow2_capacity_shelves_into_floor_bucket() {
+        // A buffer the pool did not create (capacity 12) floors into bucket
+        // 8 and can serve any request of len ≤ 8 — never one of len > 12.
+        let pool: Pool<u8> = Pool::with_label("test.pool.foreign");
+        let mut foreign = Vec::with_capacity(12);
+        foreign.push(1u8);
+        let ptr = foreign.as_ptr();
+        pool.give(foreign);
+        let v = pool.take(7);
+        assert_eq!(v.as_ptr(), ptr, "expected the foreign storage back");
+        assert!(v.capacity() >= 7);
+        assert_eq!(pool.stats().reuses, 1);
     }
 
     #[test]
@@ -537,7 +562,7 @@ mod tests {
     }
 
     #[test]
-    fn shape_shelf_roundtrip_reuses_storage() {
+    fn shaped_roundtrip_reuses_storage() {
         let pool = BufferPool::new();
         let mut a = pool.take_shaped(&[2, 6]);
         a.resize(12, 7.0);
@@ -551,11 +576,11 @@ mod tests {
     }
 
     #[test]
-    fn shaped_take_falls_back_to_capacity_shelf() {
+    fn shaped_take_shares_buckets_with_plain_take() {
         let pool = BufferPool::new();
         pool.give(pool.take_zeroed(12));
         let v = pool.take_shaped(&[3, 4]);
-        assert_eq!(v.capacity(), 12);
+        assert_eq!(v.capacity(), 16, "len 12 rounds up to the 16 bucket");
         assert_eq!(pool.stats().reuses, 1);
     }
 

@@ -5,7 +5,9 @@
 //! name is recovered from the token stream directly (no syn/quote — those
 //! crates are unavailable offline): it is the first identifier after the
 //! `struct`/`enum`/`union` keyword. None of the workspace's derived types
-//! are generic, which keeps this parse trivial.
+//! are generic, which keeps this parse trivial. The `serde` helper
+//! attribute is registered so field annotations like `#[serde(default)]`
+//! parse; the stub ignores their contents.
 
 use proc_macro::{TokenStream, TokenTree};
 
@@ -25,7 +27,7 @@ fn type_name(input: TokenStream) -> String {
     panic!("serde_derive stub: could not find a type name in derive input");
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let name = type_name(input);
     format!("impl ::serde::Serialize for {name} {{}}")
@@ -33,7 +35,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .unwrap()
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let name = type_name(input);
     format!("impl ::serde::Deserialize for {name} {{}}")
