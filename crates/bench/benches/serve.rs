@@ -1,0 +1,77 @@
+//! Benchmarks the planner-as-a-service hot path, layer by layer: request
+//! parsing + canonicalization, the scenario-cache hit, and the full
+//! parse → hash → cache lookup a warm `repro serve` does per request
+//! (everything except the socket). The cache-hit numbers bound the
+//! steady-state throughput `repro loadgen` measures end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftsim_serve::{Planner, ScenarioCache, ScenarioSpec};
+use std::hint::black_box;
+
+const REQUEST: &str = r#"{"query":"estimate","model":"mixtral-8x7b","recipe":"qlora-sparse","gpu":"A40","dataset":"commonsense_15k","epochs":10,"gpus":2}"#;
+
+fn parse_and_canonicalize(c: &mut Criterion) {
+    c.bench_function("serve/parse_and_canonicalize", |b| {
+        b.iter(|| {
+            let spec = ScenarioSpec::parse_str(black_box(REQUEST)).expect("valid");
+            black_box((spec.canonical_key(), spec.hash()))
+        })
+    });
+}
+
+fn cache_hit(c: &mut Criterion) {
+    let spec = ScenarioSpec::parse_str(REQUEST).expect("valid");
+    let planner = Planner::new();
+    let cache = ScenarioCache::new(4096, 16);
+    let key = spec.canonical_key();
+    let hash = spec.hash();
+    cache.get_or_compute(&key, hash, || planner.answer(&spec));
+    c.bench_function("serve/cache_hit", |b| {
+        b.iter(|| black_box(cache.get_or_compute(black_box(&key), hash, || unreachable!())))
+    });
+}
+
+fn warm_request_path(c: &mut Criterion) {
+    let planner = Planner::new();
+    let cache = ScenarioCache::new(4096, 16);
+    // Warm every entry the bench loop will touch.
+    let requests: Vec<String> = ["A40", "A100-40GB", "A100-80GB", "H100-80GB"]
+        .iter()
+        .map(|gpu| REQUEST.replace("A40", gpu))
+        .collect();
+    for line in &requests {
+        let spec = ScenarioSpec::parse_str(line).expect("valid");
+        cache.get_or_compute(&spec.canonical_key(), spec.hash(), || planner.answer(&spec));
+    }
+    c.bench_function("serve/warm_request_path", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let line = &requests[i % requests.len()];
+            i += 1;
+            let spec = ScenarioSpec::parse_str(black_box(line)).expect("valid");
+            black_box(
+                cache.get_or_compute(&spec.canonical_key(), spec.hash(), || planner.answer(&spec)),
+            )
+        })
+    });
+}
+
+fn cold_answer(c: &mut Criterion) {
+    let planner = Planner::new();
+    let spec = ScenarioSpec::parse_str(REQUEST).expect("valid");
+    // Pool the simulator once; the bench measures the per-answer cost a
+    // cache miss pays after warm-up, not first-touch trace building.
+    black_box(planner.answer(&spec));
+    c.bench_function("serve/uncached_estimate", |b| {
+        b.iter(|| black_box(planner.answer(black_box(&spec))))
+    });
+}
+
+criterion_group!(
+    benches,
+    parse_and_canonicalize,
+    cache_hit,
+    warm_request_path,
+    cold_answer
+);
+criterion_main!(benches);

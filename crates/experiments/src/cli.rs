@@ -7,6 +7,7 @@
 
 use ftsim_obs::metrics::HistogramSnapshot;
 use ftsim_obs::{DiffConfig, Snapshot};
+use ftsim_serve::{LoadgenConfig, Mix, ServeConfig};
 use serde_json::Value;
 
 use crate::{experiment_ids, extra_experiment_ids};
@@ -16,8 +17,17 @@ pub const USAGE: &str = "usage: repro [--list] [--out DIR] [--follow] <all | id.
        repro --follow [--out DIR]
            tail a live run's event log (results/profile_events.bin)
        repro obs-diff <baseline.json> <current.json>
-                      [--threshold FRACTION] [--ignore SUBSTR]...
-           compare metric snapshots; exit 1 on regression";
+                      [--threshold FRACTION] [--ignore SUBSTR]... [--log EVENTS.bin]
+           compare metric snapshots; exit 1 on regression
+       repro serve [--addr HOST:PORT] [--cache-capacity N] [--shards N]
+           answer plan/estimate/sweep queries over a line protocol
+           (one JSON scenario per line; {\"query\":\"shutdown\"} stops it)
+       repro loadgen [--addr HOST:PORT] [--connections N] [--requests N]
+                     [--pipeline N] [--scenarios N]
+                     [--mix plan=8,estimate=3,sweep=1] [--seed N]
+                     [--out DIR] [--shutdown]
+           closed-loop planner benchmark; without --addr it spawns an
+           in-process server; --out writes bench_serve.json + serve_metrics.json";
 
 /// Usage text plus the valid experiment ids.
 pub fn usage() -> String {
@@ -52,7 +62,14 @@ pub enum Command {
         baseline: String,
         current: String,
         config: DiffConfig,
+        /// Optional event log whose footer (events written, drops by
+        /// category) is appended to the report as informational notes.
+        log: Option<String>,
     },
+    /// Long-running planner-as-a-service TCP server.
+    Serve { config: ServeConfig },
+    /// Closed-loop load generator against a serve endpoint.
+    Loadgen { config: LoadgenConfig },
 }
 
 /// Parses `args` (without the program name). Errors are user-facing
@@ -66,6 +83,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
     if args[0] == "obs-diff" {
         return parse_obs_diff(&args[1..]);
+    }
+    if args[0] == "serve" {
+        return parse_serve(&args[1..]);
+    }
+    if args[0] == "loadgen" {
+        return parse_loadgen(&args[1..]);
     }
 
     let valid = experiment_ids();
@@ -127,9 +150,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 fn parse_obs_diff(args: &[String]) -> Result<Command, String> {
     let mut config = DiffConfig::default();
     let mut paths: Vec<String> = Vec::new();
+    let mut log = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--log" => {
+                let p = it
+                    .next()
+                    .ok_or_else(|| "--log requires an event-log path".to_string())?;
+                log = Some(p.clone());
+            }
             "--threshold" => {
                 let v = it
                     .next()
@@ -166,7 +196,112 @@ fn parse_obs_diff(args: &[String]) -> Result<Command, String> {
         baseline,
         current,
         config,
+        log,
     })
+}
+
+/// Parses a flag value that must be a positive integer.
+fn positive<T: std::str::FromStr + PartialOrd + From<u8>>(
+    flag: &str,
+    v: Option<&String>,
+) -> Result<T, String> {
+    let v = v.ok_or_else(|| format!("{flag} requires a value"))?;
+    let n: T = v
+        .parse()
+        .map_err(|_| format!("invalid {flag} value {v:?} (want a positive integer)"))?;
+    if n < T::from(1u8) {
+        return Err(format!("{flag} must be at least 1, got {v}"));
+    }
+    Ok(n)
+}
+
+fn parse_serve(args: &[String]) -> Result<Command, String> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--addr requires HOST:PORT".to_string())?;
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = positive("--cache-capacity", it.next())?;
+            }
+            "--shards" => config.shards = positive("--shards", it.next())?,
+            other => return Err(format!("unknown serve argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Command::Serve { config })
+}
+
+/// Parses `plan=8,estimate=3,sweep=1` (any subset; omitted kinds keep their
+/// default weight).
+fn parse_mix(spec: &str) -> Result<Mix, String> {
+    let mut mix = Mix::default();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (kind, weight) = part
+            .split_once('=')
+            .ok_or_else(|| format!("invalid mix component {part:?} (want kind=weight)"))?;
+        let weight: u32 = weight
+            .parse()
+            .map_err(|_| format!("invalid mix weight in {part:?}"))?;
+        match kind {
+            "plan" => mix.plan = weight,
+            "estimate" => mix.estimate = weight,
+            "sweep" => mix.sweep = weight,
+            other => return Err(format!("unknown mix kind {other:?} in {spec:?}")),
+        }
+    }
+    if mix.plan == 0 && mix.estimate == 0 && mix.sweep == 0 {
+        return Err(format!("mix {spec:?} has zero total weight"));
+    }
+    Ok(mix)
+}
+
+fn parse_loadgen(args: &[String]) -> Result<Command, String> {
+    let mut config = LoadgenConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let a = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--addr requires HOST:PORT".to_string())?;
+                config.addr = Some(a);
+            }
+            "--connections" => config.connections = positive("--connections", it.next())?,
+            "--requests" => config.requests = positive("--requests", it.next())?,
+            "--pipeline" => config.pipeline = positive("--pipeline", it.next())?,
+            "--scenarios" => config.scenarios = positive("--scenarios", it.next())?,
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--seed requires a value".to_string())?;
+                config.seed = v
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value {v:?}"))?;
+            }
+            "--mix" => {
+                let spec = it
+                    .next()
+                    .ok_or_else(|| "--mix requires plan=W,estimate=W,sweep=W".to_string())?;
+                config.mix = parse_mix(spec)?;
+            }
+            "--out" => {
+                let dir = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--out requires a directory".to_string())?;
+                config.out_dir = Some(dir);
+            }
+            "--shutdown" => config.shutdown = true,
+            other => return Err(format!("unknown loadgen argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Command::Loadgen { config })
 }
 
 fn as_f64(v: &Value) -> Option<f64> {
@@ -336,6 +471,7 @@ mod tests {
             baseline,
             current,
             config,
+            log,
         } = cmd
         else {
             panic!("expected ObsDiff");
@@ -346,6 +482,101 @@ mod tests {
         );
         assert_eq!(config.threshold, 0.1);
         assert_eq!(config.ignore, vec!["tokens_per_sec".to_string()]);
+        assert_eq!(log, None);
+    }
+
+    #[test]
+    fn obs_diff_accepts_an_event_log_for_footer_notes() {
+        let cmd = parse(&args(&["obs-diff", "a.json", "b.json", "--log", "ev.bin"])).unwrap();
+        let Command::ObsDiff { log, .. } = cmd else {
+            panic!("expected ObsDiff");
+        };
+        assert_eq!(log.as_deref(), Some("ev.bin"));
+        assert!(parse(&args(&["obs-diff", "a", "b", "--log"])).is_err());
+    }
+
+    #[test]
+    fn serve_parses_addr_capacity_and_shards() {
+        let cmd = parse(&args(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--cache-capacity",
+            "128",
+            "--shards",
+            "4",
+        ]))
+        .unwrap();
+        let Command::Serve { config } = cmd else {
+            panic!("expected Serve");
+        };
+        assert_eq!(config.addr, "0.0.0.0:9000");
+        assert_eq!(config.cache_capacity, 128);
+        assert_eq!(config.shards, 4);
+        // Strict: positional junk and zero values are rejected.
+        assert!(parse(&args(&["serve", "extra"])).is_err());
+        assert!(parse(&args(&["serve", "--shards", "0"])).is_err());
+        assert!(parse(&args(&["serve", "--cache-capacity", "many"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_parses_the_full_flag_set() {
+        let cmd = parse(&args(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:7878",
+            "--connections",
+            "8",
+            "--requests",
+            "1000",
+            "--pipeline",
+            "16",
+            "--scenarios",
+            "12",
+            "--mix",
+            "plan=5,sweep=2",
+            "--seed",
+            "7",
+            "--out",
+            "results",
+            "--shutdown",
+        ]))
+        .unwrap();
+        let Command::Loadgen { config } = cmd else {
+            panic!("expected Loadgen");
+        };
+        assert_eq!(config.addr.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(config.connections, 8);
+        assert_eq!(config.requests, 1000);
+        assert_eq!(config.pipeline, 16);
+        assert_eq!(config.scenarios, 12);
+        assert_eq!(
+            (config.mix.plan, config.mix.estimate, config.mix.sweep),
+            (5, 3, 2)
+        );
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.out_dir.as_deref(), Some("results"));
+        assert!(config.shutdown);
+    }
+
+    #[test]
+    fn loadgen_defaults_and_bad_mixes_are_strict() {
+        let Command::Loadgen { config } = parse(&args(&["loadgen"])).unwrap() else {
+            panic!("expected Loadgen");
+        };
+        assert_eq!(config.addr, None, "no addr means in-process server");
+        assert!(parse(&args(&["loadgen", "--mix", "plan"])).is_err());
+        assert!(parse(&args(&["loadgen", "--mix", "train=3"])).is_err());
+        assert!(parse(&args(&["loadgen", "--mix", "plan=0,estimate=0,sweep=0"])).is_err());
+        assert!(parse(&args(&["loadgen", "--requests", "0"])).is_err());
+        assert!(parse(&args(&["loadgen", "junk"])).is_err());
+    }
+
+    #[test]
+    fn usage_lists_every_subcommand() {
+        for needle in ["obs-diff", "serve", "loadgen", "--follow", "--mix", "--log"] {
+            assert!(USAGE.contains(needle), "usage is stale: missing {needle}");
+        }
     }
 
     #[test]

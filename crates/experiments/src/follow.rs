@@ -127,6 +127,12 @@ impl FollowView {
                 "done: {} events written, {} dropped\n",
                 f.events_written, f.dropped_events
             ));
+            if f.dropped_events > 0 {
+                out.push_str(&format!(
+                    "dropped by category: {}\n",
+                    f.dropped_by.describe()
+                ));
+            }
         }
         out
     }
@@ -278,11 +284,19 @@ mod tests {
             footer: Some(Footer {
                 events_written: 10,
                 dropped_events: 2,
+                dropped_by: ftsim_obs::DroppedCounts {
+                    spans: 2,
+                    ..Default::default()
+                },
             }),
             ..Default::default()
         };
         let out = v.render(1.0);
         assert!(out.contains("done: 10 events written, 2 dropped"), "{out}");
+        assert!(
+            out.contains("dropped by category: spans=2 counters=0 gauges=0 histograms=0"),
+            "{out}"
+        );
     }
 
     #[test]

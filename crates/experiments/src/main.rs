@@ -8,6 +8,8 @@
 //! repro profile --follow     # profile with a live in-process dashboard
 //! repro --follow             # tail a live run from a second process
 //! repro obs-diff a.json b.json   # metrics regression gate (exit 1 on fail)
+//! repro serve                # planner-as-a-service TCP endpoint
+//! repro loadgen --out results    # benchmark it, write bench_serve.json
 //! ```
 //!
 //! Experiments are independent, so they fan out across the engine's worker
@@ -59,9 +61,16 @@ fn main() {
             baseline,
             current,
             config,
+            log,
         } => {
-            let exit = obs_diff(&baseline, &current, &config);
+            let exit = obs_diff(&baseline, &current, &config, log.as_deref());
             std::process::exit(exit);
+        }
+        Command::Serve { config } => {
+            std::process::exit(serve(config));
+        }
+        Command::Loadgen { config } => {
+            std::process::exit(loadgen(&config));
         }
         Command::Run {
             ids,
@@ -74,16 +83,90 @@ fn main() {
     }
 }
 
-fn obs_diff(baseline: &str, current: &str, config: &ftsim_obs::DiffConfig) -> i32 {
+fn obs_diff(
+    baseline: &str,
+    current: &str,
+    config: &ftsim_obs::DiffConfig,
+    log: Option<&str>,
+) -> i32 {
     let load = |path: &str| {
         cli::load_snapshot(path).unwrap_or_else(|e| {
             eprintln!("obs-diff: {e}");
             std::process::exit(2);
         })
     };
-    let report = ftsim_obs::compare(&load(baseline), &load(current), config);
+    let mut report = ftsim_obs::compare(&load(baseline), &load(current), config);
+    // `--log` annotates the report with the event stream's honesty footer:
+    // how many events the ring dropped, by category. Informational only —
+    // drops mean the *log* undercounts, not that the metrics regressed.
+    if let Some(log) = log {
+        match ftsim_obs::replay(Path::new(log)) {
+            Ok((_, Some(footer))) => {
+                report.notes.push(format!(
+                    "event log {log}: {} events written, {} dropped",
+                    footer.events_written, footer.dropped_events
+                ));
+                if footer.dropped_events > 0 {
+                    report.notes.push(format!(
+                        "dropped by category: {}",
+                        footer.dropped_by.describe()
+                    ));
+                }
+            }
+            Ok((_, None)) => report
+                .notes
+                .push(format!("event log {log}: no footer (unclean shutdown)")),
+            Err(e) => {
+                eprintln!("obs-diff: cannot replay {log}: {e}");
+                return 2;
+            }
+        }
+    }
     print!("{}", report.to_text());
     i32::from(report.has_regressions())
+}
+
+fn serve(config: ftsim_serve::ServeConfig) -> i32 {
+    ftsim_obs::enable();
+    let mut server = match ftsim_serve::Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: cannot start: {e}");
+            return 1;
+        }
+    };
+    println!("serve: listening on {}", server.local_addr());
+    // Runs until a client sends {"query":"shutdown"}.
+    server.wait();
+    let stats = server.cache_stats();
+    println!(
+        "serve: done — {} hits, {} misses, {} coalesced, {} evictions",
+        stats.hits, stats.misses, stats.coalesced, stats.evictions
+    );
+    0
+}
+
+fn loadgen(config: &ftsim_serve::LoadgenConfig) -> i32 {
+    ftsim_obs::enable();
+    let report = match ftsim_serve::loadgen::run(config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "loadgen: {} requests in {:.3}s — {:.0} qps, p50 {:.0}us p90 {:.0}us p99 {:.0}us max {:.0}us, {} errors",
+        report.requests,
+        report.elapsed_secs,
+        report.qps,
+        report.p50_us,
+        report.p90_us,
+        report.p99_us,
+        report.max_us,
+        report.errors
+    );
+    i32::from(report.errors > 0)
 }
 
 fn run_experiments(ids: &[String], out_dir: &str, follow_requested: bool) -> i32 {
@@ -135,6 +218,12 @@ fn run_experiments(ids: &[String], out_dir: &str, follow_requested: bool) -> i32
                     stats.events_written,
                     stats.dropped_events
                 );
+                if stats.dropped_events > 0 {
+                    println!(
+                        "[event log drops by category: {}]",
+                        stats.dropped_by.describe()
+                    );
+                }
             }
             Err(e) => eprintln!("warning: event log shutdown failed: {e}"),
         }

@@ -22,6 +22,34 @@ pub enum CloudProvider {
     Lambda,
 }
 
+impl CloudProvider {
+    /// Short lower-case identifier used in scenario specs and cache keys.
+    pub fn key(&self) -> &'static str {
+        match self {
+            CloudProvider::Cudo => "cudo",
+            CloudProvider::Aws => "aws",
+            CloudProvider::Lambda => "lambda",
+        }
+    }
+}
+
+impl std::str::FromStr for CloudProvider {
+    type Err = String;
+
+    /// Parses the short identifier (`"cudo"`, `"aws"`, `"lambda"`),
+    /// case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "cudo" => Ok(CloudProvider::Cudo),
+            "aws" => Ok(CloudProvider::Aws),
+            "lambda" => Ok(CloudProvider::Lambda),
+            other => Err(format!(
+                "unknown provider {other:?} (want cudo, aws, or lambda)"
+            )),
+        }
+    }
+}
+
 impl fmt::Display for CloudProvider {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -134,6 +162,19 @@ mod tests {
         assert_eq!(t.listed_gpus().count(), 0);
         let t = t.with_rate("MyGPU", 1.0);
         assert_eq!(t.usd_per_hour("MyGPU"), Some(1.0));
+    }
+
+    #[test]
+    fn provider_round_trips_through_its_key() {
+        for provider in [
+            CloudProvider::Cudo,
+            CloudProvider::Aws,
+            CloudProvider::Lambda,
+        ] {
+            assert_eq!(provider.key().parse::<CloudProvider>(), Ok(provider));
+        }
+        assert_eq!(" AWS ".parse::<CloudProvider>(), Ok(CloudProvider::Aws));
+        assert!("azure".parse::<CloudProvider>().is_err());
     }
 
     #[test]

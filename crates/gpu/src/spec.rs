@@ -83,6 +83,17 @@ impl GpuSpec {
         ]
     }
 
+    /// Case-insensitive catalog lookup by marketing name. Accepts the short
+    /// aliases used in scenario specs (`"a100-40"` for `"A100-40GB"`, etc.),
+    /// so declarative query specs canonicalize to one device per spelling.
+    pub fn by_name(name: &str) -> Option<GpuSpec> {
+        let wanted = name.trim().to_ascii_lowercase();
+        Self::catalog().into_iter().find(|gpu| {
+            let full = gpu.name.to_ascii_lowercase();
+            full == wanted || full.trim_end_matches("gb") == wanted
+        })
+    }
+
     /// A hypothetical future device: this device's compute with `mem_gb`
     /// of memory. Used for the paper's Fig. 13 projection to 100 GB / 120 GB
     /// GPUs.
@@ -123,6 +134,11 @@ mod tests {
     fn catalog_matches_paper_devices() {
         let names: Vec<String> = GpuSpec::catalog().into_iter().map(|g| g.name).collect();
         assert_eq!(names, ["A40", "A100-40GB", "A100-80GB", "H100-80GB"]);
+        // Lookup is case-insensitive and accepts the GB-less alias.
+        assert_eq!(GpuSpec::by_name("a40").unwrap().name, "A40");
+        assert_eq!(GpuSpec::by_name("A100-40").unwrap().name, "A100-40GB");
+        assert_eq!(GpuSpec::by_name("h100-80gb").unwrap().name, "H100-80GB");
+        assert!(GpuSpec::by_name("tpu-v5").is_none());
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //!   2 counter   name, delta u64
 //!   3 gauge     name, f64 bits
 //!   4 histogram name, f64 bits
-//!   255 footer  events_written u64, dropped_events u64
+//!   255 footer  events_written u64, dropped_events u64, then (since v2 of
+//!               the footer; absent in older logs) per-category drop counts
+//!               spans/counters/gauges/histograms as 4 × u64
 //! ```
 
 use std::fs::File;
@@ -32,7 +34,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::ring::{InlineStr, RingBuffer, RingEvent};
+use crate::ring::{DroppedCounts, InlineStr, RingBuffer, RingEvent};
 use crate::sink::ObsSink;
 use crate::span::Event;
 
@@ -139,10 +141,19 @@ pub fn encode_event(event: &RingEvent, buf: &mut Vec<u8>) {
 }
 
 fn encode_footer(footer: &Footer, buf: &mut Vec<u8>) {
-    buf.extend_from_slice(&17u32.to_le_bytes());
+    // 1 tag + 2 u64 totals + 4 u64 per-category drop counts.
+    buf.extend_from_slice(&49u32.to_le_bytes());
     buf.push(TAG_FOOTER);
     buf.extend_from_slice(&footer.events_written.to_le_bytes());
     buf.extend_from_slice(&footer.dropped_events.to_le_bytes());
+    for count in [
+        footer.dropped_by.spans,
+        footer.dropped_by.counters,
+        footer.dropped_by.gauges,
+        footer.dropped_by.histograms,
+    ] {
+        buf.extend_from_slice(&count.to_le_bytes());
+    }
 }
 
 /// A decoded log record (the owned, heap-side mirror of [`RingEvent`]).
@@ -194,6 +205,9 @@ pub struct Footer {
     /// Events the ring rejected because it was full (producers never block;
     /// overload costs visibility, not throughput).
     pub dropped_events: u64,
+    /// The same drops broken down by event category. All-zero for logs
+    /// written before the footer carried the breakdown.
+    pub dropped_by: DroppedCounts,
 }
 
 struct Cursor<'a> {
@@ -222,6 +236,10 @@ impl Cursor<'_> {
 
     fn u64(&mut self) -> io::Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
     }
 
     fn string(&mut self) -> io::Result<String> {
@@ -265,10 +283,25 @@ fn decode_payload(payload: &[u8]) -> io::Result<Decoded> {
             value: f64::from_bits(c.u64()?),
         },
         TAG_FOOTER => {
+            let events_written = c.u64()?;
+            let dropped_events = c.u64()?;
+            // Logs written before the footer carried per-category counts
+            // end here; report their breakdown as all-zero.
+            let dropped_by = if c.remaining() >= 32 {
+                DroppedCounts {
+                    spans: c.u64()?,
+                    counters: c.u64()?,
+                    gauges: c.u64()?,
+                    histograms: c.u64()?,
+                }
+            } else {
+                DroppedCounts::default()
+            };
             return Ok(Decoded::Footer(Footer {
-                events_written: c.u64()?,
-                dropped_events: c.u64()?,
-            }))
+                events_written,
+                dropped_events,
+                dropped_by,
+            }));
         }
         tag => {
             return Err(io::Error::new(
@@ -287,6 +320,8 @@ pub struct WriterStats {
     pub events_written: u64,
     /// Events the ring dropped under overload (never written).
     pub dropped_events: u64,
+    /// Per-category breakdown of those drops.
+    pub dropped_by: DroppedCounts,
 }
 
 /// Background drain thread: pops the ring and appends frames to a file.
@@ -365,11 +400,13 @@ fn drain_loop(
     let stats = WriterStats {
         events_written: written,
         dropped_events: ring.dropped_events(),
+        dropped_by: ring.dropped_by_category(),
     };
     encode_footer(
         &Footer {
             events_written: stats.events_written,
             dropped_events: stats.dropped_events,
+            dropped_by: stats.dropped_by,
         },
         &mut buf,
     );
@@ -584,10 +621,76 @@ mod tests {
             footer,
             Some(Footer {
                 events_written: 4,
-                dropped_events: 0
+                dropped_events: 0,
+                dropped_by: DroppedCounts::default(),
             })
         );
         assert!(matches!(&records[0], LogRecord::Span { name, .. } if name == "forward"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn footer_round_trips_per_category_drops_and_reads_old_logs() {
+        let footer = Footer {
+            events_written: 100,
+            dropped_events: 10,
+            dropped_by: DroppedCounts {
+                spans: 7,
+                counters: 1,
+                gauges: 0,
+                histograms: 2,
+            },
+        };
+        let mut buf = Vec::new();
+        encode_footer(&footer, &mut buf);
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, 49, "footer payload: tag + 2 totals + 4 categories");
+        let Decoded::Footer(decoded) = decode_payload(&buf[4..]).unwrap() else {
+            panic!("not a footer");
+        };
+        assert_eq!(decoded, footer);
+
+        // A pre-breakdown footer (17-byte payload) still decodes, with an
+        // all-zero breakdown.
+        let mut old = Vec::new();
+        old.extend_from_slice(&17u32.to_le_bytes());
+        old.push(TAG_FOOTER);
+        old.extend_from_slice(&100u64.to_le_bytes());
+        old.extend_from_slice(&10u64.to_le_bytes());
+        let Decoded::Footer(legacy) = decode_payload(&old[4..]).unwrap() else {
+            panic!("not a footer");
+        };
+        assert_eq!(legacy.events_written, 100);
+        assert_eq!(legacy.dropped_events, 10);
+        assert_eq!(legacy.dropped_by, DroppedCounts::default());
+    }
+
+    #[test]
+    fn overloaded_writer_footers_carry_the_category_breakdown() {
+        let dir = std::env::temp_dir().join(format!("ftsim-binlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("overload.bin");
+        // Fill a tiny ring before the writer exists, so the overflow is
+        // deterministic: 2 land, the rest drop.
+        let ring = Arc::new(RingBuffer::with_capacity(2));
+        let mut pushed = 0u64;
+        for event in sample_events() {
+            if ring.try_push(event) {
+                pushed += 1;
+            }
+        }
+        assert_eq!(pushed, 2);
+        let writer =
+            BinLogWriter::spawn(&path, Arc::clone(&ring), Duration::from_millis(5)).unwrap();
+        let stats = writer.finish().unwrap();
+        assert_eq!(stats.events_written, 2);
+        assert_eq!(stats.dropped_events, 2);
+        assert_eq!(stats.dropped_by.total(), 2);
+        // sample_events order: span, counter land; gauge + histogram drop.
+        assert_eq!(stats.dropped_by.gauges, 1);
+        assert_eq!(stats.dropped_by.histograms, 1);
+        let (_, footer) = replay(&path).unwrap();
+        assert_eq!(footer.unwrap().dropped_by, stats.dropped_by);
         std::fs::remove_file(&path).ok();
     }
 

@@ -50,7 +50,7 @@ pub use chrome::ChromeTrace;
 pub use diff::{compare, DiffConfig, DiffReport};
 pub use flame::{collapse, FlameGraph};
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry, Snapshot};
-pub use ring::{RingBuffer, RingEvent};
+pub use ring::{DroppedCounts, RingBuffer, RingEvent};
 pub use sink::{clear_sink, set_sink, ObsSink};
 pub use span::{drain_events, emit_span, span, span_lazy, Event, SpanGuard};
 pub use tree::SpanTree;

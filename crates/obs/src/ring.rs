@@ -109,6 +109,49 @@ pub enum RingEvent {
     },
 }
 
+impl RingEvent {
+    /// Index of this event's category in per-category arrays (the order of
+    /// [`DroppedCounts`]' fields: spans, counters, gauges, histograms).
+    fn category_index(&self) -> usize {
+        match self {
+            RingEvent::Span { .. } => 0,
+            RingEvent::Counter { .. } => 1,
+            RingEvent::Gauge { .. } => 2,
+            RingEvent::Histogram { .. } => 3,
+        }
+    }
+}
+
+/// Drop counts broken down by event category. A bare total hides *what* the
+/// log is blind to — losing spans degrades flamegraphs, losing counter
+/// increments silently skews replayed metrics — so the ring tracks both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DroppedCounts {
+    /// Span events rejected while the ring was full.
+    pub spans: u64,
+    /// Counter increments rejected while the ring was full.
+    pub counters: u64,
+    /// Gauge updates rejected while the ring was full.
+    pub gauges: u64,
+    /// Histogram samples rejected while the ring was full.
+    pub histograms: u64,
+}
+
+impl DroppedCounts {
+    /// Sum over all categories (equals [`RingBuffer::dropped_events`]).
+    pub fn total(&self) -> u64 {
+        self.spans + self.counters + self.gauges + self.histograms
+    }
+
+    /// `"spans=a counters=b gauges=c histograms=d"`, for log lines.
+    pub fn describe(&self) -> String {
+        format!(
+            "spans={} counters={} gauges={} histograms={}",
+            self.spans, self.counters, self.gauges, self.histograms
+        )
+    }
+}
+
 struct Slot {
     /// Vyukov sequence: `index` when free for the producer of turn `index`,
     /// `index + 1` once the payload is published, `index + capacity` after
@@ -126,6 +169,8 @@ pub struct RingBuffer {
     /// Producer cursor.
     tail: AtomicUsize,
     dropped: AtomicU64,
+    /// Per-category drop counts, indexed by [`RingEvent::category_index`].
+    dropped_by: [AtomicU64; 4],
 }
 
 // SAFETY: slots are only written by the producer that claimed them via the
@@ -152,6 +197,7 @@ impl RingBuffer {
             head: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),
             dropped: AtomicU64::new(0),
+            dropped_by: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -164,6 +210,17 @@ impl RingBuffer {
     /// adds one.
     pub fn dropped_events(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drops broken down by event category. Each category is exact; the
+    /// sum equals [`RingBuffer::dropped_events`].
+    pub fn dropped_by_category(&self) -> DroppedCounts {
+        DroppedCounts {
+            spans: self.dropped_by[0].load(Ordering::Relaxed),
+            counters: self.dropped_by[1].load(Ordering::Relaxed),
+            gauges: self.dropped_by[2].load(Ordering::Relaxed),
+            histograms: self.dropped_by[3].load(Ordering::Relaxed),
+        }
     }
 
     /// Approximate number of queued events (exact when quiescent).
@@ -207,6 +264,7 @@ impl RingBuffer {
             } else if dif < 0 {
                 // The consumer has not freed this slot: the ring is full.
                 self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.dropped_by[event.category_index()].fetch_add(1, Ordering::Relaxed);
                 return false;
             } else {
                 // Another producer claimed this slot; advance to the tail it
@@ -314,6 +372,34 @@ mod tests {
         }
         // Space freed: pushes succeed again.
         assert!(ring.try_push(counter("c", 999)));
+    }
+
+    #[test]
+    fn drops_are_counted_per_category() {
+        let ring = RingBuffer::with_capacity(2);
+        assert!(ring.try_push(counter("c", 0)));
+        assert!(ring.try_push(counter("c", 1)));
+        // Full: one rejection per category, plus a second counter reject.
+        let name = InlineStr::truncate_from("x");
+        assert!(!ring.try_push(RingEvent::Span {
+            cat: name,
+            name,
+            ts_ns: 0,
+            dur_ns: 1,
+            tid: 0,
+            depth: 0,
+        }));
+        assert!(!ring.try_push(counter("c", 2)));
+        assert!(!ring.try_push(counter("c", 3)));
+        assert!(!ring.try_push(RingEvent::Gauge { name, value: 1.0 }));
+        assert!(!ring.try_push(RingEvent::Histogram { name, value: 2.0 }));
+        let by = ring.dropped_by_category();
+        assert_eq!(
+            (by.spans, by.counters, by.gauges, by.histograms),
+            (1, 2, 1, 1)
+        );
+        assert_eq!(by.total(), ring.dropped_events());
+        assert_eq!(by.describe(), "spans=1 counters=2 gauges=1 histograms=1");
     }
 
     #[test]

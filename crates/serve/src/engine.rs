@@ -1,0 +1,403 @@
+//! The planner engine: turns a canonical [`ScenarioSpec`] into a JSON
+//! answer.
+//!
+//! Answers are **deterministic**: the JSON serializer keeps insertion
+//! order, floats render through one code path, and every number derives
+//! from the same deterministic cost model the batch experiments use. The
+//! scenario cache relies on this — a cached answer must be bit-identical
+//! to a fresh computation of the same spec.
+//!
+//! The engine also shares [`StepSimulator`]s across scenarios that differ
+//! only in dataset, batch, price, or parallelism: simulators are pooled by
+//! (model, recipe, gpu, memory), so their internal [`TraceCache`]s keep
+//! amortizing kernel-grid construction even when the scenario-level cache
+//! misses.
+//!
+//! [`TraceCache`]: ftsim_sim::TraceCache
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use ftsim_cost::{scale_out, Interconnect};
+use ftsim_gpu::CostModel;
+use ftsim_model::MemoryModel;
+use ftsim_sim::{Stage, StepSimulator};
+use serde_json::{json, Value};
+
+use crate::spec::{QueryKind, ScenarioSpec};
+
+/// Stateful query engine. Cheap to share behind an `Arc`; all methods take
+/// `&self`.
+pub struct Planner {
+    /// Simulators pooled by (model, recipe, gpu, mem) so scenario-cache
+    /// misses still hit each simulator's internal trace cache.
+    sims: Mutex<HashMap<String, Arc<StepSimulator>>>,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner::new()
+    }
+}
+
+/// Largest number of batch sizes a sweep answer enumerates; wider feasible
+/// ranges are sampled evenly (endpoints always included).
+const SWEEP_MAX_POINTS: usize = 16;
+
+fn err(spec: &ScenarioSpec, message: &str) -> String {
+    json!({
+        "ok": false,
+        "query": spec.query.key(),
+        "scenario": spec.canonical_key(),
+        "error": message,
+    })
+    .to_string()
+}
+
+impl Planner {
+    /// A planner with an empty simulator pool.
+    pub fn new() -> Self {
+        Planner {
+            sims: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn simulator(&self, spec: &ScenarioSpec) -> Arc<StepSimulator> {
+        let key = format!(
+            "{}|{}|{}|{}",
+            spec.model, spec.recipe, spec.gpu, spec.gpu_mem_gb
+        );
+        let mut sims = self.sims.lock().unwrap();
+        Arc::clone(sims.entry(key).or_insert_with(|| {
+            Arc::new(StepSimulator::new(
+                spec.model_config(),
+                spec.finetune_config(),
+                CostModel::new(spec.gpu_spec()),
+            ))
+        }))
+    }
+
+    /// Number of pooled simulators (distinct model × recipe × gpu combos).
+    pub fn simulator_count(&self) -> usize {
+        self.sims.lock().unwrap().len()
+    }
+
+    /// Computes the answer for `spec`. Deterministic: equal canonical specs
+    /// produce byte-identical output. Never panics on domain errors — those
+    /// return an `"ok": false` answer (which is cacheable like any other).
+    pub fn answer(&self, spec: &ScenarioSpec) -> String {
+        match spec.query {
+            QueryKind::Plan => self.answer_plan(spec),
+            QueryKind::Estimate => self.answer_estimate(spec),
+            QueryKind::Sweep => self.answer_sweep(spec),
+        }
+    }
+
+    fn answer_plan(&self, spec: &ScenarioSpec) -> String {
+        let model = spec.model_config();
+        let ft = spec.finetune_config();
+        let gpu = spec.gpu_spec();
+        let mem = MemoryModel::new(&model, &ft);
+        let max_batch = mem.max_batch_size(&gpu, spec.seq_len);
+        let batch = if spec.batch > 0 {
+            spec.batch
+        } else {
+            max_batch
+        };
+        let fits = max_batch >= 1 && batch <= max_batch;
+        let bd = mem.breakdown(batch.max(1), spec.seq_len);
+        json!({
+            "ok": true,
+            "query": "plan",
+            "scenario": spec.canonical_key(),
+            "model": model.name.clone(),
+            "recipe": spec.recipe.clone(),
+            "gpu": gpu.name,
+            "gpu_mem_gb": gpu.mem_gb,
+            "seq_len": spec.seq_len as i64,
+            "trainable_params": ft.trainable_params(&model) as i64,
+            "trainable_pct": ft.trainable_pct(&model),
+            "max_batch": max_batch as i64,
+            "batch": batch as i64,
+            "fits": fits,
+            "memory_gb": json!({
+                "weights": bd.weights_gb,
+                "adapters": bd.adapters_gb,
+                "gradients": bd.gradients_gb,
+                "optimizer": bd.optimizer_gb,
+                "overhead": bd.overhead_gb,
+                "activations": bd.activations_gb,
+                "total": bd.total_gb(),
+            }),
+        })
+        .to_string()
+    }
+
+    /// Resolves the concrete batch for `spec`, or a domain error.
+    fn resolve_batch(&self, spec: &ScenarioSpec) -> Result<(usize, usize), String> {
+        let model = spec.model_config();
+        let ft = spec.finetune_config();
+        let mem = MemoryModel::new(&model, &ft);
+        let max_batch = mem.max_batch_size(&spec.gpu_spec(), spec.seq_len);
+        if max_batch == 0 {
+            return Err(err(spec, "model does not fit on this GPU at batch 1"));
+        }
+        let batch = if spec.batch > 0 {
+            spec.batch
+        } else {
+            max_batch
+        };
+        if batch > max_batch {
+            return Err(err(
+                spec,
+                &format!("batch {batch} exceeds the Eq. 1 maximum {max_batch}"),
+            ));
+        }
+        Ok((batch, max_batch))
+    }
+
+    fn answer_estimate(&self, spec: &ScenarioSpec) -> String {
+        let (batch, max_batch) = match self.resolve_batch(spec) {
+            Ok(pair) => pair,
+            Err(answer) => return answer,
+        };
+        let Some(usd_per_hour) = spec.usd_per_hour() else {
+            return err(
+                spec,
+                &format!(
+                    "no {} price for {} (pass price_per_hour to override)",
+                    spec.provider.key(),
+                    spec.gpu
+                ),
+            );
+        };
+        let sim = self.simulator(spec);
+        let trace = sim.simulate_step(batch, spec.seq_len);
+        let step_seconds = trace.total_seconds();
+        let model = spec.model_config();
+        let ft = spec.finetune_config();
+        let single_qps = batch as f64 / step_seconds;
+        let (qps, efficiency) = if spec.gpus > 1 {
+            let grad_bytes = if ft.method.lora_rank().is_some() {
+                4.0
+            } else {
+                2.0
+            };
+            let link = if spec.gpu == "A40" {
+                Interconnect::pcie4()
+            } else {
+                Interconnect::nvlink3()
+            };
+            let point = scale_out(
+                step_seconds,
+                batch,
+                ft.trainable_params(&model) as f64,
+                grad_bytes,
+                link,
+                &[spec.gpus],
+            )
+            .pop()
+            .expect("one replica count in, one point out");
+            (point.queries_per_second, point.efficiency)
+        } else {
+            (single_qps, 1.0)
+        };
+        let ds = spec.dataset_spec();
+        let total_queries = (spec.epochs * ds.num_queries) as f64;
+        let hours = total_queries / qps / 3600.0;
+        let usd = hours * usd_per_hour * spec.gpus as f64;
+        json!({
+            "ok": true,
+            "query": "estimate",
+            "scenario": spec.canonical_key(),
+            "model": model.name,
+            "recipe": spec.recipe.clone(),
+            "gpu": spec.gpu.clone(),
+            "dataset": ds.name,
+            "seq_len": spec.seq_len as i64,
+            "batch": batch as i64,
+            "max_batch": max_batch as i64,
+            "step_seconds": step_seconds,
+            "forward_seconds": trace.stage_seconds(Stage::Forward),
+            "backward_seconds": trace.stage_seconds(Stage::Backward),
+            "optimizer_seconds": trace.stage_seconds(Stage::Optimizer),
+            "kernels_per_step": trace.kernel_count() as i64,
+            "gpus": spec.gpus as i64,
+            "queries_per_second": qps,
+            "scaling_efficiency": efficiency,
+            "epochs": spec.epochs as i64,
+            "total_queries": total_queries,
+            "usd_per_hour": usd_per_hour,
+            "hours": hours,
+            "usd": usd,
+        })
+        .to_string()
+    }
+
+    fn answer_sweep(&self, spec: &ScenarioSpec) -> String {
+        let model = spec.model_config();
+        let ft = spec.finetune_config();
+        let mem = MemoryModel::new(&model, &ft);
+        let max_batch = mem.max_batch_size(&spec.gpu_spec(), spec.seq_len);
+        if max_batch == 0 {
+            return err(spec, "model does not fit on this GPU at batch 1");
+        }
+        let sim = self.simulator(spec);
+        // Endpoints plus an even sample of the interior, deduplicated.
+        let mut batches: Vec<usize> = if max_batch <= SWEEP_MAX_POINTS {
+            (1..=max_batch).collect()
+        } else {
+            (0..SWEEP_MAX_POINTS)
+                .map(|i| 1 + i * (max_batch - 1) / (SWEEP_MAX_POINTS - 1))
+                .collect()
+        };
+        batches.dedup();
+        let mut best: Option<(usize, f64)> = None;
+        let points: Vec<Value> = batches
+            .iter()
+            .map(|&batch| {
+                let trace = sim.simulate_step(batch, spec.seq_len);
+                let step_seconds = trace.total_seconds();
+                let qps = batch as f64 / step_seconds;
+                if best.is_none_or(|(_, b)| qps > b) {
+                    best = Some((batch, qps));
+                }
+                json!({
+                    "batch": batch as i64,
+                    "step_seconds": step_seconds,
+                    "queries_per_second": qps,
+                })
+            })
+            .collect();
+        let (best_batch, best_qps) = best.expect("max_batch >= 1 yields at least one point");
+        let ds = spec.dataset_spec();
+        let total_queries = (spec.epochs * ds.num_queries) as f64;
+        let cost = spec.usd_per_hour().map(|rate| {
+            let hours = total_queries / best_qps / 3600.0;
+            json!({
+                "usd_per_hour": rate,
+                "hours": hours,
+                "usd": hours * rate,
+            })
+        });
+        json!({
+            "ok": true,
+            "query": "sweep",
+            "scenario": spec.canonical_key(),
+            "model": model.name,
+            "recipe": spec.recipe.clone(),
+            "gpu": spec.gpu.clone(),
+            "dataset": ds.name,
+            "seq_len": spec.seq_len as i64,
+            "max_batch": max_batch as i64,
+            "points": points,
+            "best_batch": best_batch as i64,
+            "best_qps": best_qps,
+            "cost_at_best": cost,
+        })
+        .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(text: &str) -> ScenarioSpec {
+        ScenarioSpec::parse_str(text).unwrap()
+    }
+
+    #[test]
+    fn plan_answer_reports_feasible_batch_and_memory() {
+        let planner = Planner::new();
+        let answer = planner.answer(&spec(r#"{"query":"plan"}"#));
+        let doc = serde_json::from_str(&answer).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(doc.get("gpu"), Some(&Value::String("A40".into())));
+        let max_batch = match doc.get("max_batch") {
+            Some(Value::Int(n)) => *n,
+            other => panic!("max_batch: {other:?}"),
+        };
+        assert!(max_batch >= 1, "QLoRA Mixtral fits on an A40");
+        assert!(matches!(doc.get("fits"), Some(Value::Bool(true))));
+    }
+
+    #[test]
+    fn estimate_answer_is_deterministic_and_priced() {
+        let planner = Planner::new();
+        let s = spec(r#"{"query":"estimate","dataset":"math"}"#);
+        let a = planner.answer(&s);
+        let b = planner.answer(&s);
+        assert_eq!(a, b, "same spec, same bytes");
+        let doc = serde_json::from_str(&a).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+        for field in ["step_seconds", "queries_per_second", "hours", "usd"] {
+            match doc.get(field) {
+                Some(Value::Float(v)) => assert!(*v > 0.0, "{field} must be positive"),
+                other => panic!("{field}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_on_aws_a40_is_a_domain_error_not_a_panic() {
+        // The paper's observation: AWS lists no A40. The answer is a
+        // deterministic error document, so it caches like any result.
+        let planner = Planner::new();
+        let s = spec(r#"{"query":"estimate","provider":"aws"}"#);
+        let answer = planner.answer(&s);
+        let doc = serde_json::from_str(&answer).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(answer, planner.answer(&s));
+    }
+
+    #[test]
+    fn price_override_unblocks_unlisted_gpus() {
+        let planner = Planner::new();
+        let s = spec(r#"{"query":"estimate","provider":"aws","price_per_hour":1.25}"#);
+        let doc = serde_json::from_str(&planner.answer(&s)).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(doc.get("usd_per_hour"), Some(&Value::Float(1.25)));
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_with_the_limit() {
+        let planner = Planner::new();
+        let answer = planner.answer(&spec(r#"{"query":"estimate","batch":100000}"#));
+        let doc = serde_json::from_str(&answer).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn sweep_covers_the_feasible_range_and_picks_a_best() {
+        let planner = Planner::new();
+        let answer = planner.answer(&spec(r#"{"query":"sweep"}"#));
+        let doc = serde_json::from_str(&answer).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+        let Some(Value::Array(points)) = doc.get("points") else {
+            panic!("points missing");
+        };
+        assert!(!points.is_empty() && points.len() <= SWEEP_MAX_POINTS);
+        let Some(Value::Int(first)) = points[0].get("batch") else {
+            panic!("batch missing");
+        };
+        assert_eq!(*first, 1, "sweep starts at batch 1");
+        let best = doc.get("best_qps");
+        assert!(matches!(best, Some(Value::Float(q)) if *q > 0.0));
+    }
+
+    #[test]
+    fn simulators_are_pooled_across_datasets_and_prices() {
+        let planner = Planner::new();
+        planner.answer(&spec(r#"{"query":"estimate"}"#));
+        planner.answer(&spec(r#"{"query":"estimate","dataset":"math"}"#));
+        planner.answer(&spec(r#"{"query":"estimate","price_per_hour":0.5}"#));
+        assert_eq!(
+            planner.simulator_count(),
+            1,
+            "same model|recipe|gpu shares one simulator"
+        );
+        planner.answer(&spec(r#"{"query":"estimate","gpu":"h100-80"}"#));
+        assert_eq!(planner.simulator_count(), 2);
+    }
+}

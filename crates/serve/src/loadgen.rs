@@ -1,0 +1,402 @@
+//! Closed-loop load generator for the planner server.
+//!
+//! Spawns `connections` worker threads, each owning one TCP connection and
+//! issuing pipelined batches of scenario queries drawn deterministically
+//! (seeded LCG per worker) from a bounded scenario universe. Request counts
+//! are fixed per worker, so two runs with the same config issue exactly the
+//! same queries regardless of thread scheduling — the server-side cache and
+//! request counters come out exact, which is what lets CI gate on them with
+//! `obs-diff`.
+//!
+//! Latency is measured per pipelined batch and attributed evenly to the
+//! batch's requests; with `pipeline = 1` it is a true per-request RTT.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use serde_json::{json, Value};
+
+use crate::server::{ServeConfig, Server};
+
+/// Query-mix weights. Requests are dealt `plan : estimate : sweep`
+/// proportionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Relative weight of `plan` queries.
+    pub plan: u32,
+    /// Relative weight of `estimate` queries.
+    pub estimate: u32,
+    /// Relative weight of `sweep` queries.
+    pub sweep: u32,
+}
+
+impl Default for Mix {
+    /// Plan-heavy by default: memory planning is the interactive query.
+    fn default() -> Self {
+        Mix {
+            plan: 8,
+            estimate: 3,
+            sweep: 1,
+        }
+    }
+}
+
+impl Mix {
+    fn total(&self) -> u64 {
+        u64::from(self.plan) + u64::from(self.estimate) + u64::from(self.sweep)
+    }
+
+    fn pick(&self, roll: u64) -> usize {
+        let r = roll % self.total().max(1);
+        if r < u64::from(self.plan) {
+            0
+        } else if r < u64::from(self.plan) + u64::from(self.estimate) {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenConfig {
+    /// Server to target; `None` starts an in-process server on an
+    /// ephemeral port and tears it down afterwards.
+    pub addr: Option<String>,
+    /// Concurrent connections (worker threads).
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Requests per write (batch depth); `1` disables pipelining.
+    pub pipeline: usize,
+    /// Size of the scenario universe queries are drawn from.
+    pub scenarios: usize,
+    /// Query mix.
+    pub mix: Mix,
+    /// LCG seed; same seed + same config = same query sequence.
+    pub seed: u64,
+    /// Directory for `bench_serve.json` / `serve_metrics.json` (`None` =
+    /// don't write).
+    pub out_dir: Option<String>,
+    /// Send `{"query":"shutdown"}` to the server when done.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: None,
+            connections: 4,
+            requests: 20_000,
+            pipeline: 32,
+            scenarios: 24,
+            mix: Mix::default(),
+            seed: 42,
+            out_dir: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// Aggregated results of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests issued (equals the configured total).
+    pub requests: usize,
+    /// Answers with `"ok": false`.
+    pub errors: usize,
+    /// Wall-clock seconds from first byte to last answer.
+    pub elapsed_secs: f64,
+    /// Requests per second.
+    pub qps: f64,
+    /// Median per-request latency in microseconds.
+    pub p50_us: f64,
+    /// 90th-percentile latency in microseconds.
+    pub p90_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Worst latency in microseconds.
+    pub max_us: f64,
+    /// The server's final `stats` answer (cache counters + metrics).
+    pub stats_reply: Value,
+}
+
+/// Multiplicative LCG (Knuth MMIX constants) — deterministic, per-worker.
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 17
+}
+
+/// Builds the deterministic scenario universe: `scenarios` specs × the
+/// three query kinds, as ready-to-send request lines.
+fn build_universe(scenarios: usize) -> Vec<[String; 3]> {
+    let gpus = ["a40", "a100-40", "a100-80", "h100-80"];
+    let datasets = ["cs", "math", "he", "gs", "oo"];
+    let models = ["mixtral-8x7b", "blackmamba-2.8b"];
+    (0..scenarios.max(1))
+        .map(|i| {
+            let gpu = gpus[i % gpus.len()];
+            let dataset = datasets[(i / gpus.len()) % datasets.len()];
+            let model = models[(i / (gpus.len() * datasets.len())) % models.len()];
+            let body = format!(r#""model":"{model}","gpu":"{gpu}","dataset":"{dataset}""#);
+            [
+                format!(r#"{{"query":"plan",{body}}}"#),
+                format!(r#"{{"query":"estimate",{body}}}"#),
+                format!(r#"{{"query":"sweep",{body}}}"#),
+            ]
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct WorkerResult {
+    errors: usize,
+    latencies_us: Vec<f64>,
+}
+
+fn run_worker(
+    addr: &str,
+    universe: &[[String; 3]],
+    mix: Mix,
+    mut rng: u64,
+    count: usize,
+    pipeline: usize,
+) -> std::io::Result<WorkerResult> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    let mut errors = 0usize;
+    let mut latencies_us = Vec::with_capacity(count);
+    let mut sent = 0usize;
+    let mut batch = String::new();
+    let mut line = String::new();
+    while sent < count {
+        let depth = pipeline.max(1).min(count - sent);
+        batch.clear();
+        for _ in 0..depth {
+            let roll = lcg_next(&mut rng);
+            let kind = mix.pick(roll);
+            let scenario = (lcg_next(&mut rng) as usize) % universe.len();
+            batch.push_str(&universe[scenario][kind]);
+            batch.push('\n');
+        }
+        let started = Instant::now();
+        stream.write_all(batch.as_bytes())?;
+        for _ in 0..depth {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-batch",
+                ));
+            }
+            if line.starts_with(r#"{"ok":false"#) {
+                errors += 1;
+            }
+        }
+        let batch_us = started.elapsed().as_secs_f64() * 1e6 / depth as f64;
+        latencies_us.extend(std::iter::repeat_n(batch_us, depth));
+        sent += depth;
+    }
+    Ok(WorkerResult {
+        errors,
+        latencies_us,
+    })
+}
+
+/// Runs the load generator per `config`, optionally writing
+/// `bench_serve.json` and `serve_metrics.json` under `out_dir`.
+pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    // Own a server if no address was given.
+    let mut local = None;
+    let addr = match &config.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let server = Server::start(ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..ServeConfig::default()
+            })?;
+            let addr = server.local_addr().to_string();
+            local = Some(server);
+            addr
+        }
+    };
+    let universe = build_universe(config.scenarios);
+    let connections = config.connections.max(1);
+    let total = config.requests.max(1);
+
+    let started = Instant::now();
+    let results: Vec<std::io::Result<WorkerResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|w| {
+                // Fixed per-worker quota: same totals on every run.
+                let count = total / connections + usize::from(w < total % connections);
+                let seed = config
+                    .seed
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add(w as u64 + 1);
+                let (addr, universe) = (&addr, &universe);
+                scope.spawn(move || {
+                    run_worker(addr, universe, config.mix, seed, count, config.pipeline)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker panicked"))
+            .collect()
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    let mut errors = 0usize;
+    let mut latencies: Vec<f64> = Vec::with_capacity(total);
+    for result in results {
+        let worker = result?;
+        errors += worker.errors;
+        latencies.extend(worker.latencies_us);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let mean_us = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+
+    // Final control round-trip: stats, then optional shutdown.
+    let stats_reply = {
+        let stream = TcpStream::connect(&addr)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut stream = stream;
+        stream.write_all(b"{\"query\":\"stats\"}\n")?;
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        if config.shutdown || local.is_some() {
+            stream.write_all(b"{\"query\":\"shutdown\"}\n")?;
+            let mut bye = String::new();
+            let _ = reader.read_line(&mut bye);
+        }
+        serde_json::from_str(line.trim()).unwrap_or(Value::Null)
+    };
+    if let Some(server) = local.as_mut() {
+        server.wait();
+    }
+
+    let report = LoadgenReport {
+        requests: total,
+        errors,
+        elapsed_secs,
+        qps: total as f64 / elapsed_secs,
+        p50_us: percentile(&latencies, 0.50),
+        p90_us: percentile(&latencies, 0.90),
+        p99_us: percentile(&latencies, 0.99),
+        mean_us,
+        max_us: latencies.last().copied().unwrap_or(0.0),
+        stats_reply,
+    };
+    if let Some(dir) = &config.out_dir {
+        write_reports(dir, config, &report)?;
+    }
+    Ok(report)
+}
+
+fn write_reports(dir: &str, config: &LoadgenConfig, report: &LoadgenReport) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let cache = report
+        .stats_reply
+        .get("cache")
+        .cloned()
+        .unwrap_or(Value::Null);
+    let doc = json!({
+        "bench": "serve",
+        "requests": report.requests as i64,
+        "errors": report.errors as i64,
+        "elapsed_secs": report.elapsed_secs,
+        "qps": report.qps,
+        "latency_us": json!({
+            "p50": report.p50_us,
+            "p90": report.p90_us,
+            "p99": report.p99_us,
+            "mean": report.mean_us,
+            "max": report.max_us,
+        }),
+        "connections": config.connections as i64,
+        "pipeline": config.pipeline as i64,
+        "scenarios": config.scenarios as i64,
+        "mix": json!({
+            "plan": i64::from(config.mix.plan),
+            "estimate": i64::from(config.mix.estimate),
+            "sweep": i64::from(config.mix.sweep),
+        }),
+        "seed": config.seed as i64,
+        "cache": cache,
+    });
+    let pretty = |v: &Value| serde_json::to_string_pretty(v).map_err(std::io::Error::other);
+    std::fs::write(format!("{dir}/bench_serve.json"), pretty(&doc)? + "\n")?;
+    std::fs::write(
+        format!("{dir}/serve_metrics.json"),
+        pretty(&report.stats_reply)? + "\n",
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_deals_all_three_kinds() {
+        let mix = Mix::default();
+        let mut seen = [false; 3];
+        let mut rng = 7u64;
+        for _ in 0..64 {
+            seen[mix.pick(lcg_next(&mut rng))] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn universe_is_deterministic_and_distinct() {
+        let a = build_universe(24);
+        let b = build_universe(24);
+        assert_eq!(a, b);
+        let unique: std::collections::HashSet<&String> = a.iter().flatten().collect();
+        assert_eq!(unique.len(), 24 * 3, "no duplicate request lines");
+    }
+
+    #[test]
+    fn loadgen_drives_an_in_process_server_deterministically() {
+        let config = LoadgenConfig {
+            connections: 2,
+            requests: 600,
+            pipeline: 8,
+            scenarios: 6,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config).expect("loadgen run");
+        assert_eq!(report.requests, 600);
+        assert_eq!(report.errors, 0, "all queries answer ok");
+        assert!(report.qps > 0.0);
+        assert!(report.p50_us <= report.p99_us);
+        let cache = report.stats_reply.get("cache").expect("stats has cache");
+        // 6 scenarios × up to 3 kinds: at most 18 distinct canonical keys,
+        // exact on every run thanks to fixed per-worker quotas.
+        match cache.get("misses") {
+            Some(Value::Int(misses)) => assert!((1..=18).contains(misses)),
+            other => panic!("cache.misses: {other:?}"),
+        }
+    }
+}

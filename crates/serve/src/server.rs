@@ -1,0 +1,370 @@
+//! Line-protocol TCP server over the planner engine.
+//!
+//! One JSON request per line, one JSON answer per line, in order. The
+//! protocol is deliberately dumb — `nc localhost 7878` is a valid client —
+//! and the framing batches every answer available for a read chunk into a
+//! single write, so pipelined clients get pipelined responses for free.
+//!
+//! Threading model: one accept loop, one thread per connection. Each
+//! connection thread parses, consults the scenario cache (coalescing
+//! concurrent misses), and computes on miss. Connection reads use a short
+//! timeout so threads notice shutdown promptly instead of blocking in
+//! `read` forever.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde_json::{json, Value};
+
+use crate::cache::ScenarioCache;
+use crate::engine::Planner;
+use crate::spec::ScenarioSpec;
+
+/// Tuning knobs for [`Server`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Listen address; port `0` picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Total scenario-cache answers to retain.
+    pub cache_capacity: usize,
+    /// Scenario-cache shard count (rounded up to a power of two).
+    pub shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            cache_capacity: 4096,
+            shards: 16,
+        }
+    }
+}
+
+/// Latency histogram bounds in microseconds for `serve.latency_us`.
+const LATENCY_BOUNDS_US: [f64; 8] = [10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 10_000.0, 100_000.0];
+
+/// Read timeout per connection: the granularity at which connection threads
+/// re-check the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+struct Shared {
+    planner: Planner,
+    cache: ScenarioCache,
+    stop: AtomicBool,
+    inflight: AtomicU64,
+    requests: ftsim_obs::Counter,
+    control: ftsim_obs::Counter,
+    errors: ftsim_obs::Counter,
+    connections: ftsim_obs::Counter,
+    inflight_gauge: ftsim_obs::Gauge,
+    latency: ftsim_obs::Histogram,
+}
+
+impl Shared {
+    fn new(config: &ServeConfig) -> Self {
+        let reg = ftsim_obs::registry();
+        Shared {
+            planner: Planner::new(),
+            cache: ScenarioCache::new(config.cache_capacity, config.shards),
+            stop: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            // Registered eagerly so snapshots carry zeros for quiet servers.
+            requests: reg.counter("serve.requests"),
+            control: reg.counter("serve.control"),
+            errors: reg.counter("serve.errors"),
+            connections: reg.counter("serve.connections"),
+            inflight_gauge: reg.gauge("serve.inflight"),
+            latency: reg.histogram("serve.latency_us", &LATENCY_BOUNDS_US),
+        }
+    }
+
+    /// Handles one request line, returning the answer (no newline).
+    fn answer_line(&self, line: &str) -> Answer {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Answer::Skip;
+        }
+        // Control queries bypass the scenario parser and the cache.
+        if trimmed == r#"{"query":"stats"}"# || trimmed == r#"{"query":"shutdown"}"# {
+            self.control.add(1);
+            if trimmed.contains("shutdown") {
+                self.stop.store(true, Ordering::SeqCst);
+                return Answer::Shutdown(json!({"ok": true, "query": "shutdown"}).to_string());
+            }
+            return Answer::Text(self.stats_answer());
+        }
+        let spec = match ScenarioSpec::parse_str(trimmed) {
+            Ok(spec) => spec,
+            Err(message) => {
+                self.errors.add(1);
+                return Answer::Text(json!({"ok": false, "error": message}).to_string());
+            }
+        };
+        self.requests.add(1);
+        let started = Instant::now();
+        self.inflight_gauge
+            .set((self.inflight.fetch_add(1, Ordering::Relaxed) + 1) as f64);
+        let key = spec.canonical_key();
+        let answer = self
+            .cache
+            .get_or_compute(&key, spec.hash(), || self.planner.answer(&spec));
+        self.inflight_gauge
+            .set((self.inflight.fetch_sub(1, Ordering::Relaxed) - 1) as f64);
+        self.latency.record(started.elapsed().as_secs_f64() * 1e6);
+        if answer.starts_with(r#"{"ok":false"#) {
+            self.errors.add(1);
+        }
+        Answer::Text(answer.to_string())
+    }
+
+    fn stats_answer(&self) -> String {
+        let s = self.cache.stats();
+        let metrics = serde_json::from_str(&ftsim_obs::registry().snapshot().to_json_string())
+            .unwrap_or(Value::Null);
+        json!({
+            "ok": true,
+            "query": "stats",
+            "cache": json!({
+                "hits": s.hits as i64,
+                "misses": s.misses as i64,
+                "coalesced": s.coalesced as i64,
+                "evictions": s.evictions as i64,
+                "len": self.cache.len() as i64,
+                "capacity": self.cache.capacity() as i64,
+                "shards": self.cache.shard_count() as i64,
+            }),
+            "simulators": self.planner.simulator_count() as i64,
+            "metrics": metrics,
+        })
+        .to_string()
+    }
+}
+
+enum Answer {
+    /// Blank line: answer nothing.
+    Skip,
+    /// Normal answer.
+    Text(String),
+    /// Answer, then stop the server.
+    Shutdown(String),
+}
+
+/// A running planner server. Dropping the handle does **not** stop it; send
+/// `{"query":"shutdown"}` or call [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving in background threads. Returns once the
+    /// listener is live (so clients may connect immediately).
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared::new(&config));
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Scenario-cache counters.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Signals shutdown and waits for the accept loop to exit. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Self-dial to wake the blocking accept() so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until a shutdown request arrives, then returns.
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.connections.add(1);
+        let conn_shared = Arc::clone(&shared);
+        let addr = listener.local_addr().ok();
+        conns.push(
+            std::thread::Builder::new()
+                .name("serve-conn".to_string())
+                .spawn(move || {
+                    if connection_loop(stream, &conn_shared) {
+                        // This connection delivered the shutdown request:
+                        // wake the accept loop so it can exit.
+                        if let Some(addr) = addr {
+                            let _ = TcpStream::connect(addr);
+                        }
+                    }
+                })
+                .expect("spawn connection thread"),
+        );
+        conns.retain(|h| !h.is_finished());
+    }
+    for handle in conns {
+        let _ = handle.join();
+    }
+}
+
+/// Serves one connection until EOF or shutdown. Returns true when this
+/// connection requested server shutdown.
+fn connection_loop(mut stream: TcpStream, shared: &Shared) -> bool {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let mut pending: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 16 * 1024];
+    let mut out: Vec<u8> = Vec::with_capacity(4096);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return false,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        };
+        pending.extend_from_slice(&chunk[..n]);
+        out.clear();
+        let mut consumed = 0;
+        let mut wants_shutdown = false;
+        while let Some(nl) = pending[consumed..].iter().position(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(&pending[consumed..consumed + nl]).into_owned();
+            consumed += nl + 1;
+            match shared.answer_line(&line) {
+                Answer::Skip => {}
+                Answer::Text(answer) => {
+                    out.extend_from_slice(answer.as_bytes());
+                    out.push(b'\n');
+                }
+                Answer::Shutdown(answer) => {
+                    out.extend_from_slice(answer.as_bytes());
+                    out.push(b'\n');
+                    wants_shutdown = true;
+                }
+            }
+            if wants_shutdown {
+                break;
+            }
+        }
+        pending.drain(..consumed);
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            return wants_shutdown;
+        }
+        if wants_shutdown {
+            let _ = stream.flush();
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn start() -> Server {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_capacity: 64,
+            shards: 4,
+        })
+        .expect("bind ephemeral port")
+    }
+
+    fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut payload = lines.join("\n");
+        payload.push('\n');
+        stream.write_all(payload.as_bytes()).unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut answers = Vec::new();
+        for _ in 0..lines.len() {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            answers.push(line.trim_end().to_string());
+        }
+        answers
+    }
+
+    #[test]
+    fn serves_pipelined_queries_in_order_and_caches_repeats() {
+        let mut server = start();
+        let addr = server.local_addr();
+        let q = r#"{"query":"plan"}"#;
+        let answers = roundtrip(addr, &[q, q, r#"{"query":"estimate"}"#]);
+        assert_eq!(answers[0], answers[1], "repeat query, identical bytes");
+        assert!(answers[0].contains(r#""query":"plan""#));
+        assert!(answers[2].contains(r#""query":"estimate""#));
+        let stats = server.cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert!(stats.hits >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_answer_errors_without_dropping_the_connection() {
+        let mut server = start();
+        let addr = server.local_addr();
+        let answers = roundtrip(
+            addr,
+            &[
+                "this is not json",
+                r#"{"query":"warp"}"#,
+                r#"{"query":"plan"}"#,
+            ],
+        );
+        assert!(answers[0].contains(r#""ok":false"#));
+        assert!(answers[1].contains(r#""ok":false"#));
+        assert!(answers[2].contains(r#""ok":true"#));
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_and_shutdown_control_queries_work_over_the_wire() {
+        let mut server = start();
+        let addr = server.local_addr();
+        roundtrip(addr, &[r#"{"query":"plan"}"#]);
+        let stats = roundtrip(addr, &[r#"{"query":"stats"}"#]);
+        assert!(stats[0].contains(r#""cache""#) && stats[0].contains(r#""misses":1"#));
+        let bye = roundtrip(addr, &[r#"{"query":"shutdown"}"#]);
+        assert!(bye[0].contains(r#""query":"shutdown""#));
+        server.wait(); // returns because the wire request stopped the server
+        server.shutdown(); // idempotent
+    }
+}

@@ -1,0 +1,202 @@
+//! End-to-end tests for planner-as-a-service: the determinism contract
+//! (cached answers are bit-identical to freshly computed ones, across
+//! planner instances) and the wire protocol over a real TCP socket.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+
+use ftsim_serve::{Planner, ScenarioCache, ScenarioSpec, ServeConfig, Server};
+use proptest::prelude::*;
+use serde_json::Value;
+
+const QUERIES: [&str; 3] = ["plan", "estimate", "sweep"];
+const MODELS: [&str; 2] = ["mixtral-8x7b", "blackmamba-2.8b"];
+const RECIPES: [&str; 4] = ["qlora-sparse", "qlora-dense", "full-sparse", "full-dense"];
+const GPUS: [&str; 4] = ["A40", "A100-40GB", "A100-80GB", "H100-80GB"];
+const DATASETS: [&str; 5] = [
+    "commonsense_15k",
+    "math_14k",
+    "hellaswag",
+    "gsm8k",
+    "openorca",
+];
+
+fn request_line(
+    query: &str,
+    model: &str,
+    recipe: &str,
+    gpu: &str,
+    dataset: &str,
+    (batch, epochs, gpus): (usize, usize, usize),
+) -> String {
+    format!(
+        concat!(
+            "{{\"query\":\"{}\",\"model\":\"{}\",\"recipe\":\"{}\",\"gpu\":\"{}\",",
+            "\"dataset\":\"{}\",\"batch\":{},\"epochs\":{},\"gpus\":{}}}"
+        ),
+        query, model, recipe, gpu, dataset, batch, epochs, gpus
+    )
+}
+
+fn parse_spec(line: &str) -> ScenarioSpec {
+    ScenarioSpec::parse_str(line).expect("generated request is valid")
+}
+
+/// Shared planners so the 64 property cases reuse pooled simulators
+/// instead of rebuilding them per case.
+fn planners() -> &'static (Planner, Planner) {
+    static PLANNERS: OnceLock<(Planner, Planner)> = OnceLock::new();
+    PLANNERS.get_or_init(|| (Planner::new(), Planner::new()))
+}
+
+proptest! {
+    /// The acceptance property: for any scenario, the answer served
+    /// through the LRU cache is byte-identical to one computed fresh by an
+    /// *independent* planner instance — on the miss AND on the hit.
+    fn prop_cached_answers_are_bit_identical_to_uncached(
+        qi in 0usize..3,
+        mi in 0usize..2,
+        ri in 0usize..4,
+        gi in 0usize..4,
+        di in 0usize..5,
+        batch in 0usize..5,
+        epochs in 1usize..=12,
+        gpus in 1usize..=8,
+    ) {
+        let line = request_line(
+            QUERIES[qi], MODELS[mi], RECIPES[ri], GPUS[gi], DATASETS[di],
+            (batch, epochs, gpus),
+        );
+        let spec = parse_spec(&line);
+        let (cached_planner, fresh_planner) = planners();
+
+        let cache = ScenarioCache::new(64, 4);
+        let key = spec.canonical_key();
+        let miss = cache.get_or_compute(&key, spec.hash(), || cached_planner.answer(&spec));
+        let hit = cache.get_or_compute(&key, spec.hash(), || panic!("must be cached"));
+        let fresh = fresh_planner.answer(&spec);
+
+        prop_assert_eq!(miss.as_bytes(), fresh.as_bytes(), "miss != fresh for {}", line);
+        prop_assert_eq!(hit.as_bytes(), fresh.as_bytes(), "hit != fresh for {}", line);
+        let stats = cache.stats();
+        prop_assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    /// Canonicalization property: aliases, reordered fields, and explicit
+    /// defaults all collapse onto the same cache key, so equivalent
+    /// requests share one cache slot.
+    fn prop_aliases_and_field_order_share_a_cache_key(
+        mi in 0usize..2,
+        gi in 0usize..4,
+        di in 0usize..5,
+        epochs in 1usize..=12,
+    ) {
+        let alias_model = ["mixtral", "blackmamba"][mi];
+        let alias_dataset = ["cs", "math", "hellaswag", "gsm8k", "openorca"][di];
+        let full = parse_spec(&format!(
+            "{{\"query\":\"plan\",\"model\":\"{}\",\"gpu\":\"{}\",\"dataset\":\"{}\",\"epochs\":{}}}",
+            MODELS[mi], GPUS[gi], DATASETS[di], epochs,
+        ));
+        let aliased = parse_spec(&format!(
+            "{{\"epochs\":{},\"dataset\":\"{}\",\"gpu\":\"{}\",\"model\":\"{}\",\"query\":\"plan\"}}",
+            epochs, alias_dataset, GPUS[gi].to_lowercase(), alias_model,
+        ));
+        prop_assert_eq!(full.canonical_key(), aliased.canonical_key());
+        prop_assert_eq!(full.hash(), aliased.hash());
+    }
+}
+
+/// One client session against a real socket.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        let mut answer = String::new();
+        self.reader.read_line(&mut answer).expect("read");
+        assert!(answer.ends_with('\n'), "answers are newline-framed");
+        answer.trim_end().to_string()
+    }
+}
+
+#[test]
+fn tcp_round_trip_caches_and_reports_stats() {
+    let mut server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_capacity: 32,
+        shards: 4,
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr);
+    let request = request_line(
+        "estimate",
+        "mixtral-8x7b",
+        "qlora-sparse",
+        "A100-80GB",
+        "math_14k",
+        (0, 10, 2),
+    );
+    let first = client.roundtrip(&request);
+    let second = client.roundtrip(&request);
+    assert_eq!(first, second, "repeat queries are bit-identical");
+    let doc: Value = serde_json::from_str(&first).expect("answer is JSON");
+    assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "{first}");
+
+    // A second connection hits the same cache entry.
+    let mut other = Client::connect(addr);
+    assert_eq!(other.roundtrip(&request), first);
+
+    let stats: Value =
+        serde_json::from_str(&client.roundtrip(r#"{"query":"stats"}"#)).expect("stats JSON");
+    let cache = stats.get("cache").expect("cache section");
+    let count = |k: &str| match cache.get(k) {
+        Some(Value::Int(n)) => *n,
+        other => panic!("cache.{k} missing or non-integer: {other:?}"),
+    };
+    assert_eq!(count("misses"), 1, "{stats:?}");
+    assert_eq!(count("hits"), 2, "{stats:?}");
+
+    client.roundtrip(r#"{"query":"shutdown"}"#);
+    server.wait();
+    assert_eq!(server.cache_stats().misses, 1);
+}
+
+#[test]
+fn tcp_malformed_and_domain_errors_answer_without_dropping_the_connection() {
+    let mut server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_capacity: 8,
+        shards: 1,
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr());
+
+    let garbage = client.roundtrip("this is not json");
+    assert!(garbage.starts_with(r#"{"ok":false"#), "{garbage}");
+
+    // Domain error: AWS sells no A40 — a deterministic, cacheable answer.
+    let no_price = client.roundtrip(r#"{"query":"estimate","gpu":"A40","provider":"aws"}"#);
+    assert!(no_price.starts_with(r#"{"ok":false"#), "{no_price}");
+    assert!(no_price.contains("price"), "{no_price}");
+
+    // The connection still answers valid queries afterwards.
+    let ok = client.roundtrip(r#"{"query":"plan","gpu":"A100-80GB"}"#);
+    let doc: Value = serde_json::from_str(&ok).expect("JSON");
+    assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "{ok}");
+
+    server.shutdown();
+}

@@ -13,6 +13,7 @@
 //! * [`workload`] — datasets, sequence-length distributions, synthetic tasks
 //! * [`sim`] — the fine-tuning execution simulator + real MoE training
 //! * [`cost`] — Eq. 1 / Eq. 2 analytical models, fitting, cost estimation
+//! * [`serve`] — planner-as-a-service: TCP query engine + scenario cache
 //!
 //! ## Thirty-second tour
 //!
@@ -38,6 +39,7 @@
 pub use ftsim_cost as cost;
 pub use ftsim_gpu as gpu;
 pub use ftsim_model as model;
+pub use ftsim_serve as serve;
 pub use ftsim_sim as sim;
 pub use ftsim_tensor as tensor;
 pub use ftsim_workload as workload;
