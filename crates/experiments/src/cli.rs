@@ -6,7 +6,7 @@
 //! experiments have already started running.
 
 use ftsim_obs::metrics::HistogramSnapshot;
-use ftsim_obs::{DiffConfig, Snapshot};
+use ftsim_obs::{DiffConfig, QuantileSketch, SketchConfig, Snapshot};
 use ftsim_serve::{LoadgenConfig, Mix, ServeConfig};
 use serde_json::Value;
 
@@ -18,16 +18,24 @@ pub const USAGE: &str = "usage: repro [--list] [--out DIR] [--follow] <all | id.
            tail a live run's event log (results/profile_events.bin)
        repro obs-diff <baseline.json> <current.json>
                       [--threshold FRACTION] [--ignore SUBSTR]... [--log EVENTS.bin]
-           compare metric snapshots; exit 1 on regression
+           compare metric snapshots (counters, gauges, histogram/sketch
+           count+mean+p50+p99); exit 1 on regression
        repro serve [--addr HOST:PORT] [--cache-capacity N] [--shards N]
+                   [--slo-target-p99-us US] [--slo-error-budget FRACTION]
+                   [--events FILE]
            answer plan/estimate/sweep queries over a line protocol
-           (one JSON scenario per line; {\"query\":\"shutdown\"} stops it)
+           (one JSON scenario per line; {\"query\":\"shutdown\"} stops it,
+           {\"query\":\"metrics\"} answers a Prometheus-style exposition
+           ending with `# EOF`); --events streams sampled phase events
+           into a binary log
        repro loadgen [--addr HOST:PORT] [--connections N] [--requests N]
                      [--pipeline N] [--scenarios N]
                      [--mix plan=8,estimate=3,sweep=1] [--seed N]
+                     [--slo-target-p99-us US] [--slo-error-budget FRACTION]
                      [--out DIR] [--shutdown]
            closed-loop planner benchmark; without --addr it spawns an
-           in-process server; --out writes bench_serve.json + serve_metrics.json";
+           in-process server; --out writes bench_serve.json +
+           serve_metrics.json + serve_slo.json";
 
 /// Usage text plus the valid experiment ids.
 pub fn usage() -> String {
@@ -67,7 +75,12 @@ pub enum Command {
         log: Option<String>,
     },
     /// Long-running planner-as-a-service TCP server.
-    Serve { config: ServeConfig },
+    Serve {
+        config: ServeConfig,
+        /// When set, stream sampled observability events into this binary
+        /// log while serving (drained ring + adaptive sampler).
+        events: Option<String>,
+    },
     /// Closed-loop load generator against a serve endpoint.
     Loadgen { config: LoadgenConfig },
 }
@@ -215,8 +228,21 @@ fn positive<T: std::str::FromStr + PartialOrd + From<u8>>(
     Ok(n)
 }
 
+/// Parses a flag value that must be a positive finite float.
+fn positive_f64(flag: &str, v: Option<&String>) -> Result<f64, String> {
+    let v = v.ok_or_else(|| format!("{flag} requires a value"))?;
+    let n: f64 = v
+        .parse()
+        .map_err(|_| format!("invalid {flag} value {v:?} (want a positive number)"))?;
+    if !n.is_finite() || n <= 0.0 {
+        return Err(format!("{flag} must be a positive number, got {v}"));
+    }
+    Ok(n)
+}
+
 fn parse_serve(args: &[String]) -> Result<Command, String> {
     let mut config = ServeConfig::default();
+    let mut events = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -230,10 +256,29 @@ fn parse_serve(args: &[String]) -> Result<Command, String> {
                 config.cache_capacity = positive("--cache-capacity", it.next())?;
             }
             "--shards" => config.shards = positive("--shards", it.next())?,
+            "--slo-target-p99-us" => {
+                config.slo_target_p99_us = positive_f64("--slo-target-p99-us", it.next())?;
+            }
+            "--slo-error-budget" => {
+                let budget = positive_f64("--slo-error-budget", it.next())?;
+                if budget >= 1.0 {
+                    return Err(format!(
+                        "--slo-error-budget must be a fraction below 1, got {budget}"
+                    ));
+                }
+                config.slo_error_budget = budget;
+            }
+            "--events" => {
+                events = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "--events requires a file path".to_string())?,
+                );
+            }
             other => return Err(format!("unknown serve argument {other:?}\n{USAGE}")),
         }
     }
-    Ok(Command::Serve { config })
+    Ok(Command::Serve { config, events })
 }
 
 /// Parses `plan=8,estimate=3,sweep=1` (any subset; omitted kinds keep their
@@ -298,6 +343,18 @@ fn parse_loadgen(args: &[String]) -> Result<Command, String> {
                 config.out_dir = Some(dir);
             }
             "--shutdown" => config.shutdown = true,
+            "--slo-target-p99-us" => {
+                config.slo_target_p99_us = positive_f64("--slo-target-p99-us", it.next())?;
+            }
+            "--slo-error-budget" => {
+                let budget = positive_f64("--slo-error-budget", it.next())?;
+                if budget >= 1.0 {
+                    return Err(format!(
+                        "--slo-error-budget must be a fraction below 1, got {budget}"
+                    ));
+                }
+                config.slo_error_budget = budget;
+            }
             other => return Err(format!("unknown loadgen argument {other:?}\n{USAGE}")),
         }
     }
@@ -379,6 +436,47 @@ pub fn snapshot_from_json(text: &str) -> Result<Snapshot, String> {
                     .ok_or_else(|| format!("histogram {name:?}: bad sum"))?,
             };
             snapshot.histograms.insert(name.clone(), hist);
+        }
+    }
+    if let Some(Value::Object(entries)) = metrics.get("sketches") {
+        for (name, s) in entries {
+            let field = |key: &str| -> Result<f64, String> {
+                s.get(key)
+                    .and_then(as_f64)
+                    .ok_or_else(|| format!("sketch {name:?}: bad {key}"))
+            };
+            let config = SketchConfig {
+                alpha: field("alpha")?,
+                min_value: field("min_value")?,
+                max_value: field("max_value")?,
+            };
+            let mut buckets: Vec<(usize, u64)> = Vec::new();
+            if let Some(Value::Object(sparse)) = s.get("buckets") {
+                for (index, n) in sparse {
+                    let index: usize = index
+                        .parse()
+                        .map_err(|_| format!("sketch {name:?}: bad bucket index {index:?}"))?;
+                    let n =
+                        as_u64(n).ok_or_else(|| format!("sketch {name:?}: bad bucket count"))?;
+                    buckets.push((index, n));
+                }
+            }
+            let count = s
+                .get("count")
+                .and_then(as_u64)
+                .ok_or_else(|| format!("sketch {name:?}: bad count"))?;
+            let sketch = QuantileSketch::from_parts(
+                config,
+                &buckets,
+                count,
+                field("sum")?,
+                // Empty sketches export min > max sentinels as JSON null;
+                // fall back to the empty-sketch identities.
+                field("min").unwrap_or(f64::INFINITY),
+                field("max").unwrap_or(f64::NEG_INFINITY),
+            )
+            .map_err(|e| format!("sketch {name:?}: {e}"))?;
+            snapshot.sketches.insert(name.clone(), sketch);
         }
     }
     Ok(snapshot)
@@ -507,16 +605,40 @@ mod tests {
             "4",
         ]))
         .unwrap();
-        let Command::Serve { config } = cmd else {
+        let Command::Serve { config, events } = cmd else {
             panic!("expected Serve");
         };
         assert_eq!(config.addr, "0.0.0.0:9000");
         assert_eq!(config.cache_capacity, 128);
         assert_eq!(config.shards, 4);
+        assert_eq!(events, None);
         // Strict: positional junk and zero values are rejected.
         assert!(parse(&args(&["serve", "extra"])).is_err());
         assert!(parse(&args(&["serve", "--shards", "0"])).is_err());
         assert!(parse(&args(&["serve", "--cache-capacity", "many"])).is_err());
+    }
+
+    #[test]
+    fn serve_parses_slo_knobs_and_event_log() {
+        let cmd = parse(&args(&[
+            "serve",
+            "--slo-target-p99-us",
+            "2500",
+            "--slo-error-budget",
+            "0.01",
+            "--events",
+            "serve_events.bin",
+        ]))
+        .unwrap();
+        let Command::Serve { config, events } = cmd else {
+            panic!("expected Serve");
+        };
+        assert_eq!(config.slo_target_p99_us, 2500.0);
+        assert_eq!(config.slo_error_budget, 0.01);
+        assert_eq!(events.as_deref(), Some("serve_events.bin"));
+        assert!(parse(&args(&["serve", "--slo-target-p99-us", "-5"])).is_err());
+        assert!(parse(&args(&["serve", "--slo-error-budget", "1.5"])).is_err());
+        assert!(parse(&args(&["serve", "--events"])).is_err());
     }
 
     #[test]
@@ -537,6 +659,10 @@ mod tests {
             "plan=5,sweep=2",
             "--seed",
             "7",
+            "--slo-target-p99-us",
+            "5000000",
+            "--slo-error-budget",
+            "0.005",
             "--out",
             "results",
             "--shutdown",
@@ -557,6 +683,9 @@ mod tests {
         assert_eq!(config.seed, 7);
         assert_eq!(config.out_dir.as_deref(), Some("results"));
         assert!(config.shutdown);
+        assert_eq!(config.slo_target_p99_us, 5_000_000.0);
+        assert_eq!(config.slo_error_budget, 0.005);
+        assert!(parse(&args(&["loadgen", "--slo-error-budget", "1.0"])).is_err());
     }
 
     #[test]
@@ -574,7 +703,19 @@ mod tests {
 
     #[test]
     fn usage_lists_every_subcommand() {
-        for needle in ["obs-diff", "serve", "loadgen", "--follow", "--mix", "--log"] {
+        for needle in [
+            "obs-diff",
+            "serve",
+            "loadgen",
+            "--follow",
+            "--mix",
+            "--log",
+            "--events",
+            "--slo-target-p99-us",
+            "--slo-error-budget",
+            "metrics",
+            "serve_slo.json",
+        ] {
             assert!(USAGE.contains(needle), "usage is stale: missing {needle}");
         }
     }
@@ -600,8 +741,19 @@ mod tests {
                 sum: 5.25,
             },
         );
+        let mut sketch = QuantileSketch::new(SketchConfig::default());
+        for v in [80.0, 95.0, 120.0, 4000.0] {
+            sketch.record(v);
+        }
+        snapshot.sketches.insert("lat_us".to_string(), sketch);
+        // An empty sketch exercises the min/max sentinel path.
+        snapshot.sketches.insert(
+            "quiet".to_string(),
+            QuantileSketch::new(SketchConfig::default()),
+        );
         let parsed = snapshot_from_json(&snapshot.to_json_string()).unwrap();
         assert_eq!(parsed, snapshot);
+        assert_eq!(parsed.sketches["lat_us"].count(), 4);
     }
 
     #[test]

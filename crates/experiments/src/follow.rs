@@ -14,7 +14,8 @@ use std::io::{IsTerminal, Write as _};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-use ftsim_obs::{Footer, LogReader, LogRecord};
+use ftsim_obs::timeseries::now_ns;
+use ftsim_obs::{Footer, LogReader, LogRecord, WindowedSeries};
 
 /// Aggregated state of the stream so far — pure fold, separately testable.
 #[derive(Debug, Default, Clone)]
@@ -26,13 +27,23 @@ pub struct FollowView {
     pub last_span: String,
     counters: std::collections::BTreeMap<String, u64>,
     gauges: std::collections::BTreeMap<String, f64>,
+    /// Rolling-window view of `serve.latency_us` histogram events, keyed by
+    /// *receipt* time — the stream carries values, not timestamps, so the
+    /// dashboard's qps/percentiles are as-observed-by-the-tail.
+    serve_latency: Option<WindowedSeries>,
     /// Set once the writer shut down cleanly.
     pub footer: Option<Footer>,
 }
 
 impl FollowView {
-    /// Folds one record into the view.
+    /// Folds one record into the view, stamping rate-sensitive records with
+    /// the current clock.
     pub fn apply(&mut self, record: &LogRecord) {
+        self.apply_at(record, now_ns());
+    }
+
+    /// [`FollowView::apply`] with an explicit receipt time (tests).
+    pub fn apply_at(&mut self, record: &LogRecord, t_ns: u64) {
         self.events += 1;
         match record {
             LogRecord::Span { cat, name, .. } => {
@@ -45,7 +56,13 @@ impl FollowView {
             LogRecord::Gauge { name, value } => {
                 self.gauges.insert(name.clone(), *value);
             }
-            LogRecord::Histogram { .. } => {}
+            LogRecord::Histogram { name, value } => {
+                if name == "serve.latency_us" {
+                    self.serve_latency
+                        .get_or_insert_with(WindowedSeries::with_defaults)
+                        .record_at(t_ns, *value);
+                }
+            }
         }
     }
 
@@ -74,6 +91,12 @@ impl FollowView {
 
     /// Renders the dashboard block (no ANSI; the caller handles redraw).
     pub fn render(&self, elapsed_s: f64) -> String {
+        self.render_at(elapsed_s, now_ns())
+    }
+
+    /// [`FollowView::render`] with an explicit "now" for the rolling
+    /// windows (tests).
+    pub fn render_at(&self, elapsed_s: f64, now_ns: u64) -> String {
         let mut out = String::new();
         let dropped = self.footer.map(|f| f.dropped_events).unwrap_or(0);
         out.push_str(&format!(
@@ -118,6 +141,20 @@ impl FollowView {
             out.push_str(&format!(
                 "train: epoch {epoch:.0}  step {steps}  loss {loss:.3}{tps}{imb}\n"
             ));
+        }
+        if let Some(series) = &self.serve_latency {
+            // Rolling qps and percentiles over the last 10s of received
+            // latency samples, plus the all-time count for context.
+            if let Some(stats) = series.stats_at("10s", now_ns) {
+                out.push_str(&format!(
+                    "serve: {:.0} rps (10s)  p50 {:.0}us  p90 {:.0}us  p99 {:.0}us  [{} total]\n",
+                    stats.rate_per_sec,
+                    stats.p50,
+                    stats.p90,
+                    stats.p99,
+                    series.total_sketch().count()
+                ));
+            }
         }
         if !self.last_span.is_empty() {
             out.push_str(&format!("last span: {}\n", self.last_span));
@@ -279,6 +316,43 @@ mod tests {
     }
 
     #[test]
+    fn serve_latency_section_shows_rolling_qps_and_percentiles() {
+        const SEC: u64 = 1_000_000_000;
+        let mut v = FollowView::default();
+        assert!(
+            !v.render_at(1.0, SEC).contains("serve:"),
+            "no section before any latency samples"
+        );
+        // 50 samples of 100us received over one second: 5 rps over the 10s
+        // window once they are all in.
+        for i in 0..50u64 {
+            v.apply_at(
+                &LogRecord::Histogram {
+                    name: "serve.latency_us".to_string(),
+                    value: 100.0,
+                },
+                i * 20_000_000,
+            );
+        }
+        // Other histograms don't feed the serve section.
+        v.apply_at(
+            &LogRecord::Histogram {
+                name: "other.hist".to_string(),
+                value: 9e9,
+            },
+            SEC,
+        );
+        let out = v.render_at(2.0, SEC);
+        assert!(out.contains("serve: 5 rps (10s)"), "{out}");
+        assert!(out.contains("p99 "), "{out}");
+        assert!(out.contains("[50 total]"), "{out}");
+        // Thirty seconds later the 10s window is empty; the total remains.
+        let late = v.render_at(31.0, 31 * SEC);
+        assert!(late.contains("serve: 0 rps (10s)"), "{late}");
+        assert!(late.contains("[50 total]"), "{late}");
+    }
+
+    #[test]
     fn footer_renders_the_done_line() {
         let v = FollowView {
             footer: Some(Footer {
@@ -288,6 +362,7 @@ mod tests {
                     spans: 2,
                     ..Default::default()
                 },
+                ..Default::default()
             }),
             ..Default::default()
         };

@@ -66,8 +66,8 @@ fn main() {
             let exit = obs_diff(&baseline, &current, &config, log.as_deref());
             std::process::exit(exit);
         }
-        Command::Serve { config } => {
-            std::process::exit(serve(config));
+        Command::Serve { config, events } => {
+            std::process::exit(serve(config, events.as_deref()));
         }
         Command::Loadgen { config } => {
             std::process::exit(loadgen(&config));
@@ -112,6 +112,12 @@ fn obs_diff(
                         footer.dropped_by.describe()
                     ));
                 }
+                if footer.sampler_dropped_by.total() > 0 {
+                    report.notes.push(format!(
+                        "sampler suppressed by category: {}",
+                        footer.sampler_dropped_by.describe()
+                    ));
+                }
             }
             Ok((_, None)) => report
                 .notes
@@ -126,8 +132,32 @@ fn obs_diff(
     i32::from(report.has_regressions())
 }
 
-fn serve(config: ftsim_serve::ServeConfig) -> i32 {
+fn serve(config: ftsim_serve::ServeConfig, events: Option<&str>) -> i32 {
     ftsim_obs::enable();
+    // `--events`: stream per-request phase events through the adaptive
+    // sampler + ring into a binary log while the server runs. Producers
+    // (connection threads) never block: overload is thinned by the sampler
+    // first, dropped by the ring second, and both losses are tallied
+    // exactly in the log's footer.
+    let writer = events.and_then(|path| {
+        let ring = Arc::new(RingBuffer::with_capacity(1 << 16));
+        let sampler = Arc::new(ftsim_obs::Sampler::new(ftsim_obs::SamplerConfig::default()));
+        match BinLogWriter::spawn_with_sampler(
+            path,
+            Arc::clone(&ring),
+            Duration::from_millis(25),
+            Arc::clone(&sampler),
+        ) {
+            Ok(writer) => {
+                ftsim_obs::set_sink(Arc::new(RingSink::with_sampler(ring, sampler)));
+                Some(writer)
+            }
+            Err(e) => {
+                eprintln!("warning: cannot open {path}: {e}");
+                None
+            }
+        }
+    });
     let mut server = match ftsim_serve::Server::start(config) {
         Ok(server) => server,
         Err(e) => {
@@ -143,6 +173,19 @@ fn serve(config: ftsim_serve::ServeConfig) -> i32 {
         "serve: done — {} hits, {} misses, {} coalesced, {} evictions",
         stats.hits, stats.misses, stats.coalesced, stats.evictions
     );
+    if let Some(writer) = writer {
+        ftsim_obs::clear_sink();
+        match writer.finish() {
+            Ok(stats) => println!(
+                "[event log: {} events written, {} ring-dropped; sampler kept {} / suppressed {}]",
+                stats.events_written,
+                stats.dropped_events,
+                stats.sampled_by.total(),
+                stats.sampler_dropped_by.total()
+            ),
+            Err(e) => eprintln!("warning: event log shutdown failed: {e}"),
+        }
+    }
     0
 }
 
@@ -287,16 +330,18 @@ fn run_experiments(ids: &[String], out_dir: &str, follow_requested: bool) -> i32
 }
 
 /// Replays the event log into a collapsed-stack flamegraph
-/// (`profile_flame.txt`, `flamegraph.pl`/inferno-compatible).
+/// (`profile_flame.txt`, `flamegraph.pl`/inferno-compatible). Stacks from
+/// a thinned log (ring drops or sampler suppression) carry an
+/// `_(~Nx_undercounted)` suffix so they cannot pass for complete data.
 fn export_flamegraph(log_path: &Path, out_dir: &str) {
-    let records = match ftsim_obs::replay(log_path) {
-        Ok((records, _footer)) => records,
+    let (records, footer) = match ftsim_obs::replay(log_path) {
+        Ok(replayed) => replayed,
         Err(e) => {
             eprintln!("warning: cannot replay {}: {e}", log_path.display());
             return;
         }
     };
-    let flame = ftsim_obs::collapse(&records);
+    let flame = ftsim_obs::flame::collapse_annotated(&records, footer.as_ref());
     let path = Path::new(out_dir).join("profile_flame.txt");
     match std::fs::write(&path, flame.to_collapsed()) {
         Ok(()) => println!(

@@ -24,8 +24,14 @@
 //!   4 histogram name, f64 bits
 //!   255 footer  events_written u64, dropped_events u64, then (since v2 of
 //!               the footer; absent in older logs) per-category drop counts
-//!               spans/counters/gauges/histograms as 4 × u64
+//!               spans/counters/gauges/histograms as 4 × u64, then (since
+//!               v3) per-category sampler admitted + suppressed counts as
+//!               8 × u64
 //! ```
+//!
+//! Footer decoding is length-driven: older (shorter) footers decode with
+//! the missing tails reported as zero, so logs written by any prior version
+//! keep replaying.
 
 use std::fs::File;
 use std::io::{self, Read, Write};
@@ -34,7 +40,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::ring::{DroppedCounts, InlineStr, RingBuffer, RingEvent};
+use crate::ring::{CategoryCounts, DroppedCounts, InlineStr, RingBuffer, RingEvent, Sampler};
 use crate::sink::ObsSink;
 use crate::span::Event;
 
@@ -47,21 +53,48 @@ const TAG_GAUGE: u8 = 3;
 const TAG_HISTOGRAM: u8 = 4;
 const TAG_FOOTER: u8 = 255;
 
-/// An [`ObsSink`] that forwards every event into a shared ring buffer.
+/// An [`ObsSink`] that forwards every event into a shared ring buffer,
+/// optionally thinned by a producer-side [`Sampler`] first.
 pub struct RingSink {
     ring: Arc<RingBuffer>,
+    sampler: Option<Arc<Sampler>>,
 }
 
 impl RingSink {
     /// Wrap a shared ring buffer as an installable sink.
     pub fn new(ring: Arc<RingBuffer>) -> RingSink {
-        RingSink { ring }
+        RingSink {
+            ring,
+            sampler: None,
+        }
+    }
+
+    /// Wrap a ring with a sampler in front: events the sampler suppresses
+    /// never touch the ring (and are tallied by the sampler, not as ring
+    /// drops). Share the same `Arc<Sampler>` with
+    /// [`BinLogWriter::spawn_with_sampler`] so the footer carries the
+    /// sampler's exact per-category counts.
+    pub fn with_sampler(ring: Arc<RingBuffer>, sampler: Arc<Sampler>) -> RingSink {
+        RingSink {
+            ring,
+            sampler: Some(sampler),
+        }
+    }
+
+    #[inline]
+    fn push(&self, event: RingEvent) {
+        if let Some(sampler) = &self.sampler {
+            if !sampler.admit_now(event.category_index()) {
+                return;
+            }
+        }
+        self.ring.try_push(event);
     }
 }
 
 impl ObsSink for RingSink {
     fn on_span(&self, event: &Event) {
-        self.ring.try_push(RingEvent::Span {
+        self.push(RingEvent::Span {
             cat: InlineStr::truncate_from(event.cat),
             name: InlineStr::truncate_from(&event.name),
             ts_ns: event.ts_ns,
@@ -72,21 +105,21 @@ impl ObsSink for RingSink {
     }
 
     fn on_counter(&self, name: &str, delta: u64) {
-        self.ring.try_push(RingEvent::Counter {
+        self.push(RingEvent::Counter {
             name: InlineStr::truncate_from(name),
             delta,
         });
     }
 
     fn on_gauge(&self, name: &str, value: f64) {
-        self.ring.try_push(RingEvent::Gauge {
+        self.push(RingEvent::Gauge {
             name: InlineStr::truncate_from(name),
             value,
         });
     }
 
     fn on_histogram(&self, name: &str, value: f64) {
-        self.ring.try_push(RingEvent::Histogram {
+        self.push(RingEvent::Histogram {
             name: InlineStr::truncate_from(name),
             value,
         });
@@ -141,18 +174,25 @@ pub fn encode_event(event: &RingEvent, buf: &mut Vec<u8>) {
 }
 
 fn encode_footer(footer: &Footer, buf: &mut Vec<u8>) {
-    // 1 tag + 2 u64 totals + 4 u64 per-category drop counts.
-    buf.extend_from_slice(&49u32.to_le_bytes());
+    // 1 tag + 2 u64 totals + 4 u64 per-category drop counts + 8 u64
+    // per-category sampler admitted/suppressed counts.
+    buf.extend_from_slice(&113u32.to_le_bytes());
     buf.push(TAG_FOOTER);
     buf.extend_from_slice(&footer.events_written.to_le_bytes());
     buf.extend_from_slice(&footer.dropped_events.to_le_bytes());
-    for count in [
-        footer.dropped_by.spans,
-        footer.dropped_by.counters,
-        footer.dropped_by.gauges,
-        footer.dropped_by.histograms,
+    for counts in [
+        footer.dropped_by,
+        footer.sampled_by,
+        footer.sampler_dropped_by,
     ] {
-        buf.extend_from_slice(&count.to_le_bytes());
+        for count in [
+            counts.spans,
+            counts.counters,
+            counts.gauges,
+            counts.histograms,
+        ] {
+            buf.extend_from_slice(&count.to_le_bytes());
+        }
     }
 }
 
@@ -198,7 +238,7 @@ pub enum LogRecord {
 }
 
 /// The clean-shutdown footer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Footer {
     /// Events the writer appended to the log.
     pub events_written: u64,
@@ -208,6 +248,26 @@ pub struct Footer {
     /// The same drops broken down by event category. All-zero for logs
     /// written before the footer carried the breakdown.
     pub dropped_by: DroppedCounts,
+    /// Events the producer-side sampler admitted, per category. All-zero
+    /// when no sampler was installed or the log predates footer v3.
+    pub sampled_by: CategoryCounts,
+    /// Events the producer-side sampler suppressed, per category (these
+    /// never reached the ring). All-zero for unsampled or older logs.
+    pub sampler_dropped_by: CategoryCounts,
+}
+
+impl Footer {
+    /// Undercount factor for category `index` (the
+    /// [`RingEvent::category_index`] order): how many real events each
+    /// logged event of that category stands for, given `written` records of
+    /// it in the log. `1.0` means the log is complete for the category.
+    pub fn undercount_factor(&self, index: usize, written: u64) -> f64 {
+        if written == 0 {
+            return 1.0;
+        }
+        let lost = self.dropped_by.get(index) + self.sampler_dropped_by.get(index);
+        (written + lost) as f64 / written as f64
+    }
 }
 
 struct Cursor<'a> {
@@ -240,6 +300,20 @@ impl Cursor<'_> {
 
     fn remaining(&self) -> usize {
         self.bytes.len().saturating_sub(self.pos)
+    }
+
+    /// Reads a per-category count quad, or all-zero when the payload ends
+    /// first (how older footers decode under newer readers).
+    fn category_quad(&mut self) -> io::Result<DroppedCounts> {
+        if self.remaining() < 32 {
+            return Ok(DroppedCounts::default());
+        }
+        Ok(DroppedCounts {
+            spans: self.u64()?,
+            counters: self.u64()?,
+            gauges: self.u64()?,
+            histograms: self.u64()?,
+        })
     }
 
     fn string(&mut self) -> io::Result<String> {
@@ -285,22 +359,18 @@ fn decode_payload(payload: &[u8]) -> io::Result<Decoded> {
         TAG_FOOTER => {
             let events_written = c.u64()?;
             let dropped_events = c.u64()?;
-            // Logs written before the footer carried per-category counts
-            // end here; report their breakdown as all-zero.
-            let dropped_by = if c.remaining() >= 32 {
-                DroppedCounts {
-                    spans: c.u64()?,
-                    counters: c.u64()?,
-                    gauges: c.u64()?,
-                    histograms: c.u64()?,
-                }
-            } else {
-                DroppedCounts::default()
-            };
+            // Length-driven tails: logs written before a given footer
+            // extension simply end earlier, and the missing counts read as
+            // zero (v1: totals only; v2: + drop breakdown; v3: + sampler).
+            let dropped_by = c.category_quad()?;
+            let sampled_by = c.category_quad()?;
+            let sampler_dropped_by = c.category_quad()?;
             return Ok(Decoded::Footer(Footer {
                 events_written,
                 dropped_events,
                 dropped_by,
+                sampled_by,
+                sampler_dropped_by,
             }));
         }
         tag => {
@@ -314,7 +384,7 @@ fn decode_payload(payload: &[u8]) -> io::Result<Decoded> {
 }
 
 /// Statistics returned by [`BinLogWriter::finish`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WriterStats {
     /// Events appended to the log file.
     pub events_written: u64,
@@ -322,6 +392,10 @@ pub struct WriterStats {
     pub dropped_events: u64,
     /// Per-category breakdown of those drops.
     pub dropped_by: DroppedCounts,
+    /// Events the producer-side sampler admitted (zero without a sampler).
+    pub sampled_by: CategoryCounts,
+    /// Events the producer-side sampler suppressed before the ring.
+    pub sampler_dropped_by: CategoryCounts,
 }
 
 /// Background drain thread: pops the ring and appends frames to a file.
@@ -343,7 +417,28 @@ impl BinLogWriter {
         ring: Arc<RingBuffer>,
         flush_interval: Duration,
     ) -> io::Result<BinLogWriter> {
-        let path = path.into();
+        BinLogWriter::spawn_inner(path.into(), ring, flush_interval, None)
+    }
+
+    /// Like [`BinLogWriter::spawn`], with the sampler guarding the ring's
+    /// producers (the same `Arc` handed to [`RingSink::with_sampler`]): its
+    /// exact per-category admitted/suppressed counts are stamped into the
+    /// footer on [`BinLogWriter::finish`].
+    pub fn spawn_with_sampler(
+        path: impl Into<PathBuf>,
+        ring: Arc<RingBuffer>,
+        flush_interval: Duration,
+        sampler: Arc<Sampler>,
+    ) -> io::Result<BinLogWriter> {
+        BinLogWriter::spawn_inner(path.into(), ring, flush_interval, Some(sampler))
+    }
+
+    fn spawn_inner(
+        path: PathBuf,
+        ring: Arc<RingBuffer>,
+        flush_interval: Duration,
+        sampler: Option<Arc<Sampler>>,
+    ) -> io::Result<BinLogWriter> {
         let mut file = File::create(&path)?;
         file.write_all(MAGIC)?;
         file.flush()?;
@@ -351,7 +446,7 @@ impl BinLogWriter {
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("ftsim-obs-binlog".to_string())
-            .spawn(move || drain_loop(file, ring, stop_flag, flush_interval))
+            .spawn(move || drain_loop(file, ring, stop_flag, flush_interval, sampler))
             .expect("spawn binlog drain thread");
         Ok(BinLogWriter { stop, handle })
     }
@@ -369,6 +464,7 @@ fn drain_loop(
     ring: Arc<RingBuffer>,
     stop: Arc<AtomicBool>,
     flush_interval: Duration,
+    sampler: Option<Arc<Sampler>>,
 ) -> io::Result<WriterStats> {
     let mut buf: Vec<u8> = Vec::with_capacity(64 * 1024);
     let mut written = 0u64;
@@ -401,12 +497,22 @@ fn drain_loop(
         events_written: written,
         dropped_events: ring.dropped_events(),
         dropped_by: ring.dropped_by_category(),
+        sampled_by: sampler
+            .as_ref()
+            .map(|s| s.sampled_by_category())
+            .unwrap_or_default(),
+        sampler_dropped_by: sampler
+            .as_ref()
+            .map(|s| s.dropped_by_category())
+            .unwrap_or_default(),
     };
     encode_footer(
         &Footer {
             events_written: stats.events_written,
             dropped_events: stats.dropped_events,
             dropped_by: stats.dropped_by,
+            sampled_by: stats.sampled_by,
+            sampler_dropped_by: stats.sampler_dropped_by,
         },
         &mut buf,
     );
@@ -621,8 +727,7 @@ mod tests {
             footer,
             Some(Footer {
                 events_written: 4,
-                dropped_events: 0,
-                dropped_by: DroppedCounts::default(),
+                ..Footer::default()
             })
         );
         assert!(matches!(&records[0], LogRecord::Span { name, .. } if name == "forward"));
@@ -640,18 +745,37 @@ mod tests {
                 gauges: 0,
                 histograms: 2,
             },
+            sampled_by: CategoryCounts {
+                spans: 40,
+                counters: 30,
+                gauges: 20,
+                histograms: 10,
+            },
+            sampler_dropped_by: CategoryCounts {
+                spans: 400,
+                counters: 0,
+                gauges: 0,
+                histograms: 5,
+            },
         };
         let mut buf = Vec::new();
         encode_footer(&footer, &mut buf);
         let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
-        assert_eq!(len, 49, "footer payload: tag + 2 totals + 4 categories");
+        assert_eq!(
+            len, 113,
+            "footer payload: tag + 2 totals + 3 category quads"
+        );
         let Decoded::Footer(decoded) = decode_payload(&buf[4..]).unwrap() else {
             panic!("not a footer");
         };
         assert_eq!(decoded, footer);
+        // Undercount for spans: (written + ring-dropped + sampler-dropped)
+        // / written, using the caller's span record count.
+        assert!((decoded.undercount_factor(0, 93) - 500.0 / 93.0).abs() < 1e-12);
+        assert_eq!(decoded.undercount_factor(2, 0), 1.0, "no records, no claim");
 
-        // A pre-breakdown footer (17-byte payload) still decodes, with an
-        // all-zero breakdown.
+        // A v1 footer (17-byte payload: totals only) still decodes, with
+        // all breakdowns zero.
         let mut old = Vec::new();
         old.extend_from_slice(&17u32.to_le_bytes());
         old.push(TAG_FOOTER);
@@ -663,6 +787,70 @@ mod tests {
         assert_eq!(legacy.events_written, 100);
         assert_eq!(legacy.dropped_events, 10);
         assert_eq!(legacy.dropped_by, DroppedCounts::default());
+        assert_eq!(legacy.sampled_by, CategoryCounts::default());
+        assert_eq!(legacy.sampler_dropped_by, CategoryCounts::default());
+
+        // A v2 footer (49-byte payload: totals + drop breakdown) decodes
+        // its breakdown and reports zero sampler counts.
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(&49u32.to_le_bytes());
+        v2.push(TAG_FOOTER);
+        v2.extend_from_slice(&100u64.to_le_bytes());
+        v2.extend_from_slice(&10u64.to_le_bytes());
+        for count in [7u64, 1, 0, 2] {
+            v2.extend_from_slice(&count.to_le_bytes());
+        }
+        let Decoded::Footer(mid) = decode_payload(&v2[4..]).unwrap() else {
+            panic!("not a footer");
+        };
+        assert_eq!(mid.dropped_by, footer.dropped_by);
+        assert_eq!(mid.sampled_by, CategoryCounts::default());
+        assert_eq!(mid.sampler_dropped_by, CategoryCounts::default());
+    }
+
+    #[test]
+    fn sampled_sink_thins_the_stream_and_footers_the_counts() {
+        use crate::ring::{Sampler, SamplerConfig};
+        let dir = std::env::temp_dir().join(format!("ftsim-binlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sampled.bin");
+        let ring = Arc::new(RingBuffer::with_capacity(1 << 12));
+        // Zero refill rate: 8 tokens then pure 1-in-N — deterministic
+        // regardless of wall clock.
+        let sampler = Arc::new(Sampler::new(SamplerConfig {
+            rate_per_sec: 0,
+            burst: 8,
+            max_stride: 16,
+        }));
+        let sink = RingSink::with_sampler(Arc::clone(&ring), Arc::clone(&sampler));
+        let writer = BinLogWriter::spawn_with_sampler(
+            &path,
+            Arc::clone(&ring),
+            Duration::from_millis(5),
+            Arc::clone(&sampler),
+        )
+        .unwrap();
+        for i in 0..1000u64 {
+            sink.on_counter("soak.counter", i);
+        }
+        let stats = writer.finish().unwrap();
+        let s = sampler.sampled_by_category();
+        let d = sampler.dropped_by_category();
+        assert_eq!(s.counters + d.counters, 1000, "sampler sees every event");
+        assert_eq!(
+            stats.events_written, s.counters,
+            "only admitted events land"
+        );
+        assert!(d.counters > 900, "sustained overload is thinned hard");
+        assert_eq!(stats.sampled_by, s);
+        assert_eq!(stats.sampler_dropped_by, d);
+        let (records, footer) = replay(&path).unwrap();
+        assert_eq!(records.len() as u64, stats.events_written);
+        let footer = footer.unwrap();
+        assert_eq!(footer.sampled_by, s);
+        assert_eq!(footer.sampler_dropped_by, d);
+        assert!(footer.undercount_factor(1, records.len() as u64) > 10.0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

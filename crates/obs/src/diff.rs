@@ -1,12 +1,16 @@
 //! Metrics regression gate: compare two registry [`Snapshot`]s.
 //!
-//! [`compare`] walks every counter, gauge, and histogram (count + mean) in
-//! a baseline and a current snapshot and classifies each metric by the
+//! [`compare`] walks every counter, gauge, histogram, and quantile sketch
+//! in a baseline and a current snapshot and classifies each metric by the
 //! *symmetric relative difference* `|cur − base| / max(|base|, |cur|)`
-//! against a configurable threshold. The result renders as a human-readable
-//! report and answers [`DiffReport::has_regressions`], which is what
-//! `repro obs-diff` turns into its exit code (and CI into a gate against a
-//! checked-in baseline).
+//! against a configurable threshold. Distributions (histograms and
+//! sketches) contribute four derived entries each — `<name>.count`,
+//! `<name>.mean`, `<name>.p50`, `<name>.p99` — so the gate catches tail
+//! regressions, and the substring ignore list composes naturally into
+//! per-percentile exemptions (`--ignore .p99`, `--ignore lat.p50`). The
+//! result renders as a human-readable report and answers
+//! [`DiffReport::has_regressions`], which is what `repro obs-diff` turns
+//! into its exit code (and CI into a gate against a checked-in baseline).
 //!
 //! Policy choices, made for a *simulated* workload with some wall-clock
 //! metrics mixed in:
@@ -58,9 +62,10 @@ impl Status {
 /// One compared metric.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Entry {
-    /// Metric name; histograms contribute `<name>.count` and `<name>.mean`.
+    /// Metric name; histograms and sketches contribute `<name>.count`,
+    /// `<name>.mean`, `<name>.p50`, and `<name>.p99`.
     pub name: String,
-    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    /// `"counter"`, `"gauge"`, `"histogram"`, or `"sketch"`.
     pub kind: &'static str,
     /// Baseline value (`None` for [`Status::Added`]).
     pub baseline: Option<f64>,
@@ -235,8 +240,11 @@ pub fn compare(baseline: &Snapshot, current: &Snapshot, config: &DiffConfig) -> 
         }
     }
 
-    // Histograms compare by count and mean — bucket-exact comparison would
-    // make the gate flaky under any timing or float jitter.
+    // Distributions compare by derived statistics — bucket-exact comparison
+    // would make the gate flaky under any timing or float jitter. Count and
+    // mean are exact; p50/p99 are bucket-bound estimates for histograms and
+    // α-bounded for sketches, and the `.p50`/`.p99` entry names make
+    // per-percentile ignores a plain substring match.
     for (name, b) in &baseline.histograms {
         let cur = current.histograms.get(name);
         push(
@@ -251,6 +259,18 @@ pub fn compare(baseline: &Snapshot, current: &Snapshot, config: &DiffConfig) -> 
             Some(b.mean()),
             cur.map(|h| h.mean()),
         );
+        push(
+            format!("{name}.p50"),
+            "histogram",
+            Some(b.quantile(0.50)),
+            cur.map(|h| h.quantile(0.50)),
+        );
+        push(
+            format!("{name}.p99"),
+            "histogram",
+            Some(b.quantile(0.99)),
+            cur.map(|h| h.quantile(0.99)),
+        );
     }
     for (name, c) in &current.histograms {
         if !baseline.histograms.contains_key(name) {
@@ -261,6 +281,69 @@ pub fn compare(baseline: &Snapshot, current: &Snapshot, config: &DiffConfig) -> 
                 Some(c.count as f64),
             );
             push(format!("{name}.mean"), "histogram", None, Some(c.mean()));
+            push(
+                format!("{name}.p50"),
+                "histogram",
+                None,
+                Some(c.quantile(0.50)),
+            );
+            push(
+                format!("{name}.p99"),
+                "histogram",
+                None,
+                Some(c.quantile(0.99)),
+            );
+        }
+    }
+
+    for (name, b) in &baseline.sketches {
+        let cur = current.sketches.get(name);
+        push(
+            format!("{name}.count"),
+            "sketch",
+            Some(b.count() as f64),
+            cur.map(|s| s.count() as f64),
+        );
+        push(
+            format!("{name}.mean"),
+            "sketch",
+            Some(b.mean()),
+            cur.map(|s| s.mean()),
+        );
+        push(
+            format!("{name}.p50"),
+            "sketch",
+            Some(b.quantile(0.50)),
+            cur.map(|s| s.quantile(0.50)),
+        );
+        push(
+            format!("{name}.p99"),
+            "sketch",
+            Some(b.quantile(0.99)),
+            cur.map(|s| s.quantile(0.99)),
+        );
+    }
+    for (name, c) in &current.sketches {
+        if !baseline.sketches.contains_key(name) {
+            push(
+                format!("{name}.count"),
+                "sketch",
+                None,
+                Some(c.count() as f64),
+            );
+            push(format!("{name}.mean"), "sketch", None, Some(c.mean()));
+            push(
+                format!("{name}.p50"),
+                "sketch",
+                None,
+                Some(c.quantile(0.50)),
+            );
+            push(
+                format!("{name}.p99"),
+                "sketch",
+                None,
+                Some(c.quantile(0.99)),
+            );
         }
     }
 
@@ -281,6 +364,7 @@ mod tests {
             counters: counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             gauges: gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             histograms: Default::default(),
+            sketches: Default::default(),
         }
     }
 
@@ -366,7 +450,89 @@ mod tests {
         cur.histograms.insert("lat".to_string(), hist(10, 51.0));
         let report = compare(&base, &cur, &DiffConfig::default());
         assert!(!report.has_regressions());
-        assert!(report.entries.iter().any(|e| e.name == "lat.count"));
-        assert!(report.entries.iter().any(|e| e.name == "lat.mean"));
+        for suffix in [".count", ".mean", ".p50", ".p99"] {
+            assert!(
+                report
+                    .entries
+                    .iter()
+                    .any(|e| e.name == format!("lat{suffix}")),
+                "missing lat{suffix}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_tail_shift_is_caught_by_p99() {
+        // Same count, nearly same mean, but the tail moves a bucket: only
+        // the p99 entry regresses.
+        let hist = |tail_bucket: usize| {
+            let mut buckets = vec![98, 0, 0, 0];
+            buckets[tail_bucket] += 2;
+            HistogramSnapshot {
+                bounds: vec![1.0, 10.0, 100.0],
+                buckets,
+                count: 100,
+                sum: 100.0,
+            }
+        };
+        let mut base = snap(&[], &[]);
+        base.histograms.insert("lat".to_string(), hist(1));
+        let mut cur = snap(&[], &[]);
+        cur.histograms.insert("lat".to_string(), hist(2));
+        let cfg = DiffConfig {
+            threshold: 0.25,
+            ignore: Vec::new(),
+        };
+        let report = compare(&base, &cur, &cfg);
+        let by_name = |n: &str| report.entries.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by_name("lat.count").status, Status::Ok);
+        assert_eq!(by_name("lat.mean").status, Status::Ok);
+        assert_eq!(by_name("lat.p50").status, Status::Ok);
+        assert_eq!(by_name("lat.p99").status, Status::Regressed);
+
+        // Per-percentile ignore is a plain substring match on the entry
+        // name: exempt the tail without loosening anything else.
+        let cfg = DiffConfig {
+            threshold: 0.25,
+            ignore: vec!["lat.p99".to_string()],
+        };
+        assert!(!compare(&base, &cur, &cfg).has_regressions());
+    }
+
+    #[test]
+    fn sketches_compare_percentiles_and_missing_fails() {
+        use crate::sketch::{QuantileSketch, SketchConfig};
+        let sketch = |tail: f64| {
+            let mut s = QuantileSketch::new(SketchConfig::default());
+            for _ in 0..98 {
+                s.record(100.0);
+            }
+            s.record(tail);
+            s.record(tail);
+            s
+        };
+        let mut base = snap(&[], &[]);
+        base.sketches
+            .insert("serve.latency_us".to_string(), sketch(120.0));
+        let mut cur = snap(&[], &[]);
+        cur.sketches
+            .insert("serve.latency_us".to_string(), sketch(9000.0));
+        let report = compare(&base, &cur, &DiffConfig::default());
+        let by_name = |n: &str| report.entries.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by_name("serve.latency_us.count").status, Status::Ok);
+        assert_eq!(by_name("serve.latency_us.p50").status, Status::Ok);
+        assert_eq!(by_name("serve.latency_us.p99").status, Status::Regressed);
+        assert_eq!(by_name("serve.latency_us.p99").kind, "sketch");
+
+        // A sketch present only in the baseline is a regression; one only
+        // in the current snapshot is informational.
+        let report = compare(&base, &snap(&[], &[]), &DiffConfig::default());
+        assert_eq!(report.regression_count(), 4, "all four entries missing");
+        let report = compare(&snap(&[], &[]), &cur, &DiffConfig::default());
+        assert!(!report.has_regressions());
+        assert!(report
+            .entries
+            .iter()
+            .all(|e| e.status == Status::Added && e.kind == "sketch"));
     }
 }

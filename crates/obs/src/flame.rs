@@ -13,10 +13,21 @@
 //! frame, everything else (wall-clock harness spans) under `ftsim`. That
 //! keeps modeled GPU nanoseconds and real host nanoseconds from summing
 //! into one meaningless flame.
+//!
+//! # Honesty under sampling
+//!
+//! When the event log was thinned — ring overflow drops or the
+//! producer-side sampler ([`crate::ring::Sampler`]) — the flame is built
+//! from a *subset* of the real spans. [`collapse_annotated`] reads the
+//! footer's exact per-category loss counts and suffixes every stack with
+//! `_(~Nx_undercounted)` (the span category's
+//! [`Footer::undercount_factor`]), so a thinned flamegraph can never be
+//! mistaken for a complete one. The suffix is underscore-joined to stay
+//! `flamegraph.pl`-compatible.
 
 use std::collections::BTreeMap;
 
-use crate::binlog::LogRecord;
+use crate::binlog::{Footer, LogRecord};
 
 /// Root frame for the profiler's simulated device timeline.
 pub const GPU_ROOT: &str = "gpu";
@@ -80,6 +91,35 @@ struct Open {
 
 /// `(cat, name, ts_ns, dur_ns, depth)` of one replayed span.
 type SpanTuple<'a> = (&'a str, &'a str, u64, u64, u32);
+
+/// Builds a [`FlameGraph`] from replayed records and the log's footer,
+/// annotating for losses: when the footer says span events were dropped
+/// (ring overflow) or suppressed (sampler), every stack path gains a
+/// `_(~Nx_undercounted)` suffix with `N` the span undercount factor — the
+/// flame's proportions are still meaningful (sampling is category-uniform)
+/// but its absolute nanoseconds undercount reality by that factor.
+pub fn collapse_annotated(records: &[LogRecord], footer: Option<&Footer>) -> FlameGraph {
+    let graph = collapse(records);
+    let Some(footer) = footer else {
+        return graph;
+    };
+    let span_records = records
+        .iter()
+        .filter(|r| matches!(r, LogRecord::Span { .. }))
+        .count() as u64;
+    let factor = footer.undercount_factor(0, span_records);
+    if factor <= 1.0 {
+        return graph;
+    }
+    let suffix = format!("_(~{:.1}x_undercounted)", factor);
+    FlameGraph {
+        stacks: graph
+            .stacks
+            .into_iter()
+            .map(|(path, ns)| (format!("{path}{suffix}"), ns))
+            .collect(),
+    }
+}
 
 /// Builds a [`FlameGraph`] from replayed records (non-span records are
 /// ignored).
@@ -217,6 +257,56 @@ mod tests {
         ];
         let g = collapse(&records);
         assert_eq!(g.stacks()["ftsim;work"], 12);
+    }
+
+    #[test]
+    fn annotation_marks_undercounted_flames_and_leaves_clean_ones() {
+        use crate::ring::DroppedCounts;
+        let records = vec![span(SIM_GPU_CAT, "kernel", 0, 50, 0, 0)];
+        // Clean footer (or none): paths unchanged.
+        let clean = Footer {
+            events_written: 1,
+            ..Footer::default()
+        };
+        let g = collapse_annotated(&records, Some(&clean));
+        assert!(g.stacks().contains_key("gpu;kernel"));
+        assert_eq!(g, collapse_annotated(&records, None));
+
+        // 1 span written, 1 ring-dropped + 2 sampler-suppressed: each
+        // logged span stands for ~4 real ones.
+        let lossy = Footer {
+            events_written: 1,
+            dropped_events: 1,
+            dropped_by: DroppedCounts {
+                spans: 1,
+                ..DroppedCounts::default()
+            },
+            sampler_dropped_by: DroppedCounts {
+                spans: 2,
+                ..DroppedCounts::default()
+            },
+            ..Footer::default()
+        };
+        let g = collapse_annotated(&records, Some(&lossy));
+        let path = "gpu;kernel_(~4.0x_undercounted)";
+        assert_eq!(g.stacks().get(path), Some(&50));
+        // Still flamegraph.pl-parseable: no spaces or semicolons added.
+        let out = g.to_collapsed();
+        let (stack, count) = out.trim_end().rsplit_once(' ').unwrap();
+        assert_eq!(count.parse::<u64>().unwrap(), 50);
+        assert_eq!(stack.split(';').count(), 2);
+
+        // Losses in other categories don't tag span stacks.
+        let counter_losses = Footer {
+            events_written: 1,
+            dropped_by: DroppedCounts {
+                counters: 10,
+                ..DroppedCounts::default()
+            },
+            ..Footer::default()
+        };
+        let g = collapse_annotated(&records, Some(&counter_losses));
+        assert!(g.stacks().contains_key("gpu;kernel"));
     }
 
     #[test]

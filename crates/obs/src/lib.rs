@@ -42,7 +42,10 @@ pub mod flame;
 pub mod metrics;
 pub mod ring;
 pub mod sink;
+pub mod sketch;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 pub mod tree;
 
 pub use binlog::{replay, BinLogWriter, Footer, LogReader, LogRecord, RingSink, WriterStats};
@@ -50,9 +53,15 @@ pub use chrome::ChromeTrace;
 pub use diff::{compare, DiffConfig, DiffReport};
 pub use flame::{collapse, FlameGraph};
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry, Snapshot};
-pub use ring::{DroppedCounts, RingBuffer, RingEvent};
+pub use ring::{CategoryCounts, DroppedCounts, RingBuffer, RingEvent, Sampler, SamplerConfig};
 pub use sink::{clear_sink, set_sink, ObsSink};
+pub use sketch::{QuantileSketch, Sketch, SketchConfig};
+pub use slo::{SloSpec, SloStatus};
 pub use span::{drain_events, emit_span, span, span_lazy, Event, SpanGuard};
+pub use timeseries::{
+    default_windows, timeseries, SeriesHandle, TimeSeriesRegistry, WindowSpec, WindowStats,
+    WindowedSeries,
+};
 pub use tree::SpanTree;
 
 #[cfg(feature = "enabled")]
@@ -91,10 +100,12 @@ pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
-/// Clears all recorded spans and all registered metric values.
+/// Clears all recorded spans, all registered metric values, and all
+/// windowed time-series.
 pub fn reset() {
     span::clear_events();
     metrics::registry().reset();
+    timeseries::timeseries().reset();
 }
 
 /// Serializes unit tests that toggle the process-global enable flag.

@@ -1,11 +1,19 @@
-//! Global metrics registry: named counters, gauges, and fixed-bucket
-//! histograms.
+//! Global metrics registry: named counters, gauges, fixed-bucket
+//! histograms, and quantile sketches.
 //!
 //! Metrics are created on first use and live for the process. The cheap way
 //! to update a hot metric is to hold a handle ([`Counter`], [`Gauge`],
-//! [`Histogram`]) — updates through a handle are lock-free atomic ops. The
-//! name-based free functions ([`Registry::counter_add`] etc.) look the handle
-//! up under a registry lock each call and are meant for cold paths.
+//! [`Histogram`], [`Sketch`]) — updates through a handle are lock-free
+//! atomic ops. The name-based free functions ([`Registry::counter_add`]
+//! etc.) look the handle up under a registry lock each call and are meant
+//! for cold paths.
+//!
+//! Histograms and sketches both record value distributions; the split is
+//! deliberate: histograms have caller-chosen coarse bounds (cheap, good for
+//! shapes like "fraction under 1ms"), while sketches ([`crate::sketch`])
+//! answer arbitrary quantiles with a bounded relative error and merge
+//! exactly — latency metrics that feed percentile gates or SLOs belong in
+//! sketches.
 //!
 //! [`Registry::snapshot`] captures all current values; [`Snapshot::diff`]
 //! subtracts an earlier snapshot (counters and histogram buckets subtract,
@@ -17,6 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::sink;
+use crate::sketch::{QuantileSketch, Sketch, SketchConfig};
 
 /// The process-global registry.
 pub fn registry() -> &'static Registry {
@@ -138,6 +147,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    sketches: Mutex<BTreeMap<String, Sketch>>,
 }
 
 impl Registry {
@@ -187,6 +197,35 @@ impl Registry {
                 h
             }
         }
+    }
+
+    /// Returns (creating if needed) the quantile sketch named `name`.
+    /// Sketches use the process-wide default [`SketchConfig`] (1% relative
+    /// error over the µs latency range) so any two sketches merge; the
+    /// scheme is fixed at creation.
+    pub fn sketch(&self, name: &str) -> Sketch {
+        let mut map = self.sketches.lock().expect("sketch map");
+        match map.get(name) {
+            Some(s) => s.clone(),
+            None => {
+                let s = Sketch::new(SketchConfig::default());
+                map.insert(name.to_string(), s.clone());
+                s
+            }
+        }
+    }
+
+    /// Cold-path convenience: record into a sketch by name, creating it on
+    /// first use (unlike histograms, sketches need no per-metric bounds).
+    /// Forwards to the installed sink as a histogram-sample event, so the
+    /// binlog/follow pipeline sees sketch samples without a new wire tag.
+    #[inline]
+    pub fn sketch_record(&self, name: &str, value: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.sketch(name).record(value);
+        sink::forward_histogram(name, value);
     }
 
     /// Cold-path convenience: add to a counter by name (and forward to the
@@ -255,6 +294,13 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+            sketches: self
+                .sketches
+                .lock()
+                .expect("sketch map")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
         }
     }
 
@@ -272,6 +318,9 @@ impl Registry {
             }
             h.0.count.store(0, Ordering::Relaxed);
             h.0.sum_bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+        }
+        for s in self.sketches.lock().expect("sketch map").values() {
+            s.reset();
         }
     }
 }
@@ -298,6 +347,27 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Bucket-resolution `q`-quantile estimate: the upper bound of the
+    /// bucket holding the rank-`max(1, ⌈q·n⌉)` sample, saturating at the
+    /// last finite bound when the rank falls in the overflow bucket (the
+    /// fixed-bucket scheme cannot say more — latency metrics needing real
+    /// tail accuracy use [`QuantileSketch`] instead). 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return self.bounds[i.min(self.bounds.len() - 1)];
+            }
+        }
+        *self.bounds.last().expect("non-empty bounds")
+    }
 }
 
 /// Point-in-time copy of the whole registry.
@@ -309,6 +379,9 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram state keyed by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Quantile-sketch state keyed by name (empty for snapshots parsed from
+    /// files written before sketches existed).
+    pub sketches: BTreeMap<String, QuantileSketch>,
 }
 
 impl Snapshot {
@@ -341,15 +414,30 @@ impl Snapshot {
                 (k.clone(), h)
             })
             .collect();
+        let sketches = self
+            .sketches
+            .iter()
+            .map(|(k, s)| {
+                let s = match earlier.sketches.get(k) {
+                    Some(before) => s.diff(before),
+                    None => s.clone(),
+                };
+                (k.clone(), s)
+            })
+            .collect();
         Snapshot {
             counters,
             gauges: self.gauges.clone(),
             histograms,
+            sketches,
         }
     }
 
     /// Renders the snapshot as a compact JSON object:
-    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    /// `{"counters":{...},"gauges":{...},"histograms":{...},"sketches":{...}}`.
+    /// Sketches serialize sparsely (`"buckets"` maps non-empty bucket index
+    /// to count) plus the exact `count`/`sum`/`min`/`max` and the bucket
+    /// scheme, so a parsed snapshot answers the same quantiles.
     pub fn to_json_string(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"counters\":{");
@@ -395,6 +483,39 @@ impl Snapshot {
             out.push_str(",\"sum\":");
             out.push_str(&crate::chrome::format_json_f64(h.sum));
             out.push('}');
+        }
+        out.push_str("},\"sketches\":{");
+        for (i, (k, s)) in self.sketches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::chrome::write_json_string(&mut out, k);
+            let config = s.config();
+            out.push_str(":{\"alpha\":");
+            out.push_str(&crate::chrome::format_json_f64(config.alpha));
+            out.push_str(",\"min_value\":");
+            out.push_str(&crate::chrome::format_json_f64(config.min_value));
+            out.push_str(",\"max_value\":");
+            out.push_str(&crate::chrome::format_json_f64(config.max_value));
+            out.push_str(",\"count\":");
+            out.push_str(&s.count().to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&crate::chrome::format_json_f64(s.sum()));
+            out.push_str(",\"min\":");
+            out.push_str(&crate::chrome::format_json_f64(s.min()));
+            out.push_str(",\"max\":");
+            out.push_str(&crate::chrome::format_json_f64(s.max()));
+            out.push_str(",\"buckets\":{");
+            for (j, (index, n)) in s.nonzero_buckets().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&index.to_string());
+                out.push_str("\":");
+                out.push_str(&n.to_string());
+            }
+            out.push_str("}}");
         }
         out.push_str("}}");
         out
@@ -470,6 +591,51 @@ mod tests {
         assert!(pos("m.mid") < pos("z.last"));
         assert!(pos("g.a") < pos("g.b"));
         assert!(pos("h.one") < pos("h.two"));
+    }
+
+    #[test]
+    fn sketches_register_record_and_diff() {
+        let _g = test_lock();
+        crate::enable();
+        let s = registry().sketch("test.metrics.sketch");
+        s.reset();
+        let before = registry().snapshot();
+        // Name-based recording creates nothing new (same handle) and
+        // forwards like a histogram sample.
+        registry().sketch_record("test.metrics.sketch", 100.0);
+        registry().sketch_record("test.metrics.sketch", 200.0);
+        crate::disable();
+        let after = registry().snapshot();
+        let d = after.diff(&before);
+        let ds = &d.sketches["test.metrics.sketch"];
+        assert_eq!(ds.count(), 2);
+        assert!((ds.sum() - 300.0).abs() < 1e-9);
+        assert!((ds.quantile(0.5) - 100.0).abs() <= 100.0 * 0.01 + 1e-9);
+        let json = after.to_json_string();
+        assert!(json.contains("\"sketches\":{\"test.metrics.sketch\":{\"alpha\":0.01"));
+        assert!(json.contains("\"count\":2"));
+
+        // Quantile estimates from a histogram snapshot saturate at the
+        // bucket bounds.
+        let h = HistogramSnapshot {
+            bounds: vec![1.0, 10.0],
+            buckets: vec![5, 4, 1],
+            count: 10,
+            sum: 20.0,
+        };
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(0.9), 10.0);
+        assert_eq!(h.quantile(1.0), 10.0, "overflow saturates at last bound");
+        assert_eq!(
+            HistogramSnapshot {
+                bounds: vec![],
+                buckets: vec![],
+                count: 0,
+                sum: 0.0
+            }
+            .quantile(0.5),
+            0.0
+        );
     }
 
     #[test]

@@ -1,0 +1,488 @@
+//! Windowed time-series engine: "p50/p99/qps over the last N seconds".
+//!
+//! A [`WindowedSeries`] keeps, per configured window (default 1s/10s/60s —
+//! [`default_windows`]), a ring of slot-aligned [`QuantileSketch`]es. A
+//! sample recorded at time `t` lands in the slot covering `t` in every
+//! window's ring; a query at time `now` merges the slots still inside
+//! `(now − window, now]` — merge is exact (see [`crate::sketch`]), so the
+//! windowed percentiles are as good as the sketch's `α` bound. Stale slots
+//! are recycled lazily on the next write that lands on them, so there is no
+//! background roller thread and no timer: the engine is driven entirely by
+//! record/query calls, which is what makes it deterministic under test.
+//!
+//! Time is explicit: the core API takes `t_ns` (nanoseconds on any
+//! monotonic axis — tests pass synthetic clocks, production code uses
+//! [`now_ns`], nanoseconds since the process-wide epoch). A cumulative
+//! sketch sits beside the rings so "since process start" stays available
+//! after every window has rolled.
+//!
+//! [`TimeSeriesRegistry`] (via [`timeseries()`]) is the process-global map
+//! of named series, and renders the whole set as a deterministic
+//! Prometheus-style text exposition: series sorted by name, windows in
+//! configuration order, quantiles ascending — byte-stable names and label
+//! sets for a given registry state.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::sketch::{QuantileSketch, SketchConfig};
+
+/// One rolling window: `slots` ring slots of `slot_ns` each, so the window
+/// spans `slots · slot_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Label used in queries and the exposition (e.g. `"10s"`).
+    pub name: &'static str,
+    /// Width of one ring slot in nanoseconds.
+    pub slot_ns: u64,
+    /// Number of slots in the ring.
+    pub slots: usize,
+}
+
+impl WindowSpec {
+    /// Total window span in nanoseconds.
+    pub fn span_ns(&self) -> u64 {
+        self.slot_ns * self.slots as u64
+    }
+}
+
+/// The standard window set: 1s (10×100ms), 10s (10×1s), 60s (12×5s).
+pub fn default_windows() -> Vec<WindowSpec> {
+    vec![
+        WindowSpec {
+            name: "1s",
+            slot_ns: 100_000_000,
+            slots: 10,
+        },
+        WindowSpec {
+            name: "10s",
+            slot_ns: 1_000_000_000,
+            slots: 10,
+        },
+        WindowSpec {
+            name: "60s",
+            slot_ns: 5_000_000_000,
+            slots: 12,
+        },
+    ]
+}
+
+/// Aggregates answered for one window (or the cumulative series).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Window label (`"total"` for the cumulative series).
+    pub window: String,
+    /// Samples inside the window.
+    pub count: u64,
+    /// Samples per second: `count / window span`. For `"total"`, count over
+    /// elapsed time since the first recorded sample.
+    pub rate_per_sec: f64,
+    /// Exact mean of the windowed samples.
+    pub mean: f64,
+    /// Sketch p50 (α-bounded relative error).
+    pub p50: f64,
+    /// Sketch p90.
+    pub p90: f64,
+    /// Sketch p99.
+    pub p99: f64,
+    /// Exact largest sample in the window.
+    pub max: f64,
+}
+
+impl WindowStats {
+    fn from_sketch(window: &str, sketch: &QuantileSketch, span_secs: f64) -> WindowStats {
+        WindowStats {
+            window: window.to_string(),
+            count: sketch.count(),
+            rate_per_sec: if span_secs > 0.0 {
+                sketch.count() as f64 / span_secs
+            } else {
+                0.0
+            },
+            mean: sketch.mean(),
+            p50: sketch.quantile(0.50),
+            p90: sketch.quantile(0.90),
+            p99: sketch.quantile(0.99),
+            max: sketch.max(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Ring {
+    spec: WindowSpec,
+    /// `slots[i]` holds samples for the aligned slot starting at `starts[i]`;
+    /// a slot is live iff `starts[i]` is within the window at query time.
+    starts: Vec<u64>,
+    slots: Vec<QuantileSketch>,
+}
+
+impl Ring {
+    fn new(spec: WindowSpec, config: SketchConfig) -> Ring {
+        Ring {
+            spec,
+            starts: vec![u64::MAX; spec.slots],
+            slots: (0..spec.slots)
+                .map(|_| QuantileSketch::new(config))
+                .collect(),
+        }
+    }
+
+    fn record_at(&mut self, t_ns: u64, value: f64) {
+        let aligned = t_ns - t_ns % self.spec.slot_ns;
+        let idx = (t_ns / self.spec.slot_ns) as usize % self.spec.slots;
+        if self.starts[idx] != aligned {
+            // Lazy recycle: this slot last held an older (or future, if the
+            // clock was synthetic and moved backwards) slot's samples.
+            self.slots[idx].reset();
+            self.starts[idx] = aligned;
+        }
+        self.slots[idx].record(value);
+    }
+
+    /// Merge of every slot still inside `(now − span, now]`.
+    fn merged_at(&self, now_ns: u64, config: SketchConfig) -> QuantileSketch {
+        let mut out = QuantileSketch::new(config);
+        let oldest = now_ns.saturating_sub(self.spec.span_ns());
+        for (i, slot) in self.slots.iter().enumerate() {
+            let start = self.starts[i];
+            if start != u64::MAX && start >= oldest && start <= now_ns {
+                out.merge(slot);
+            }
+        }
+        out
+    }
+}
+
+/// A named series of rolling windows plus a cumulative sketch.
+#[derive(Debug, Clone)]
+pub struct WindowedSeries {
+    config: SketchConfig,
+    rings: Vec<Ring>,
+    total: QuantileSketch,
+    first_t_ns: Option<u64>,
+    last_t_ns: u64,
+}
+
+impl WindowedSeries {
+    /// A series over `windows` with `config`'s sketch scheme.
+    pub fn new(config: SketchConfig, windows: &[WindowSpec]) -> WindowedSeries {
+        WindowedSeries {
+            config,
+            rings: windows.iter().map(|&w| Ring::new(w, config)).collect(),
+            total: QuantileSketch::new(config),
+            first_t_ns: None,
+            last_t_ns: 0,
+        }
+    }
+
+    /// A series over [`default_windows`] with the default sketch config.
+    pub fn with_defaults() -> WindowedSeries {
+        WindowedSeries::new(SketchConfig::default(), &default_windows())
+    }
+
+    /// Records `value` at explicit time `t_ns`.
+    pub fn record_at(&mut self, t_ns: u64, value: f64) {
+        for ring in &mut self.rings {
+            ring.record_at(t_ns, value);
+        }
+        self.total.record(value);
+        if self.first_t_ns.is_none() {
+            self.first_t_ns = Some(t_ns);
+        }
+        self.last_t_ns = self.last_t_ns.max(t_ns);
+    }
+
+    /// The configured window labels, in configuration order.
+    pub fn window_names(&self) -> Vec<&'static str> {
+        self.rings.iter().map(|r| r.spec.name).collect()
+    }
+
+    /// Merged sketch for the window named `window` as of `now_ns`, or `None`
+    /// for an unknown label.
+    pub fn window_sketch_at(&self, window: &str, now_ns: u64) -> Option<QuantileSketch> {
+        self.rings
+            .iter()
+            .find(|r| r.spec.name == window)
+            .map(|r| r.merged_at(now_ns, self.config))
+    }
+
+    /// Stats for the window named `window` as of `now_ns`.
+    pub fn stats_at(&self, window: &str, now_ns: u64) -> Option<WindowStats> {
+        let ring = self.rings.iter().find(|r| r.spec.name == window)?;
+        let sketch = ring.merged_at(now_ns, self.config);
+        let span_secs = ring.spec.span_ns() as f64 / 1e9;
+        Some(WindowStats::from_sketch(window, &sketch, span_secs))
+    }
+
+    /// Cumulative stats since the first recorded sample (rate over the
+    /// observed `[first, max(now, last)]` span).
+    pub fn total_stats_at(&self, now_ns: u64) -> WindowStats {
+        let span_secs = match self.first_t_ns {
+            Some(first) => (now_ns.max(self.last_t_ns).saturating_sub(first)) as f64 / 1e9,
+            None => 0.0,
+        };
+        WindowStats::from_sketch("total", &self.total, span_secs)
+    }
+
+    /// The cumulative sketch (exact merge of everything ever recorded).
+    pub fn total_sketch(&self) -> &QuantileSketch {
+        &self.total
+    }
+
+    /// Clears all windows and the cumulative sketch.
+    pub fn reset(&mut self) {
+        for ring in &mut self.rings {
+            for slot in &mut ring.slots {
+                slot.reset();
+            }
+            ring.starts.iter_mut().for_each(|s| *s = u64::MAX);
+        }
+        self.total.reset();
+        self.first_t_ns = None;
+        self.last_t_ns = 0;
+    }
+}
+
+/// Shared handle to a registered [`WindowedSeries`].
+#[derive(Clone)]
+pub struct SeriesHandle(Arc<Mutex<WindowedSeries>>);
+
+impl SeriesHandle {
+    /// Records `value` now (process-epoch clock). Gated on
+    /// [`crate::enabled`].
+    #[inline]
+    pub fn record(&self, value: f64) {
+        if crate::enabled() {
+            self.record_at(now_ns(), value);
+        }
+    }
+
+    /// Records `value` at explicit `t_ns` (tests; not gated).
+    pub fn record_at(&self, t_ns: u64, value: f64) {
+        self.0.lock().expect("series").record_at(t_ns, value);
+    }
+
+    /// Runs `f` with the underlying series.
+    pub fn with<R>(&self, f: impl FnOnce(&WindowedSeries) -> R) -> R {
+        f(&self.0.lock().expect("series"))
+    }
+
+    /// Stats for `window` as of the process-epoch clock.
+    pub fn stats(&self, window: &str) -> Option<WindowStats> {
+        self.with(|s| s.stats_at(window, now_ns()))
+    }
+}
+
+/// Nanoseconds since the process-wide monotonic epoch (first use).
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Process-global registry of named windowed series.
+#[derive(Default)]
+pub struct TimeSeriesRegistry {
+    series: Mutex<BTreeMap<String, SeriesHandle>>,
+}
+
+/// The process-global time-series registry.
+pub fn timeseries() -> &'static TimeSeriesRegistry {
+    static REGISTRY: OnceLock<TimeSeriesRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(TimeSeriesRegistry::default)
+}
+
+impl TimeSeriesRegistry {
+    /// Returns (creating with defaults if needed) the series named `name`.
+    pub fn series(&self, name: &str) -> SeriesHandle {
+        let mut map = self.series.lock().expect("series map");
+        match map.get(name) {
+            Some(s) => s.clone(),
+            None => {
+                let s = SeriesHandle(Arc::new(Mutex::new(WindowedSeries::with_defaults())));
+                map.insert(name.to_string(), s.clone());
+                s
+            }
+        }
+    }
+
+    /// Looks a series up without creating it.
+    pub fn get(&self, name: &str) -> Option<SeriesHandle> {
+        self.series.lock().expect("series map").get(name).cloned()
+    }
+
+    /// Clears every registered series (handles stay valid).
+    pub fn reset(&self) {
+        for s in self.series.lock().expect("series map").values() {
+            s.0.lock().expect("series").reset();
+        }
+    }
+
+    /// Renders every series as Prometheus-style text as of `now_ns`.
+    ///
+    /// Layout (byte-stable for a fixed registry state): series sorted by
+    /// name, one `# TYPE <name> summary` header each, then per window (in
+    /// configuration order, `total` last) quantile samples ascending plus
+    /// `_count` and `_rate` lines. Metric names are the series names with
+    /// `.` and `-` mapped to `_` — the label sets and line order never
+    /// depend on thread schedules or map iteration quirks.
+    pub fn render_into(&self, out: &mut String, now_ns: u64) {
+        let map = self.series.lock().expect("series map");
+        for (name, handle) in map.iter() {
+            let metric = prometheus_name(name);
+            out.push_str("# TYPE ");
+            out.push_str(&metric);
+            out.push_str(" summary\n");
+            let series = handle.0.lock().expect("series");
+            let mut stats: Vec<WindowStats> = series
+                .window_names()
+                .iter()
+                .filter_map(|w| series.stats_at(w, now_ns))
+                .collect();
+            stats.push(series.total_stats_at(now_ns));
+            for s in &stats {
+                for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+                    out.push_str(&metric);
+                    out.push_str("{window=\"");
+                    out.push_str(&s.window);
+                    out.push_str("\",quantile=\"");
+                    out.push_str(q);
+                    out.push_str("\"} ");
+                    out.push_str(&crate::chrome::format_json_f64(v));
+                    out.push('\n');
+                }
+                out.push_str(&metric);
+                out.push_str("_count{window=\"");
+                out.push_str(&s.window);
+                out.push_str("\"} ");
+                out.push_str(&s.count.to_string());
+                out.push('\n');
+                out.push_str(&metric);
+                out.push_str("_rate{window=\"");
+                out.push_str(&s.window);
+                out.push_str("\"} ");
+                out.push_str(&crate::chrome::format_json_f64(s.rate_per_sec));
+                out.push('\n');
+            }
+        }
+    }
+}
+
+/// Maps a series name to a Prometheus-safe metric name (`.`/`-` → `_`).
+pub fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn windows_roll_and_cumulative_persists() {
+        let mut s = WindowedSeries::with_defaults();
+        // 5 samples in second 0, 3 in second 30.
+        for i in 0..5 {
+            s.record_at(i * 100_000_000, 10.0);
+        }
+        for i in 0..3 {
+            s.record_at(30 * SEC + i * 1000, 500.0);
+        }
+        // At t=30.5s: the 1s and 10s windows only see the late burst.
+        let t = 30 * SEC + SEC / 2;
+        assert_eq!(s.stats_at("1s", t).unwrap().count, 3);
+        assert_eq!(s.stats_at("10s", t).unwrap().count, 3);
+        // The 60s window still sees everything.
+        assert_eq!(s.stats_at("60s", t).unwrap().count, 8);
+        // At t=120s every window is empty but the total remains.
+        let late = 120 * SEC;
+        assert_eq!(s.stats_at("60s", late).unwrap().count, 0);
+        let total = s.total_stats_at(late);
+        assert_eq!(total.count, 8);
+        assert!(total.rate_per_sec > 0.0);
+        assert_eq!(total.window, "total");
+        assert!(s.stats_at("nope", t).is_none());
+    }
+
+    #[test]
+    fn windowed_percentiles_match_a_direct_sketch() {
+        let mut s = WindowedSeries::with_defaults();
+        let mut direct = QuantileSketch::new(SketchConfig::default());
+        // Spread across slots of the 10s window, all inside it.
+        for i in 0..100u64 {
+            let v = 1.0 + i as f64;
+            s.record_at(50 * SEC + i * 90_000_000, v);
+            direct.record(v);
+        }
+        let now = 59 * SEC;
+        let merged = s.window_sketch_at("10s", now).unwrap();
+        assert_eq!(merged.count(), 100);
+        assert_eq!(merged.quantile(0.5), direct.quantile(0.5));
+        assert_eq!(merged.quantile(0.99), direct.quantile(0.99));
+        let stats = s.stats_at("10s", now).unwrap();
+        assert_eq!(stats.rate_per_sec, 10.0, "100 samples / 10s window");
+    }
+
+    #[test]
+    fn slot_reuse_recycles_stale_samples() {
+        let mut s = WindowedSeries::new(
+            SketchConfig::default(),
+            &[WindowSpec {
+                name: "1s",
+                slot_ns: 100_000_000,
+                slots: 10,
+            }],
+        );
+        s.record_at(0, 1.0);
+        // Exactly one lap later the same slot index is reused: the old
+        // sample must not leak into the new window.
+        s.record_at(SEC, 2.0);
+        let stats = s.stats_at("1s", SEC).unwrap();
+        assert_eq!(stats.count, 1);
+        assert_eq!(stats.max, 2.0);
+        assert_eq!(s.total_sketch().count(), 2);
+    }
+
+    #[test]
+    fn registry_exposition_is_deterministic_and_sorted() {
+        let reg = TimeSeriesRegistry::default();
+        reg.series("zed.series").record_at(0, 5.0);
+        reg.series("alpha-series").record_at(0, 1.0);
+        let mut a = String::new();
+        reg.render_into(&mut a, SEC);
+        let mut b = String::new();
+        reg.render_into(&mut b, SEC);
+        assert_eq!(a, b, "same state renders to identical bytes");
+        let alpha = a.find("# TYPE alpha_series summary").expect("alpha header");
+        let zed = a.find("# TYPE zed_series summary").expect("zed header");
+        assert!(alpha < zed, "series sorted by name");
+        assert!(a.contains("alpha_series{window=\"1s\",quantile=\"0.5\"} "));
+        assert!(a.contains("alpha_series_count{window=\"total\"} 1\n"));
+        assert!(a.contains("zed_series_rate{window=\"60s\"} "));
+        reg.reset();
+        let mut c = String::new();
+        reg.render_into(&mut c, SEC);
+        assert!(c.contains("zed_series_count{window=\"total\"} 0\n"));
+    }
+
+    #[test]
+    fn handle_record_respects_enable_gate() {
+        let _g = crate::test_lock();
+        let reg = TimeSeriesRegistry::default();
+        let h = reg.series("gate.test");
+        crate::disable();
+        h.record(1.0);
+        assert_eq!(h.with(|s| s.total_sketch().count()), 0);
+        crate::enable();
+        h.record(1.0);
+        crate::disable();
+        assert_eq!(h.with(|s| s.total_sketch().count()), 1);
+        assert!(h.stats("1s").is_some());
+        assert!(reg.get("gate.test").is_some());
+        assert!(reg.get("missing").is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the quantile sketch's two contracts: merge is
+//! associative (and equals direct recording), and quantile estimates stay
+//! within the documented relative-error bound `α` of the exact order
+//! statistics.
+
+use ftsim_obs::sketch::{QuantileSketch, SketchConfig};
+use proptest::prelude::*;
+
+fn sketch_of(values: &[f64], config: SketchConfig) -> QuantileSketch {
+    let mut s = QuantileSketch::new(config);
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+/// Bucket-level equality with a float tolerance on `sum`, whose f64
+/// accumulation order differs between merge and direct recording.
+fn assert_equivalent(a: &QuantileSketch, b: &QuantileSketch) -> Result<(), String> {
+    let (ab, bb): (Vec<_>, Vec<_>) = (a.nonzero_buckets().collect(), b.nonzero_buckets().collect());
+    if ab != bb {
+        return Err(format!("bucket mismatch: {ab:?} vs {bb:?}"));
+    }
+    if a.count() != b.count() {
+        return Err(format!("count mismatch: {} vs {}", a.count(), b.count()));
+    }
+    if a.count() > 0
+        && (a.min().to_bits() != b.min().to_bits() || a.max().to_bits() != b.max().to_bits())
+    {
+        return Err("min/max mismatch".to_string());
+    }
+    let tol = a.sum().abs().max(b.sum().abs()) * 1e-12 + 1e-9;
+    if (a.sum() - b.sum()).abs() > tol {
+        return Err(format!("sum mismatch: {} vs {}", a.sum(), b.sum()));
+    }
+    Ok(())
+}
+
+/// The exact order statistic matching the sketch's rank definition:
+/// rank `max(1, ⌈q·n⌉)`, 1-indexed.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    fn merge_is_associative_and_equals_direct_recording(
+        a in proptest::collection::vec(0.01f64..1_000_000.0, 0..200),
+        b in proptest::collection::vec(0.01f64..1_000_000.0, 0..200),
+        c in proptest::collection::vec(0.01f64..1_000_000.0, 0..200),
+    ) {
+        let config = SketchConfig::default();
+        let (sa, sb, sc) = (
+            sketch_of(&a, config),
+            sketch_of(&b, config),
+            sketch_of(&c, config),
+        );
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c), bucket-exact (sum up to f64
+        // accumulation order).
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert!(assert_equivalent(&left, &right).is_ok(), "{:?}", assert_equivalent(&left, &right));
+
+        // Merge also equals recording every sample into one sketch, so a
+        // windowed merge answers quantiles exactly like a direct sketch.
+        let mut all: Vec<f64> = Vec::new();
+        all.extend_from_slice(&a);
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let direct = sketch_of(&all, config);
+        prop_assert!(assert_equivalent(&left, &direct).is_ok(), "{:?}", assert_equivalent(&left, &direct));
+
+        // Commutativity falls out of the same bucket arithmetic.
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        prop_assert!(assert_equivalent(&ab, &ba).is_ok(), "{:?}", assert_equivalent(&ab, &ba));
+    }
+
+    fn quantile_error_is_bounded_by_alpha(
+        mut values in proptest::collection::vec(0.01f64..1_000_000.0, 1..400),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let config = SketchConfig::default();
+        let sketch = sketch_of(&values, config);
+        values.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        for q in qs {
+            let exact = exact_quantile(&values, q);
+            let estimate = sketch.quantile(q);
+            let rel = (estimate - exact).abs() / exact;
+            prop_assert!(
+                rel <= config.alpha + 1e-9,
+                "q={q}: estimate {estimate} vs exact {exact} (rel {rel} > α {})",
+                config.alpha
+            );
+        }
+        // Count/sum/min/max are exact, not α-approximate.
+        prop_assert_eq!(sketch.count(), values.len() as u64);
+        let exact_sum: f64 = values.iter().sum();
+        prop_assert!((sketch.sum() - exact_sum).abs() <= exact_sum.abs() * 1e-12 + 1e-9);
+        prop_assert_eq!(sketch.min().to_bits(), values[0].to_bits());
+        prop_assert_eq!(
+            sketch.max().to_bits(),
+            values[values.len() - 1].to_bits()
+        );
+    }
+
+    fn count_above_is_exact_at_bucket_resolution(
+        values in proptest::collection::vec(0.01f64..1_000_000.0, 0..300),
+        threshold in 0.01f64..1_000_000.0,
+    ) {
+        let config = SketchConfig::default();
+        let sketch = sketch_of(&values, config);
+        let reported = sketch.count_above(threshold);
+        // Exact within one bucket of slack around the threshold: every
+        // sample above threshold·γ is counted, none at or below
+        // threshold/γ is.
+        let gamma = config.gamma();
+        let definitely_above = values.iter().filter(|&&v| v > threshold * gamma).count() as u64;
+        let possibly_above =
+            values.iter().filter(|&&v| v > threshold / gamma).count() as u64;
+        prop_assert!(
+            reported >= definitely_above && reported <= possibly_above,
+            "count_above({threshold}) = {reported}, bounds [{definitely_above}, {possibly_above}]"
+        );
+    }
+}

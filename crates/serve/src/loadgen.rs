@@ -82,10 +82,16 @@ pub struct LoadgenConfig {
     pub out_dir: Option<String>,
     /// Send `{"query":"shutdown"}` to the server when done.
     pub shutdown: bool,
+    /// SLO latency target for the in-process server (µs); ignored when
+    /// `addr` targets an external server.
+    pub slo_target_p99_us: f64,
+    /// SLO error budget for the in-process server; ignored with `addr`.
+    pub slo_error_budget: f64,
 }
 
 impl Default for LoadgenConfig {
     fn default() -> Self {
+        let serve = ServeConfig::default();
         LoadgenConfig {
             addr: None,
             connections: 4,
@@ -96,6 +102,8 @@ impl Default for LoadgenConfig {
             seed: 42,
             out_dir: None,
             shutdown: false,
+            slo_target_p99_us: serve.slo_target_p99_us,
+            slo_error_budget: serve.slo_error_budget,
         }
     }
 }
@@ -121,8 +129,11 @@ pub struct LoadgenReport {
     pub mean_us: f64,
     /// Worst latency in microseconds.
     pub max_us: f64,
-    /// The server's final `stats` answer (cache counters + metrics).
+    /// The server's final `stats` answer (cache counters + metrics + SLO).
     pub stats_reply: Value,
+    /// The server's final `metrics` answer: the Prometheus-style exposition
+    /// (without the `# EOF` terminator line).
+    pub metrics_text: String,
 }
 
 /// Multiplicative LCG (Knuth MMIX constants) — deterministic, per-worker.
@@ -219,7 +230,8 @@ fn run_worker(
 }
 
 /// Runs the load generator per `config`, optionally writing
-/// `bench_serve.json` and `serve_metrics.json` under `out_dir`.
+/// `bench_serve.json`, `serve_metrics.json`, `serve_metrics.prom`, and
+/// `serve_slo.json` under `out_dir`.
 pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     // Own a server if no address was given.
     let mut local = None;
@@ -228,6 +240,8 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         None => {
             let server = Server::start(ServeConfig {
                 addr: "127.0.0.1:0".to_string(),
+                slo_target_p99_us: config.slo_target_p99_us,
+                slo_error_budget: config.slo_error_budget,
                 ..ServeConfig::default()
             })?;
             let addr = server.local_addr().to_string();
@@ -276,20 +290,33 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         latencies.iter().sum::<f64>() / latencies.len() as f64
     };
 
-    // Final control round-trip: stats, then optional shutdown.
-    let stats_reply = {
+    // Final control round-trips: stats, the metrics exposition, then
+    // optional shutdown.
+    let (stats_reply, metrics_text) = {
         let stream = TcpStream::connect(&addr)?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut stream = stream;
         stream.write_all(b"{\"query\":\"stats\"}\n")?;
         let mut line = String::new();
         reader.read_line(&mut line)?;
+        stream.write_all(b"{\"query\":\"metrics\"}\n")?;
+        let mut metrics_text = String::new();
+        loop {
+            let mut m = String::new();
+            if reader.read_line(&mut m)? == 0 || m.trim_end() == "# EOF" {
+                break;
+            }
+            metrics_text.push_str(&m);
+        }
         if config.shutdown || local.is_some() {
             stream.write_all(b"{\"query\":\"shutdown\"}\n")?;
             let mut bye = String::new();
             let _ = reader.read_line(&mut bye);
         }
-        serde_json::from_str(line.trim()).unwrap_or(Value::Null)
+        (
+            serde_json::from_str(line.trim()).unwrap_or(Value::Null),
+            metrics_text,
+        )
     };
     if let Some(server) = local.as_mut() {
         server.wait();
@@ -306,6 +333,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         mean_us,
         max_us: latencies.last().copied().unwrap_or(0.0),
         stats_reply,
+        metrics_text,
     };
     if let Some(dir) = &config.out_dir {
         write_reports(dir, config, &report)?;
@@ -350,7 +378,47 @@ fn write_reports(dir: &str, config: &LoadgenConfig, report: &LoadgenReport) -> s
         format!("{dir}/serve_metrics.json"),
         pretty(&report.stats_reply)? + "\n",
     )?;
+    std::fs::write(format!("{dir}/serve_metrics.prom"), &report.metrics_text)?;
+    if let Some(slo) = slo_snapshot(&report.stats_reply) {
+        std::fs::write(format!("{dir}/serve_slo.json"), pretty(&slo)? + "\n")?;
+    }
     Ok(())
+}
+
+/// Projects the `stats` answer's SLO block into an `obs-diff`-compatible
+/// snapshot carrying only the *cumulative* ("total") status — windowed
+/// values move with wall-clock timing, but a clean deterministic run has
+/// exactly zero total violations and zero burn, which is what CI gates on
+/// against `baselines/serve_slo.json`.
+fn slo_snapshot(stats_reply: &Value) -> Option<Value> {
+    let slo = stats_reply.get("slo")?;
+    let windows = match slo.get("windows") {
+        Some(Value::Array(w)) => w,
+        _ => return None,
+    };
+    let total = windows
+        .iter()
+        .find(|w| matches!(w.get("window"), Some(Value::String(s)) if s == "total"))?;
+    let count = total.get("count").cloned().unwrap_or(Value::Int(0));
+    let violations = total.get("violations").cloned().unwrap_or(Value::Int(0));
+    let burn_rate = total.get("burn_rate").cloned().unwrap_or(Value::Float(0.0));
+    let unhealthy = i64::from(!matches!(total.get("healthy"), Some(Value::Bool(true))));
+    Some(json!({
+        "slo": json!({
+            "name": slo.get("name").cloned().unwrap_or(Value::Null),
+            "target_p99_us": slo.get("target_p99_us").cloned().unwrap_or(Value::Null),
+            "error_budget": slo.get("error_budget").cloned().unwrap_or(Value::Null),
+        }),
+        "counters": json!({
+            "serve.slo.total.count": count,
+            "serve.slo.total.violations": violations,
+            "serve.slo.total.unhealthy": unhealthy,
+        }),
+        "gauges": json!({
+            "serve.slo.total.burn_rate": burn_rate,
+        }),
+        "histograms": json!({}),
+    }))
 }
 
 #[cfg(test)]
@@ -398,5 +466,27 @@ mod tests {
             Some(Value::Int(misses)) => assert!((1..=18).contains(misses)),
             other => panic!("cache.misses: {other:?}"),
         }
+        // The metrics exposition came back through the line protocol with
+        // its terminator stripped.
+        assert!(
+            report
+                .metrics_text
+                .contains("# TYPE serve_latency_us summary"),
+            "{}",
+            report.metrics_text
+        );
+        assert!(!report.metrics_text.contains("# EOF"));
+        // The SLO projection keeps only the deterministic total status.
+        let slo = slo_snapshot(&report.stats_reply).expect("stats carry an slo block");
+        let counters = slo.get("counters").unwrap();
+        assert!(counters.get("serve.slo.total.count").is_some());
+        assert_eq!(
+            counters.get("serve.slo.total.violations"),
+            Some(&Value::Int(0))
+        );
+        assert_eq!(
+            slo.get("gauges").unwrap().get("serve.slo.total.burn_rate"),
+            Some(&Value::Float(0.0))
+        );
     }
 }

@@ -33,6 +33,12 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Scenario-cache shard count (rounded up to a power of two).
     pub shards: usize,
+    /// SLO latency target in microseconds: a request slower than this
+    /// burns error budget.
+    pub slo_target_p99_us: f64,
+    /// Fraction of requests allowed over the target (`0.001` = 99.9% must
+    /// meet it).
+    pub slo_error_budget: f64,
 }
 
 impl Default for ServeConfig {
@@ -41,12 +47,20 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7878".to_string(),
             cache_capacity: 4096,
             shards: 16,
+            slo_target_p99_us: 100_000.0,
+            slo_error_budget: 0.001,
         }
     }
 }
 
-/// Latency histogram bounds in microseconds for `serve.latency_us`.
-const LATENCY_BOUNDS_US: [f64; 8] = [10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 10_000.0, 100_000.0];
+/// Request phases traced per request (sketch per phase, microseconds).
+const PHASES: [&str; 5] = [
+    "serve.phase.parse_us",
+    "serve.phase.canonicalize_us",
+    "serve.phase.cache_lookup_us",
+    "serve.phase.compute_us",
+    "serve.phase.serialize_us",
+];
 
 /// Read timeout per connection: the granularity at which connection threads
 /// re-check the shutdown flag.
@@ -62,25 +76,45 @@ struct Shared {
     errors: ftsim_obs::Counter,
     connections: ftsim_obs::Counter,
     inflight_gauge: ftsim_obs::Gauge,
-    latency: ftsim_obs::Histogram,
+    /// Rolling-window view of request latency (p50/p99/qps over the last
+    /// 1s/10s/60s) — feeds the `metrics` exposition and SLO evaluation.
+    latency_series: ftsim_obs::SeriesHandle,
+    slo: ftsim_obs::SloSpec,
 }
 
 impl Shared {
     fn new(config: &ServeConfig) -> Self {
         let reg = ftsim_obs::registry();
+        // Registered eagerly so snapshots carry zeros for quiet servers.
+        reg.sketch("serve.latency_us");
+        for phase in PHASES {
+            reg.sketch(phase);
+        }
         Shared {
             planner: Planner::new(),
             cache: ScenarioCache::new(config.cache_capacity, config.shards),
             stop: AtomicBool::new(false),
             inflight: AtomicU64::new(0),
-            // Registered eagerly so snapshots carry zeros for quiet servers.
             requests: reg.counter("serve.requests"),
             control: reg.counter("serve.control"),
             errors: reg.counter("serve.errors"),
             connections: reg.counter("serve.connections"),
             inflight_gauge: reg.gauge("serve.inflight"),
-            latency: reg.histogram("serve.latency_us", &LATENCY_BOUNDS_US),
+            latency_series: ftsim_obs::timeseries().series("serve.latency_us"),
+            slo: ftsim_obs::SloSpec::latency(
+                "serve.latency_us",
+                config.slo_target_p99_us,
+                config.slo_error_budget,
+            ),
         }
+    }
+
+    /// Records one traced phase duration (µs) into the registry sketch —
+    /// cumulative percentiles in `stats`, and a histogram event for the
+    /// binlog sink when one is installed (subject to its sampler).
+    fn phase(&self, name: &'static str, started: Instant) -> Instant {
+        ftsim_obs::registry().sketch_record(name, started.elapsed().as_secs_f64() * 1e6);
+        Instant::now()
     }
 
     /// Handles one request line, returning the answer (no newline).
@@ -90,42 +124,101 @@ impl Shared {
             return Answer::Skip;
         }
         // Control queries bypass the scenario parser and the cache.
-        if trimmed == r#"{"query":"stats"}"# || trimmed == r#"{"query":"shutdown"}"# {
+        if trimmed == r#"{"query":"stats"}"#
+            || trimmed == r#"{"query":"shutdown"}"#
+            || trimmed == r#"{"query":"metrics"}"#
+        {
             self.control.add(1);
             if trimmed.contains("shutdown") {
                 self.stop.store(true, Ordering::SeqCst);
                 return Answer::Shutdown(json!({"ok": true, "query": "shutdown"}).to_string());
             }
+            if trimmed.contains("metrics") {
+                return Answer::Text(self.metrics_answer());
+            }
             return Answer::Text(self.stats_answer());
         }
+        let started = Instant::now();
         let spec = match ScenarioSpec::parse_str(trimmed) {
             Ok(spec) => spec,
             Err(message) => {
                 self.errors.add(1);
+                self.phase(PHASES[0], started);
                 return Answer::Text(json!({"ok": false, "error": message}).to_string());
             }
         };
+        let t = self.phase(PHASES[0], started);
         self.requests.add(1);
-        let started = Instant::now();
         self.inflight_gauge
             .set((self.inflight.fetch_add(1, Ordering::Relaxed) + 1) as f64);
         let key = spec.canonical_key();
-        let answer = self
-            .cache
-            .get_or_compute(&key, spec.hash(), || self.planner.answer(&spec));
+        let hash = spec.hash();
+        let t = self.phase(PHASES[1], t);
+        let mut compute_us = 0.0;
+        let answer = self.cache.get_or_compute(&key, hash, || {
+            let computing = Instant::now();
+            let answer = self.planner.answer(&spec);
+            compute_us = computing.elapsed().as_secs_f64() * 1e6;
+            answer
+        });
+        // Lookup time is the cache round-trip minus the compute it may have
+        // coalesced or performed inline.
+        let lookup_us = (t.elapsed().as_secs_f64() * 1e6 - compute_us).max(0.0);
+        ftsim_obs::registry().sketch_record(PHASES[2], lookup_us);
+        if compute_us > 0.0 {
+            ftsim_obs::registry().sketch_record(PHASES[3], compute_us);
+        }
         self.inflight_gauge
             .set((self.inflight.fetch_sub(1, Ordering::Relaxed) - 1) as f64);
-        self.latency.record(started.elapsed().as_secs_f64() * 1e6);
+        let t = Instant::now();
         if answer.starts_with(r#"{"ok":false"#) {
             self.errors.add(1);
         }
-        Answer::Text(answer.to_string())
+        let text = answer.to_string();
+        self.phase(PHASES[4], t);
+        let total_us = started.elapsed().as_secs_f64() * 1e6;
+        ftsim_obs::registry().sketch_record("serve.latency_us", total_us);
+        self.latency_series.record(total_us);
+        Answer::Text(text)
+    }
+
+    fn slo_statuses(&self) -> Vec<ftsim_obs::SloStatus> {
+        let now = ftsim_obs::timeseries::now_ns();
+        self.latency_series
+            .with(|series| self.slo.evaluate_at(series, now))
+    }
+
+    /// Deterministically ordered Prometheus-style exposition of every
+    /// windowed series plus the SLO burn lines, terminated by `# EOF` so
+    /// line-oriented clients know where the multi-line answer ends.
+    fn metrics_answer(&self) -> String {
+        let mut out = String::new();
+        let now = ftsim_obs::timeseries::now_ns();
+        ftsim_obs::timeseries().render_into(&mut out, now);
+        let statuses = self.slo_statuses();
+        self.slo.render_into(&mut out, &statuses);
+        out.push_str("# EOF");
+        out
     }
 
     fn stats_answer(&self) -> String {
         let s = self.cache.stats();
         let metrics = serde_json::from_str(&ftsim_obs::registry().snapshot().to_json_string())
             .unwrap_or(Value::Null);
+        let slo: Vec<Value> = self
+            .slo_statuses()
+            .into_iter()
+            .map(|st| {
+                json!({
+                    "window": st.window,
+                    "count": st.count as i64,
+                    "violations": st.violations as i64,
+                    "p99_us": st.p99,
+                    "burn_rate": st.burn_rate,
+                    "healthy": st.healthy,
+                })
+            })
+            .collect();
         json!({
             "ok": true,
             "query": "stats",
@@ -139,6 +232,12 @@ impl Shared {
                 "shards": self.cache.shard_count() as i64,
             }),
             "simulators": self.planner.simulator_count() as i64,
+            "slo": json!({
+                "name": self.slo.name.clone(),
+                "target_p99_us": self.slo.target_p99,
+                "error_budget": self.slo.error_budget,
+                "windows": slo,
+            }),
             "metrics": metrics,
         })
         .to_string()
@@ -303,6 +402,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             cache_capacity: 64,
             shards: 4,
+            ..ServeConfig::default()
         })
         .expect("bind ephemeral port")
     }
@@ -352,6 +452,61 @@ mod tests {
         assert!(answers[0].contains(r#""ok":false"#));
         assert!(answers[1].contains(r#""ok":false"#));
         assert!(answers[2].contains(r#""ok":true"#));
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_query_returns_exposition_terminated_by_eof() {
+        let mut server = start();
+        let addr = server.local_addr();
+        roundtrip(addr, &[r#"{"query":"plan"}"#]);
+        // Multi-line answer: read until the `# EOF` terminator.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"{\"query\":\"metrics\"}\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end().to_string();
+            let done = line == "# EOF";
+            lines.push(line);
+            if done {
+                break;
+            }
+        }
+        let text = lines.join("\n");
+        assert!(text.contains("# TYPE serve_latency_us summary"));
+        assert!(text.contains("serve_latency_us{window=\"1s\",quantile=\"0.99\"} "));
+        assert!(text.contains("serve_latency_us_count{window=\"total\"} "));
+        assert!(text.contains("# TYPE slo_serve_latency_us_p99_burn_rate gauge"));
+        assert!(text.contains("slo_serve_latency_us_p99_violations{window=\"total\"} "));
+        // Two renders of the same quiet server expose the same series/label
+        // set (values may move with the clock; names must not).
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_carry_slo_block_with_healthy_quiet_server() {
+        let mut server = start();
+        let addr = server.local_addr();
+        roundtrip(addr, &[r#"{"query":"plan"}"#]);
+        let stats = roundtrip(addr, &[r#"{"query":"stats"}"#]);
+        let doc: Value = serde_json::from_str(&stats[0]).unwrap();
+        let slo = doc.get("slo").expect("stats has slo block");
+        assert_eq!(
+            slo.get("name"),
+            Some(&Value::String("serve.latency_us.p99".into()))
+        );
+        let windows = match slo.get("windows") {
+            Some(Value::Array(w)) => w,
+            other => panic!("slo.windows: {other:?}"),
+        };
+        assert_eq!(windows.len(), 4, "1s/10s/60s + total");
+        let total = windows.last().unwrap();
+        assert_eq!(total.get("window"), Some(&Value::String("total".into())));
+        // A 100ms SLO target against sub-millisecond plans: zero burn.
+        assert!(matches!(total.get("healthy"), Some(Value::Bool(true))));
         server.shutdown();
     }
 

@@ -137,6 +137,7 @@ fn tcp_round_trip_caches_and_reports_stats() {
         addr: "127.0.0.1:0".to_string(),
         cache_capacity: 32,
         shards: 4,
+        ..ServeConfig::default()
     })
     .expect("server starts");
     let addr = server.local_addr();
@@ -181,6 +182,7 @@ fn tcp_malformed_and_domain_errors_answer_without_dropping_the_connection() {
         addr: "127.0.0.1:0".to_string(),
         cache_capacity: 8,
         shards: 1,
+        ..ServeConfig::default()
     })
     .expect("server starts");
     let mut client = Client::connect(server.local_addr());
