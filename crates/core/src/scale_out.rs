@@ -48,6 +48,37 @@ impl Interconnect {
             latency_us: 50.0,
         }
     }
+
+    /// 100 GbE (~12.5 GB/s, RDMA-class latency): the cross-node tier for
+    /// commodity clusters — what heterogeneous non-premium MoE fleets
+    /// actually train over.
+    pub fn ethernet100g() -> Self {
+        Interconnect {
+            name: "Ethernet100G",
+            bandwidth_gbps: 12.5,
+            latency_us: 150.0,
+        }
+    }
+
+    /// Every built-in link tier, fastest first.
+    pub fn catalog() -> Vec<Interconnect> {
+        vec![
+            Interconnect::nvlink3(),
+            Interconnect::pcie4(),
+            Interconnect::ethernet100g(),
+        ]
+    }
+
+    /// Looks a tier up by name, case-insensitively, accepting the common
+    /// short spellings (`"nvlink"`, `"pcie"`, `"ethernet"`/`"100gbe"`).
+    pub fn by_name(name: &str) -> Option<Interconnect> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "nvlink" | "nvlink3" => Some(Interconnect::nvlink3()),
+            "pcie" | "pcie4" | "pcie4x16" => Some(Interconnect::pcie4()),
+            "ethernet" | "ethernet100g" | "100gbe" | "eth" => Some(Interconnect::ethernet100g()),
+            _ => None,
+        }
+    }
 }
 
 /// A multi-GPU throughput/cost estimate.

@@ -16,6 +16,13 @@ use crate::{experiment_ids, extra_experiment_ids};
 pub const USAGE: &str = "usage: repro [--list] [--out DIR] [--follow] <all | id...>
        repro --follow [--out DIR]
            tail a live run's event log (results/profile_events.bin)
+       repro cluster
+           distributed-simulator cost table over GPU type x world size x
+           {data,tensor,expert} parallelism; writes results/cluster_costs.json
+           plus cluster_metrics.json (obs-diff gate input)
+       repro alltoall
+           expert-parallel all-to-all sensitivity sweep across link tiers,
+           world sizes, and routing density (top-2 vs dense)
        repro obs-diff <baseline.json> <current.json>
                       [--threshold FRACTION] [--ignore SUBSTR]... [--log EVENTS.bin]
            compare metric snapshots (counters, gauges, histogram/sketch
@@ -715,6 +722,10 @@ mod tests {
             "--slo-error-budget",
             "metrics",
             "serve_slo.json",
+            "cluster",
+            "alltoall",
+            "cluster_costs.json",
+            "cluster_metrics.json",
         ] {
             assert!(USAGE.contains(needle), "usage is stale: missing {needle}");
         }

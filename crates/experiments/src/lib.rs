@@ -57,6 +57,8 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "sensitivity",
         "ablation",
         "scaleout",
+        "cluster",
+        "alltoall",
     ]
 }
 
@@ -98,6 +100,8 @@ pub fn run(id: &str) -> ExperimentResult {
         "sensitivity" => sensitivity(),
         "ablation" => ablation(),
         "scaleout" => scaleout(),
+        "cluster" => cluster(),
+        "alltoall" => alltoall(),
         "bench_engine" => bench_engine(),
         "bench_tensor" => bench_tensor(),
         "profile" => profile(),
@@ -1026,6 +1030,270 @@ fn scaleout() -> ExperimentResult {
     }
 }
 
+// ------------------------------------------- Distributed cluster composition
+
+/// One priced composition in the cluster cost table.
+struct ClusterRow {
+    gpu: String,
+    world: usize,
+    parallelism: &'static str,
+    link: &'static str,
+    max_batch: usize,
+    fits: bool,
+    step_seconds: f64,
+    compute_seconds: f64,
+    comm_seconds: f64,
+    comm_pct: f64,
+    qps: f64,
+    usd_per_hour: f64,
+    usd_per_million_queries: f64,
+}
+
+impl ClusterRow {
+    fn to_json(&self) -> Value {
+        json!({
+            "gpu": self.gpu, "world": self.world, "parallelism": self.parallelism,
+            "link": self.link, "max_batch": self.max_batch, "fits": self.fits,
+            "step_seconds": self.step_seconds,
+            "compute_seconds": self.compute_seconds,
+            "comm_seconds": self.comm_seconds,
+            "comm_pct": self.comm_pct,
+            "qps": self.qps,
+            "usd_per_hour": self.usd_per_hour,
+            "usd_per_million_queries": self.usd_per_million_queries,
+        })
+    }
+}
+
+fn cluster_row(
+    plan: &ftsim_cost::DistributedPlan,
+    gpu: &GpuSpec,
+    world: usize,
+    par: ftsim_cost::Parallelism,
+    seq: usize,
+    rate: f64,
+) -> ClusterRow {
+    use ftsim_cost::Topology;
+    let topo = Topology::homogeneous(gpu.clone(), world, Topology::default_link_for(gpu));
+    let mut row = ClusterRow {
+        gpu: gpu.name.clone(),
+        world,
+        parallelism: par.key(),
+        link: topo.link().name,
+        max_batch: plan.max_batch(&topo, par, seq),
+        fits: false,
+        step_seconds: 0.0,
+        compute_seconds: 0.0,
+        comm_seconds: 0.0,
+        comm_pct: 0.0,
+        qps: 0.0,
+        usd_per_hour: rate * world as f64,
+        usd_per_million_queries: f64::INFINITY,
+    };
+    if row.max_batch == 0 {
+        return row;
+    }
+    let step = plan.simulate_step(&topo, par, row.max_batch, seq);
+    row.fits = true;
+    row.step_seconds = step.total_seconds();
+    row.compute_seconds = step.compute_seconds;
+    row.comm_seconds = step.comm_seconds;
+    row.comm_pct = 100.0 * step.comm_fraction();
+    row.qps = step.queries_per_second();
+    // Dollars to push one million queries through one fine-tuning epoch.
+    row.usd_per_million_queries = row.usd_per_hour / (row.qps * 3600.0) * 1e6;
+    row
+}
+
+/// Extension: the cost-optimal cluster-composition table. Prices every
+/// (GPU type × world size × parallelism strategy) composition for the
+/// paper's headline scenario (Mixtral-8x7B, QLoRA top-2, seq 79, CUDO
+/// rates) with the distributed step simulator, at each point's largest
+/// fitting global batch, and ranks compositions by dollars per million
+/// queries. Pure math over the memoized traces — byte-stable, so CI diffs
+/// the artifact across runs and against `baselines/cluster_baseline.json`.
+fn cluster() -> ExperimentResult {
+    use ftsim_cost::{DistributedPlan, Parallelism};
+
+    let seq = 79usize;
+    let model = models::mixtral_8x7b();
+    let plan = DistributedPlan::new(model.clone(), FineTuneConfig::qlora_sparse());
+    let prices = PriceTable::for_provider(CloudProvider::Cudo);
+    let gpus = [GpuSpec::a40(), GpuSpec::a100_80(), GpuSpec::h100_80()];
+    let worlds = [1usize, 2, 4, 8];
+
+    let mut rows: Vec<ClusterRow> = Vec::new();
+    for gpu in &gpus {
+        let rate = prices
+            .usd_per_hour(&gpu.name)
+            .expect("CUDO lists every catalog GPU");
+        for &world in &worlds {
+            for par in Parallelism::all() {
+                rows.push(cluster_row(&plan, gpu, world, par, seq, rate));
+            }
+        }
+    }
+
+    let best = rows
+        .iter()
+        .filter(|r| r.fits)
+        .min_by(|a, b| {
+            a.usd_per_million_queries
+                .partial_cmp(&b.usd_per_million_queries)
+                .expect("costs are finite")
+        })
+        .expect("at least one composition fits");
+
+    // Deterministic metrics snapshot from a private registry (global obs
+    // state untouched, so `repro all` concurrency cannot contaminate it);
+    // the raw export doubles as the CI obs-diff baseline.
+    let registry = ftsim_obs::Registry::default();
+    registry.counter("cluster.rows").store(rows.len() as u64);
+    registry
+        .counter("cluster.rows.fit")
+        .store(rows.iter().filter(|r| r.fits).count() as u64);
+    registry
+        .gauge("cluster.best.usd_per_million_queries")
+        .store(best.usd_per_million_queries);
+    registry
+        .gauge("cluster.best.world")
+        .store(best.world as f64);
+    for r in &rows {
+        // Reference point for the comm/compute split: the largest fleet of
+        // the paper's baseline GPU.
+        if r.gpu == "A40" && r.world == 8 && r.fits {
+            registry
+                .gauge(&format!("cluster.a40x8.{}.comm_pct", r.parallelism))
+                .store(r.comm_pct);
+        }
+    }
+    let metrics = registry.snapshot();
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "cluster composition: Mixtral-S QLoRA, seq {seq}, CUDO rates, max-batch per point"
+    );
+    let _ = writeln!(
+        text,
+        "{:<10} {:>5} {:<7} {:<12} {:>6} {:>9} {:>7} {:>10}",
+        "gpu", "world", "par", "link", "batch", "qps", "comm%", "$/Mquery"
+    );
+    for r in &rows {
+        if r.fits {
+            let _ = writeln!(
+                text,
+                "{:<10} {:>5} {:<7} {:<12} {:>6} {:>9.2} {:>6.1}% {:>10.2}",
+                r.gpu,
+                r.world,
+                r.parallelism,
+                r.link,
+                r.max_batch,
+                r.qps,
+                r.comm_pct,
+                r.usd_per_million_queries,
+            );
+        } else {
+            let _ = writeln!(
+                text,
+                "{:<10} {:>5} {:<7} {:<12}   does not fit",
+                r.gpu, r.world, r.parallelism, r.link,
+            );
+        }
+    }
+    let _ = writeln!(
+        text,
+        "cost-optimal: {}x{} {} at ${:.2}/Mquery",
+        best.world, best.gpu, best.parallelism, best.usd_per_million_queries,
+    );
+
+    let table = json!({
+        "scenario": json!({
+            "model": "Mixtral-8x7B", "recipe": "qlora", "sparsity": "top-2",
+            "seq_len": seq, "provider": "cudo",
+        }),
+        "rows": rows.iter().map(ClusterRow::to_json).collect::<Vec<_>>(),
+        "best": best.to_json(),
+    });
+    ExperimentResult {
+        id: "cluster",
+        title: "Extension: cost-optimal cluster composition (distributed simulator)",
+        text,
+        json: Value::Object(vec![
+            ("table".to_string(), table.clone()),
+            (
+                ARTIFACTS_KEY.to_string(),
+                Value::Object(vec![
+                    ("cluster_costs.json".to_string(), table),
+                    (
+                        "cluster_metrics.json".to_string(),
+                        Value::String(metrics.to_json_string()),
+                    ),
+                ]),
+            ),
+        ]),
+    }
+}
+
+/// Extension: expert-parallel all-to-all sensitivity. Fixes the fleet to
+/// homogeneous A100-80GB and sweeps (link tier × world size × routing
+/// density), reporting how much of each step the dispatch/combine
+/// all-to-alls eat. Dense routing moves every token to all 8 experts —
+/// the pathological upper bound the top-2 paper configuration avoids.
+fn alltoall() -> ExperimentResult {
+    use ftsim_cost::{DistributedPlan, Interconnect, Parallelism, Topology};
+
+    let seq = 79usize;
+    let batch = 8usize;
+    let model = models::mixtral_8x7b();
+    let cases = [
+        ("top-2", FineTuneConfig::qlora_sparse()),
+        ("dense", paper_recipe(&model, false)),
+    ];
+
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    let _ = writeln!(
+        text,
+        "expert-parallel all-to-all sensitivity: Mixtral on A100-80GB, batch {batch}, seq {seq}"
+    );
+    for (routing, ft) in cases {
+        let plan = DistributedPlan::new(model.clone(), ft);
+        for link in Interconnect::catalog() {
+            let mut series = Vec::new();
+            for world in [2usize, 4, 8, 16] {
+                let topo = Topology::homogeneous(GpuSpec::a100_80(), world, link);
+                let step = plan.simulate_step(&topo, Parallelism::Expert, batch, seq);
+                series.push(format!("{}gpu {:.0}%", world, 100.0 * step.comm_fraction()));
+                rows.push(json!({
+                    "routing": routing, "link": link.name, "world": world,
+                    "comm_seconds": step.comm_seconds,
+                    "step_seconds": step.total_seconds(),
+                    "comm_pct": 100.0 * step.comm_fraction(),
+                    "qps": step.queries_per_second(),
+                }));
+            }
+            let _ = writeln!(
+                text,
+                "{routing:<6} {:<12} comm share: {}",
+                link.name,
+                series.join("  ")
+            );
+        }
+    }
+    let _ = writeln!(
+        text,
+        "all-to-all bytes scale with activated experts: top-2 stays usable on \
+         Ethernet, dense needs NVLink"
+    );
+    ExperimentResult {
+        id: "alltoall",
+        title: "Extension: expert-parallel all-to-all sensitivity sweep",
+        text,
+        json: json!({ "batch": batch, "seq_len": seq, "rows": rows }),
+    }
+}
+
 // ------------------------------------------------- Performance engine bench
 
 /// Benchmarks the simulator itself on a Fig. 8-style sweep: serial naive
@@ -1949,6 +2217,102 @@ mod tests {
     #[should_panic(expected = "unknown experiment id")]
     fn unknown_id_panics() {
         run("fig99");
+    }
+
+    /// Unwraps an array value.
+    fn rows_of<'a>(v: &'a Value, key: &str) -> &'a Vec<Value> {
+        match v.get(key) {
+            Some(Value::Array(rows)) => rows,
+            other => panic!("expected {key} array, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a float (ints promote, matching the artifact encoding).
+    fn num_of(v: &Value, key: &str) -> f64 {
+        match v.get(key) {
+            Some(Value::Float(f)) => *f,
+            Some(Value::Int(i)) => *i as f64,
+            other => panic!("expected number {key}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cluster_table_covers_the_grid_and_is_byte_stable() {
+        let r = run("cluster");
+        let table = r.json.get("table").expect("table");
+        let rows = rows_of(table, "rows");
+        // ≥3 GPU types × ≥3 world sizes × {data, tensor, expert}.
+        assert_eq!(rows.len(), 3 * 4 * 3);
+        let distinct = |key: &str| {
+            let mut v: Vec<String> = rows
+                .iter()
+                .map(|r| format!("{:?}", r.get(key).expect(key)))
+                .collect();
+            v.sort();
+            v.dedup();
+            v.len()
+        };
+        assert_eq!(distinct("gpu"), 3);
+        assert_eq!(distinct("world"), 4);
+        assert_eq!(distinct("parallelism"), 3);
+        let best = table.get("best").expect("best");
+        assert_eq!(best.get("fits"), Some(&Value::Bool(true)));
+        assert!(num_of(best, "usd_per_million_queries") > 0.0);
+
+        // Pure math over memoized traces: a second run is byte-identical.
+        let again = run("cluster");
+        assert_eq!(
+            serde_json::to_string(&r.json).unwrap(),
+            serde_json::to_string(&again.json).unwrap()
+        );
+    }
+
+    #[test]
+    fn cluster_degenerate_row_matches_the_single_gpu_estimate() {
+        let r = run("cluster");
+        let rows = rows_of(r.json.get("table").expect("table"), "rows");
+        let row = rows
+            .iter()
+            .find(|r| {
+                r.get("gpu") == Some(&json!("A40"))
+                    && r.get("world") == Some(&json!(1))
+                    && r.get("parallelism") == Some(&json!("data"))
+            })
+            .expect("degenerate A40 row");
+        // Bit-identical to the paper's single-GPU path: same Eq. 1 max
+        // batch, same simulated step time.
+        let model = models::mixtral_8x7b();
+        let ft = FineTuneConfig::qlora_sparse();
+        let batch = MemoryModel::new(&model, &ft).max_batch_size(&GpuSpec::a40(), 79);
+        assert_eq!(row.get("max_batch"), Some(&json!(batch)));
+        let step = StepSimulator::new(model, ft, a40())
+            .simulate_step(batch, 79)
+            .total_seconds();
+        assert_eq!(num_of(row, "step_seconds").to_bits(), step.to_bits());
+        assert_eq!(num_of(row, "comm_seconds"), 0.0);
+    }
+
+    #[test]
+    fn alltoall_comm_share_grows_with_world_and_shrinks_with_bandwidth() {
+        let r = run("alltoall");
+        let rows = rows_of(&r.json, "rows");
+        let pct = |routing: &str, link: &str, world: usize| -> f64 {
+            let row = rows
+                .iter()
+                .find(|r| {
+                    r.get("routing") == Some(&json!(routing))
+                        && r.get("link") == Some(&json!(link))
+                        && r.get("world") == Some(&json!(world))
+                })
+                .unwrap_or_else(|| panic!("missing row {routing}/{link}/{world}"));
+            num_of(row, "comm_pct")
+        };
+        for routing in ["top-2", "dense"] {
+            assert!(pct(routing, "NVLink3", 16) > pct(routing, "NVLink3", 2));
+            assert!(pct(routing, "Ethernet100G", 8) > pct(routing, "NVLink3", 8));
+        }
+        // Dense routing moves 4x the bytes of top-2.
+        assert!(pct("dense", "PCIe4x16", 8) > pct("top-2", "PCIe4x16", 8));
     }
 
     #[test]

@@ -71,6 +71,13 @@ impl Gauge {
         }
     }
 
+    /// Overwrites the value unconditionally (for mirroring an externally
+    /// computed figure into a private [`Registry`] regardless of the
+    /// global enable flag), mirroring [`Counter::store`].
+    pub fn store(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
@@ -551,6 +558,18 @@ mod tests {
         assert_eq!(hs.count, 3);
         assert!((hs.sum - 105.5).abs() < 1e-12);
         assert!((hs.mean() - 105.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_store_bypasses_the_enable_gate() {
+        // A private registry stays writable with global obs off — the
+        // cluster experiment relies on this for deterministic snapshots.
+        let private = Registry::default();
+        let g = private.gauge("test.metrics.private");
+        g.set(1.0); // gated: dropped unless obs happens to be enabled
+        g.store(7.25);
+        assert_eq!(g.get(), 7.25);
+        assert_eq!(private.snapshot().gauges["test.metrics.private"], 7.25);
     }
 
     #[test]

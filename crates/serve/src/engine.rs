@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use ftsim_cost::{scale_out, Interconnect};
+use ftsim_cost::DistributedPlan;
 use ftsim_gpu::CostModel;
 use ftsim_model::MemoryModel;
 use ftsim_sim::{Stage, StepSimulator};
@@ -32,6 +32,10 @@ pub struct Planner {
     /// Simulators pooled by (model, recipe, gpu, mem) so scenario-cache
     /// misses still hit each simulator's internal trace cache.
     sims: Mutex<HashMap<String, Arc<StepSimulator>>>,
+    /// Distributed plans pooled by (model, recipe); each plan pools its own
+    /// per-placement simulators, so multi-GPU scenarios that differ only in
+    /// world size, link, or strategy share priced traces.
+    plans: Mutex<HashMap<String, Arc<DistributedPlan>>>,
 }
 
 impl Default for Planner {
@@ -59,6 +63,7 @@ impl Planner {
     pub fn new() -> Self {
         Planner {
             sims: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
         }
     }
 
@@ -82,6 +87,23 @@ impl Planner {
         self.sims.lock().unwrap().len()
     }
 
+    fn plan_for(&self, spec: &ScenarioSpec) -> Arc<DistributedPlan> {
+        let key = format!("{}|{}", spec.model, spec.recipe);
+        let mut plans = self.plans.lock().unwrap();
+        Arc::clone(plans.entry(key).or_insert_with(|| {
+            Arc::new(DistributedPlan::new(
+                spec.model_config(),
+                spec.finetune_config(),
+            ))
+        }))
+    }
+
+    /// Number of pooled distributed plans (distinct model × recipe combos
+    /// that answered a multi-GPU query).
+    pub fn plan_count(&self) -> usize {
+        self.plans.lock().unwrap().len()
+    }
+
     /// Computes the answer for `spec`. Deterministic: equal canonical specs
     /// produce byte-identical output. Never panics on domain errors — those
     /// return an `"ok": false` answer (which is cacheable like any other).
@@ -94,6 +116,9 @@ impl Planner {
     }
 
     fn answer_plan(&self, spec: &ScenarioSpec) -> String {
+        if spec.gpus > 1 {
+            return self.answer_plan_distributed(spec);
+        }
         let model = spec.model_config();
         let ft = spec.finetune_config();
         let gpu = spec.gpu_spec();
@@ -133,6 +158,49 @@ impl Planner {
         .to_string()
     }
 
+    /// Multi-GPU memory planning: Eq. 1 over the LLMem-style partition.
+    /// The answer reports the global max batch plus one rank's sharded /
+    /// replicated footprint split.
+    fn answer_plan_distributed(&self, spec: &ScenarioSpec) -> String {
+        let plan = self.plan_for(spec);
+        let topo = spec.topology();
+        let model = spec.model_config();
+        let ft = spec.finetune_config();
+        let max_batch = plan.max_batch(&topo, spec.parallelism, spec.seq_len);
+        let batch = if spec.batch > 0 {
+            spec.batch
+        } else {
+            max_batch
+        };
+        let fits = max_batch >= 1 && batch <= max_batch;
+        let part = plan.partition(&topo, spec.parallelism, batch.max(1), spec.seq_len);
+        let rank = &part.per_device[0]; // homogeneous fleet: every rank equal
+        json!({
+            "ok": true,
+            "query": "plan",
+            "scenario": spec.canonical_key(),
+            "model": model.name.clone(),
+            "recipe": spec.recipe.clone(),
+            "gpu": spec.gpu.clone(),
+            "world_size": spec.gpus as i64,
+            "parallelism": spec.parallelism.key(),
+            "link": spec.link.clone(),
+            "seq_len": spec.seq_len as i64,
+            "trainable_params": ft.trainable_params(&model) as i64,
+            "max_batch": max_batch as i64,
+            "batch": batch as i64,
+            "fits": fits,
+            "per_device_memory_gb": json!({
+                "capacity": rank.mem_gb,
+                "sharded": rank.sharded_gb,
+                "replicated": rank.replicated_gb,
+                "total": rank.total_gb(),
+            }),
+            "single_device_total_gb": part.single_total_gb(),
+        })
+        .to_string()
+    }
+
     /// Resolves the concrete batch for `spec`, or a domain error.
     fn resolve_batch(&self, spec: &ScenarioSpec) -> Result<(usize, usize), String> {
         let model = spec.model_config();
@@ -156,56 +224,37 @@ impl Planner {
         Ok((batch, max_batch))
     }
 
+    fn no_price(&self, spec: &ScenarioSpec) -> String {
+        err(
+            spec,
+            &format!(
+                "no {} price for {} (pass price_per_hour to override)",
+                spec.provider.key(),
+                spec.gpu
+            ),
+        )
+    }
+
     fn answer_estimate(&self, spec: &ScenarioSpec) -> String {
+        if spec.gpus > 1 {
+            return self.answer_estimate_distributed(spec);
+        }
         let (batch, max_batch) = match self.resolve_batch(spec) {
             Ok(pair) => pair,
             Err(answer) => return answer,
         };
         let Some(usd_per_hour) = spec.usd_per_hour() else {
-            return err(
-                spec,
-                &format!(
-                    "no {} price for {} (pass price_per_hour to override)",
-                    spec.provider.key(),
-                    spec.gpu
-                ),
-            );
+            return self.no_price(spec);
         };
         let sim = self.simulator(spec);
         let trace = sim.simulate_step(batch, spec.seq_len);
         let step_seconds = trace.total_seconds();
         let model = spec.model_config();
-        let ft = spec.finetune_config();
-        let single_qps = batch as f64 / step_seconds;
-        let (qps, efficiency) = if spec.gpus > 1 {
-            let grad_bytes = if ft.method.lora_rank().is_some() {
-                4.0
-            } else {
-                2.0
-            };
-            let link = if spec.gpu == "A40" {
-                Interconnect::pcie4()
-            } else {
-                Interconnect::nvlink3()
-            };
-            let point = scale_out(
-                step_seconds,
-                batch,
-                ft.trainable_params(&model) as f64,
-                grad_bytes,
-                link,
-                &[spec.gpus],
-            )
-            .pop()
-            .expect("one replica count in, one point out");
-            (point.queries_per_second, point.efficiency)
-        } else {
-            (single_qps, 1.0)
-        };
+        let qps = batch as f64 / step_seconds;
         let ds = spec.dataset_spec();
         let total_queries = (spec.epochs * ds.num_queries) as f64;
         let hours = total_queries / qps / 3600.0;
-        let usd = hours * usd_per_hour * spec.gpus as f64;
+        let usd = hours * usd_per_hour;
         json!({
             "ok": true,
             "query": "estimate",
@@ -222,9 +271,71 @@ impl Planner {
             "backward_seconds": trace.stage_seconds(Stage::Backward),
             "optimizer_seconds": trace.stage_seconds(Stage::Optimizer),
             "kernels_per_step": trace.kernel_count() as i64,
+            "gpus": 1,
+            "queries_per_second": qps,
+            "scaling_efficiency": 1.0,
+            "epochs": spec.epochs as i64,
+            "total_queries": total_queries,
+            "usd_per_hour": usd_per_hour,
+            "hours": hours,
+            "usd": usd,
+        })
+        .to_string()
+    }
+
+    /// Multi-GPU estimate through the distributed step simulator: the
+    /// batch is the **global** batch, resolved against the partitioned
+    /// Eq. 1 maximum, and the step splits into compute + comm + bubble.
+    fn answer_estimate_distributed(&self, spec: &ScenarioSpec) -> String {
+        let plan = self.plan_for(spec);
+        let topo = spec.topology();
+        let par = spec.parallelism;
+        let max_batch = plan.max_batch(&topo, par, spec.seq_len);
+        if max_batch == 0 {
+            return err(spec, "model does not fit on this fleet at global batch 1");
+        }
+        let batch = if spec.batch > 0 {
+            spec.batch
+        } else {
+            max_batch
+        };
+        if batch > max_batch {
+            return err(
+                spec,
+                &format!("global batch {batch} exceeds the partitioned Eq. 1 maximum {max_batch}"),
+            );
+        }
+        let Some(usd_per_hour) = spec.usd_per_hour() else {
+            return self.no_price(spec);
+        };
+        let step = plan.simulate_step(&topo, par, batch, spec.seq_len);
+        let qps = step.queries_per_second();
+        let ds = spec.dataset_spec();
+        let total_queries = (spec.epochs * ds.num_queries) as f64;
+        let hours = total_queries / qps / 3600.0;
+        let usd = hours * usd_per_hour * spec.gpus as f64;
+        json!({
+            "ok": true,
+            "query": "estimate",
+            "scenario": spec.canonical_key(),
+            "model": plan.model().name.clone(),
+            "recipe": spec.recipe.clone(),
+            "gpu": spec.gpu.clone(),
+            "dataset": ds.name,
+            "seq_len": spec.seq_len as i64,
+            "batch": batch as i64,
+            "per_device_batch": step.per_device_batch as i64,
+            "max_batch": max_batch as i64,
+            "world_size": spec.gpus as i64,
+            "parallelism": spec.parallelism.key(),
+            "link": spec.link.clone(),
+            "step_seconds": step.total_seconds(),
+            "compute_seconds": step.compute_seconds,
+            "comm_seconds": step.comm_seconds,
+            "bubble_seconds": step.bubble_seconds,
             "gpus": spec.gpus as i64,
             "queries_per_second": qps,
-            "scaling_efficiency": efficiency,
+            "scaling_efficiency": step.compute_fraction(),
             "epochs": spec.epochs as i64,
             "total_queries": total_queries,
             "usd_per_hour": usd_per_hour,
@@ -384,6 +495,49 @@ mod tests {
         assert_eq!(*first, 1, "sweep starts at batch 1");
         let best = doc.get("best_qps");
         assert!(matches!(best, Some(Value::Float(q)) if *q > 0.0));
+    }
+
+    #[test]
+    fn distributed_plan_partitions_memory_and_estimates_comm() {
+        let planner = Planner::new();
+        // Tensor parallelism shards the static state, so an 8-GPU fleet
+        // admits a larger global batch than one device.
+        let single = serde_json::from_str(&planner.answer(&spec(r#"{"query":"plan"}"#))).unwrap();
+        let sharded = serde_json::from_str(&planner.answer(&spec(
+            r#"{"query":"plan","world_size":8,"parallelism":"tensor"}"#,
+        )))
+        .unwrap();
+        let max = |doc: &Value| match doc.get("max_batch") {
+            Some(Value::Int(n)) => *n,
+            other => panic!("max_batch: {other:?}"),
+        };
+        assert_eq!(sharded.get("ok"), Some(&Value::Bool(true)));
+        assert!(
+            max(&sharded) > max(&single),
+            "sharding frees activation room"
+        );
+        assert_eq!(
+            sharded.get("parallelism"),
+            Some(&Value::String("tensor".into()))
+        );
+        assert!(sharded.get("per_device_memory_gb").is_some());
+
+        // A multi-GPU estimate pays a communication tax and reports it.
+        let est = serde_json::from_str(
+            &planner.answer(&spec(r#"{"query":"estimate","world_size":4,"batch":8}"#)),
+        )
+        .unwrap();
+        assert_eq!(est.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(est.get("link"), Some(&Value::String("PCIe4x16".into())));
+        match est.get("comm_seconds") {
+            Some(Value::Float(c)) => assert!(*c > 0.0, "4-way data parallel all-reduces"),
+            other => panic!("comm_seconds: {other:?}"),
+        }
+        match est.get("scaling_efficiency") {
+            Some(Value::Float(e)) => assert!(*e > 0.0 && *e < 1.0),
+            other => panic!("scaling_efficiency: {other:?}"),
+        }
+        assert_eq!(planner.plan_count(), 1, "one model|recipe, one plan");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use std::hash::Hasher;
 
+use ftsim_cost::{Interconnect, Parallelism, Topology};
 use ftsim_gpu::{CloudProvider, GpuSpec, PriceTable};
 use ftsim_model::{presets, FineTuneConfig, ModelConfig};
 use ftsim_tensor::pool::FxHasher;
@@ -80,8 +81,14 @@ pub struct ScenarioSpec {
     pub batch: usize,
     /// Fine-tuning epochs.
     pub epochs: usize,
-    /// Data-parallel replica count.
+    /// World size — the device count of the fleet (`"gpus"` and
+    /// `"world_size"` are aliases on the wire).
     pub gpus: usize,
+    /// Parallelism strategy for multi-GPU scenarios (default data).
+    pub parallelism: Parallelism,
+    /// Canonical interconnect name; `"auto"` on the wire resolves to the
+    /// GPU class's realistic default (PCIe for A40, NVLink otherwise).
+    pub link: String,
     /// Price book provider.
     pub provider: CloudProvider,
     /// Hourly price override in USD (bit pattern is part of the key).
@@ -173,9 +180,28 @@ impl ScenarioSpec {
         let mut seq_len = 0usize;
         let mut batch = 0usize;
         let mut epochs = 10usize;
-        let mut gpus = 1usize;
+        let mut gpus: Option<(usize, &str)> = None;
+        let mut parallelism = Parallelism::Data;
+        let mut link_raw: Option<String> = None;
         let mut provider = CloudProvider::Cudo;
         let mut price_per_hour = None;
+        let set_world = |gpus: &mut Option<(usize, &str)>,
+                         field: &'static str,
+                         n: usize|
+         -> Result<(), String> {
+            if n == 0 {
+                return Err(format!("{field} must be at least 1"));
+            }
+            match gpus {
+                Some((prev, prev_field)) if *prev != n => Err(format!(
+                    "conflicting {prev_field}={prev} and {field}={n} (they are aliases)"
+                )),
+                _ => {
+                    *gpus = Some((n, field));
+                    Ok(())
+                }
+            }
+        };
         for (key, value) in entries {
             match key.as_str() {
                 "query" => query = Some(QueryKind::parse(as_str(key, value)?)?),
@@ -197,10 +223,18 @@ impl ScenarioSpec {
                         return Err("epochs must be at least 1".to_string());
                     }
                 }
-                "gpus" => {
-                    gpus = as_usize(key, value)?;
-                    if gpus == 0 {
-                        return Err("gpus must be at least 1".to_string());
+                "gpus" => set_world(&mut gpus, "gpus", as_usize(key, value)?)?,
+                "world_size" => set_world(&mut gpus, "world_size", as_usize(key, value)?)?,
+                "parallelism" => parallelism = Parallelism::parse(as_str(key, value)?)?,
+                "link" => {
+                    let name = as_str(key, value)?;
+                    if name.trim().eq_ignore_ascii_case("auto") {
+                        link_raw = None;
+                    } else {
+                        let tier = Interconnect::by_name(name).ok_or_else(|| {
+                            format!("unknown link {name:?} (want auto, nvlink, pcie, or ethernet)")
+                        })?;
+                        link_raw = Some(tier.name.to_string());
                     }
                 }
                 "provider" => provider = as_str(key, value)?.parse()?,
@@ -218,10 +252,18 @@ impl ScenarioSpec {
         let model = model.unwrap_or_else(|| "mixtral-8x7b".to_string());
         let recipe = canonical_recipe(recipe_raw.as_deref().unwrap_or("paper"), &model)?;
         let dataset = dataset.unwrap_or_else(|| "commonsense_15k".to_string());
+        let gpu = gpu.unwrap_or_else(|| "A40".to_string());
+        // `"auto"` (the default) canonicalizes to the concrete tier for the
+        // device class, so explicit and implicit spellings share a key.
+        let link = link_raw.unwrap_or_else(|| {
+            Topology::default_link_for(&GpuSpec::by_name(&gpu).expect("canonical gpu name"))
+                .name
+                .to_string()
+        });
         let spec = ScenarioSpec {
             query,
             recipe,
-            gpu: gpu.unwrap_or_else(|| "A40".to_string()),
+            gpu,
             gpu_mem_gb,
             seq_len: if seq_len > 0 {
                 seq_len
@@ -232,7 +274,9 @@ impl ScenarioSpec {
             model,
             batch,
             epochs,
-            gpus,
+            gpus: gpus.map_or(1, |(n, _)| n),
+            parallelism,
+            link,
             provider,
             price_per_hour,
         };
@@ -251,7 +295,7 @@ impl ScenarioSpec {
     /// distinct scenarios rather than silent collisions.
     pub fn canonical_key(&self) -> String {
         format!(
-            "q={};model={};recipe={};gpu={};mem={};ds={};seq={};batch={};epochs={};gpus={};prov={};price={}",
+            "q={};model={};recipe={};gpu={};mem={};ds={};seq={};batch={};epochs={};gpus={};par={};link={};prov={};price={}",
             self.query.key(),
             self.model,
             self.recipe,
@@ -262,6 +306,8 @@ impl ScenarioSpec {
             self.batch,
             self.epochs,
             self.gpus,
+            self.parallelism.key(),
+            self.link,
             self.provider.key(),
             match self.price_per_hour {
                 Some(p) => format!("{:016x}", p.to_bits()),
@@ -312,6 +358,17 @@ impl ScenarioSpec {
         dataset_by_id(&self.dataset)
     }
 
+    /// The interconnect tier this scenario's collectives cross.
+    pub fn interconnect(&self) -> Interconnect {
+        Interconnect::by_name(&self.link).expect("canonical link name")
+    }
+
+    /// The device fleet this scenario runs on: `gpus` copies of the
+    /// (possibly memory-overridden) GPU joined by the canonical link.
+    pub fn topology(&self) -> Topology {
+        Topology::homogeneous(self.gpu_spec(), self.gpus, self.interconnect())
+    }
+
     /// The hourly rate for this scenario: the explicit override if present,
     /// otherwise the provider's listed price for the GPU.
     pub fn usd_per_hour(&self) -> Option<f64> {
@@ -354,6 +411,7 @@ mod tests {
         let explicit = ScenarioSpec::parse_str(
             r#"{"gpu":"A40","epochs":10,"model":"Mixtral-8x7B","query":"plan",
                "dataset":"cs","recipe":"paper","seq_len":79,"batch":0,"gpus":1,
+               "world_size":1,"parallelism":"data","link":"auto",
                "provider":"cudo","gpu_mem_gb":0}"#,
         )
         .unwrap();
@@ -382,6 +440,56 @@ mod tests {
     }
 
     #[test]
+    fn world_size_is_an_alias_of_gpus() {
+        let gpus = ScenarioSpec::parse_str(r#"{"query":"plan","gpus":4}"#).unwrap();
+        let world = ScenarioSpec::parse_str(r#"{"query":"plan","world_size":4}"#).unwrap();
+        let both = ScenarioSpec::parse_str(r#"{"query":"plan","gpus":4,"world_size":4}"#).unwrap();
+        assert_eq!(gpus.canonical_key(), world.canonical_key());
+        assert_eq!(gpus.canonical_key(), both.canonical_key());
+        assert_eq!(gpus.hash(), world.hash());
+        // Conflicting aliases are an error, not a silent pick.
+        let err =
+            ScenarioSpec::parse_str(r#"{"query":"plan","gpus":4,"world_size":8}"#).unwrap_err();
+        assert!(err.contains("aliases"), "{err}");
+    }
+
+    #[test]
+    fn parallelism_and_link_are_canonical_key_axes() {
+        let data = ScenarioSpec::parse_str(r#"{"query":"plan","world_size":4}"#).unwrap();
+        let expert =
+            ScenarioSpec::parse_str(r#"{"query":"plan","world_size":4,"parallelism":"expert"}"#)
+                .unwrap();
+        let eth = ScenarioSpec::parse_str(r#"{"query":"plan","world_size":4,"link":"ethernet"}"#)
+            .unwrap();
+        assert_eq!(data.parallelism, Parallelism::Data, "default strategy");
+        assert_ne!(data.canonical_key(), expert.canonical_key());
+        assert_ne!(data.canonical_key(), eth.canonical_key());
+        // Short spellings collapse to the canonical tier name.
+        let ep = ScenarioSpec::parse_str(
+            r#"{"query":"plan","world_size":4,"parallelism":"ep","link":"100gbe"}"#,
+        )
+        .unwrap();
+        assert_eq!(ep.parallelism, Parallelism::Expert);
+        assert_eq!(ep.link, "Ethernet100G");
+        assert_eq!(ep.interconnect().name, "Ethernet100G");
+    }
+
+    #[test]
+    fn auto_link_resolves_per_gpu_class() {
+        let a40 = ScenarioSpec::parse_str(r#"{"query":"plan","link":"auto"}"#).unwrap();
+        assert_eq!(a40.link, "PCIe4x16", "A40 boxes have no NVLink bridge");
+        let h100 =
+            ScenarioSpec::parse_str(r#"{"query":"plan","gpu":"h100-80","link":"auto"}"#).unwrap();
+        assert_eq!(h100.link, "NVLink3");
+        // Explicit auto and the implicit default share one key.
+        let implicit = ScenarioSpec::parse_str(r#"{"query":"plan"}"#).unwrap();
+        assert_eq!(a40.canonical_key(), implicit.canonical_key());
+        let topo = h100.topology();
+        assert_eq!(topo.world_size(), 1);
+        assert_eq!(topo.link().name, "NVLink3");
+    }
+
+    #[test]
     fn paper_recipe_depends_on_the_model() {
         let mixtral = ScenarioSpec::parse_str(r#"{"query":"plan"}"#).unwrap();
         let mamba = ScenarioSpec::parse_str(r#"{"query":"plan","model":"blackmamba"}"#).unwrap();
@@ -397,6 +505,9 @@ mod tests {
             r#"{"query":"plan","gpu":"tpu-v5"}"#,
             r#"{"query":"plan","epochs":0}"#,
             r#"{"query":"plan","gpus":0}"#,
+            r#"{"query":"plan","world_size":0}"#,
+            r#"{"query":"plan","parallelism":"pipeline"}"#,
+            r#"{"query":"plan","link":"carrier-pigeon"}"#,
             r#"{"query":"plan","price_per_hour":-1}"#,
             r#"{"model":"mixtral"}"#,
             r#"[1,2]"#,

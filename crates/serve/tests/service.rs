@@ -105,6 +105,28 @@ proptest! {
         prop_assert_eq!(full.canonical_key(), aliased.canonical_key());
         prop_assert_eq!(full.hash(), aliased.hash());
     }
+
+    /// Distributed axes canonicalize too: `world_size` is an alias of
+    /// `gpus`, parallelism accepts short spellings, and an explicit link
+    /// tier equals the auto-resolved one — all collapsing to one key.
+    fn prop_distributed_axes_share_a_cache_key(
+        world in 2usize..=16,
+        pi in 0usize..3,
+    ) {
+        let (long_par, short_par) = [
+            ("data", "dp"), ("tensor", "tp"), ("expert", "ep"),
+        ][pi];
+        let full = parse_spec(&format!(
+            "{{\"query\":\"plan\",\"gpu\":\"A40\",\"gpus\":{},\"parallelism\":\"{}\",\"link\":\"pcie\"}}",
+            world, long_par,
+        ));
+        let aliased = parse_spec(&format!(
+            "{{\"query\":\"plan\",\"gpu\":\"a40\",\"world_size\":{},\"parallelism\":\"{}\",\"link\":\"auto\"}}",
+            world, short_par,
+        ));
+        prop_assert_eq!(full.canonical_key(), aliased.canonical_key());
+        prop_assert_eq!(full.hash(), aliased.hash());
+    }
 }
 
 /// One client session against a real socket.
@@ -174,6 +196,51 @@ fn tcp_round_trip_caches_and_reports_stats() {
     client.roundtrip(r#"{"query":"shutdown"}"#);
     server.wait();
     assert_eq!(server.cache_stats().misses, 1);
+}
+
+#[test]
+fn tcp_distributed_queries_share_one_cache_slot_across_spellings() {
+    let mut server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_capacity: 16,
+        shards: 2,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr());
+
+    // Same scenario, three spellings: gpus vs world_size alias, tensor vs
+    // tp, implicit-auto vs explicit link tier. One miss, two hits.
+    let canonical =
+        client.roundtrip(r#"{"query":"plan","gpu":"A100-80GB","gpus":4,"parallelism":"tensor"}"#);
+    let aliased = client.roundtrip(
+        r#"{"query":"plan","gpu":"a100-80gb","world_size":4,"parallelism":"tp","link":"auto"}"#,
+    );
+    let explicit = client.roundtrip(
+        r#"{"query":"plan","gpu":"A100-80GB","gpus":4,"parallelism":"tp","link":"nvlink"}"#,
+    );
+    assert_eq!(canonical, aliased);
+    assert_eq!(canonical, explicit);
+    let doc: Value = serde_json::from_str(&canonical).expect("answer is JSON");
+    assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "{canonical}");
+    assert_eq!(doc.get("world_size"), Some(&Value::Int(4)), "{canonical}");
+    assert_eq!(
+        doc.get("link"),
+        Some(&Value::String("NVLink3".into())),
+        "{canonical}"
+    );
+
+    let stats: Value =
+        serde_json::from_str(&client.roundtrip(r#"{"query":"stats"}"#)).expect("stats JSON");
+    let cache = stats.get("cache").expect("cache section");
+    let count = |k: &str| match cache.get(k) {
+        Some(Value::Int(n)) => *n,
+        other => panic!("cache.{k} missing or non-integer: {other:?}"),
+    };
+    assert_eq!(count("misses"), 1, "{stats:?}");
+    assert_eq!(count("hits"), 2, "{stats:?}");
+
+    server.shutdown();
 }
 
 #[test]
